@@ -1,0 +1,87 @@
+// Microbenchmarks of the computational kernels: tautology, complement,
+// expand, full espresso minimisation, symbolic constraint derivation, and
+// PICOLA column generation.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "constraints/derive.h"
+#include "core/picola.h"
+#include "espresso/espresso.h"
+#include "eval/constraint_eval.h"
+#include "kiss/benchmarks.h"
+
+namespace picola {
+namespace {
+
+Cover random_cover(const CubeSpace& s, int ncubes, uint32_t seed) {
+  std::mt19937 rng(seed);
+  Cover f(s);
+  for (int i = 0; i < ncubes; ++i) {
+    Cube c = Cube::full(s);
+    for (int v = 0; v < s.num_vars(); ++v) {
+      if (rng() % 5 < 2) continue;
+      c.clear_var(s, v);
+      c.set(s, v, static_cast<int>(rng() % static_cast<uint32_t>(s.parts(v))));
+    }
+    f.add(c);
+  }
+  return f;
+}
+
+void BM_Tautology(benchmark::State& state) {
+  CubeSpace s = CubeSpace::binary(static_cast<int>(state.range(0)));
+  Cover f = random_cover(s, 40, 7);
+  f.add(Cube::full(s));  // force a tautology so the check runs fully
+  for (auto _ : state) benchmark::DoNotOptimize(esp::is_tautology(f));
+}
+BENCHMARK(BM_Tautology)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Complement(benchmark::State& state) {
+  CubeSpace s = CubeSpace::binary(static_cast<int>(state.range(0)));
+  Cover f = random_cover(s, 20, 13);
+  for (auto _ : state) benchmark::DoNotOptimize(esp::complement(f));
+}
+BENCHMARK(BM_Complement)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Minimize(benchmark::State& state) {
+  CubeSpace s = CubeSpace::binary(static_cast<int>(state.range(0)));
+  Cover f = random_cover(s, 30, 21);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(esp::minimize_cover(f, Cover(s)));
+}
+BENCHMARK(BM_Minimize)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_DeriveConstraints(benchmark::State& state) {
+  static const char* kNames[] = {"lion9", "ex2", "keyb", "planet"};
+  Fsm fsm = make_benchmark(kNames[state.range(0)]);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(derive_face_constraints(fsm).set.size());
+  state.SetLabel(kNames[state.range(0)]);
+}
+BENCHMARK(BM_DeriveConstraints)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_PicolaEncode(benchmark::State& state) {
+  static const char* kNames[] = {"lion9", "ex2", "keyb", "planet", "scf"};
+  Fsm fsm = make_benchmark(kNames[state.range(0)]);
+  DerivedConstraints d = derive_face_constraints(fsm);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(picola_encode(d.set).encoding.codes);
+  state.SetLabel(kNames[state.range(0)]);
+}
+BENCHMARK(BM_PicolaEncode)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ConstraintEvaluation(benchmark::State& state) {
+  Fsm fsm = make_benchmark("ex2");
+  DerivedConstraints d = derive_face_constraints(fsm);
+  Encoding e = picola_encode(d.set).encoding;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(evaluate_constraints(d.set, e).total_cubes);
+}
+BENCHMARK(BM_ConstraintEvaluation);
+
+}  // namespace
+}  // namespace picola
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// One-hot vs minimum-length state assignment: the opposite corner of the
+// code-length spectrum from the paper's partial problem.  One-hot removes
+// all face-constraint pressure (every state literal is a single bit) but
+// pays one register bit and two PLA columns per state; minimum length
+// pays with constraint violations.  The paper's tool lives at the
+// minimum-length end — this bench quantifies what that choice costs and
+// saves in product terms and PLA area.
+
+#include <cstdio>
+#include <string>
+
+#include "espresso/espresso.h"
+#include "eval/metrics.h"
+#include "kiss/benchmarks.h"
+#include "pla/pla.h"
+#include "stateassign/assemble.h"
+#include "stateassign/state_assign.h"
+
+using namespace picola;
+
+int main() {
+  const std::vector<std::string> names = {"cse",  "dk16", "donfile", "ex2",
+                                          "keyb", "kirkman", "s1",   "s820",
+                                          "s832", "styr", "tma"};
+  std::printf("%-10s | %8s %8s | %8s %8s | %6s\n", "FSM", "min terms",
+              "area", "1hot terms", "area", "area ratio");
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------------");
+  long tot_min_area = 0, tot_hot_area = 0;
+  for (const std::string& name : names) {
+    Fsm fsm = make_benchmark(name);
+
+    StateAssignOptions opt;
+    StateAssignResult min_len = assign_states(fsm, opt);
+
+    Cover on, dc;
+    encode_one_hot_table(fsm, &on, &dc);
+    Cover hot = esp::minimize_cover(on, dc);
+    long hot_area =
+        static_cast<long>(hot.size()) *
+        (2L * (fsm.num_inputs + fsm.num_states()) +
+         (fsm.num_states() + fsm.num_outputs));
+
+    tot_min_area += min_len.area;
+    tot_hot_area += hot_area;
+    std::printf("%-10s | %8d %8ld | %8d %8ld | %6s\n", name.c_str(),
+                min_len.product_terms, min_len.area, hot.size(), hot_area,
+                format_ratio(static_cast<double>(hot_area) /
+                             static_cast<double>(min_len.area))
+                    .c_str());
+    std::fflush(stdout);
+  }
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------------");
+  std::printf("total min-length area %ld, one-hot area %ld (ratio %s)\n",
+              tot_min_area, tot_hot_area,
+              format_ratio(static_cast<double>(tot_hot_area) /
+                           static_cast<double>(tot_min_area))
+                  .c_str());
+  return 0;
+}

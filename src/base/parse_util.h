@@ -1,0 +1,33 @@
+#pragma once
+// Small shared parsing helpers: exception-free number parsing so the file
+// parsers can turn malformed tokens into diagnostics instead of throwing.
+
+#include <charconv>
+#include <optional>
+#include <string>
+
+namespace picola {
+
+/// Parse a whole token as a base-10 int; nullopt on any junk.
+inline std::optional<int> parse_int(const std::string& tok) {
+  int value = 0;
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Parse a whole token as a double; nullopt on any junk.
+inline std::optional<double> parse_double(const std::string& tok) {
+  try {
+    size_t used = 0;
+    double v = std::stod(tok, &used);
+    if (used != tok.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace picola

@@ -1,0 +1,516 @@
+#include "cli/cli.h"
+
+#include <fstream>
+
+#include "base/parse_util.h"
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "constraints/constraint_io.h"
+#include "constraints/derive.h"
+#include "constraints/dichotomy.h"
+#include "core/input_encoding.h"
+#include "core/picola.h"
+#include "pla/mv_pla.h"
+#include "encoders/annealing.h"
+#include "encoders/enc_like.h"
+#include "encoders/exact.h"
+#include "encoders/nova_like.h"
+#include "encoders/trivial.h"
+#include "espresso/exact.h"
+#include "eval/constraint_eval.h"
+#include "eval/metrics.h"
+#include "kiss/kiss_io.h"
+#include "pla/pla_io.h"
+#include "stateassign/blif.h"
+#include "stateassign/state_assign.h"
+
+namespace picola::cli {
+
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // "--x v" and bare "--flag"
+};
+
+std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
+                                     std::ostream& err) {
+  ParsedArgs p;
+  if (args.empty()) {
+    err << "usage: picola <encode|encode-input|assign|minimize|info> "
+           "<file> [options]\n";
+    return std::nullopt;
+  }
+  p.command = args[0];
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) == 0 || a == "-o") {
+      std::string key = a == "-o" ? "--output" : a;
+      static const char* kValued[] = {"--algorithm", "--bits", "--seed",
+                                      "--output", "--steps", "--var",
+                                      "--blif"};
+      bool valued = false;
+      for (const char* v : kValued) valued |= key == v;
+      if (valued) {
+        if (i + 1 >= args.size()) {
+          err << "option " << a << " needs a value\n";
+          return std::nullopt;
+        }
+        p.options[key] = args[++i];
+      } else {
+        p.options[key] = "1";
+      }
+    } else {
+      p.positional.push_back(a);
+    }
+  }
+  return p;
+}
+
+std::optional<std::string> read_file(const std::string& path,
+                                     std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool write_file(const std::string& path, const std::string& text,
+                std::ostream& err) {
+  std::ofstream out(path);
+  if (!out) {
+    err << "cannot write " << path << "\n";
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+enum class FileKind { kKiss, kPla, kCon, kUnknown };
+
+FileKind sniff(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (head == ".n" || head == ".names") return FileKind::kCon;
+    if (head == ".s" || head == ".r") return FileKind::kKiss;
+    if (head == ".type" || head == ".ilb" || head == ".ob")
+      return FileKind::kPla;
+    if (head[0] != '.' && head[0] != '#') {
+      // A data row: KISS2 rows have 4 fields, PLA rows 1-2.
+      std::string rest;
+      int fields = 1;
+      while (ls >> rest) ++fields;
+      return fields == 4 ? FileKind::kKiss : FileKind::kPla;
+    }
+  }
+  return FileKind::kUnknown;
+}
+
+struct Problem {
+  ConstraintSet set;
+  std::vector<std::string> names;
+};
+
+std::optional<Problem> load_problem(const std::string& path, std::ostream& err) {
+  auto text = read_file(path, err);
+  if (!text) return std::nullopt;
+  FileKind kind = sniff(*text);
+  Problem p;
+  if (kind == FileKind::kCon) {
+    ConstraintParseResult r = parse_constraints(*text);
+    if (!r.ok()) {
+      err << path << ": " << r.error << "\n";
+      return std::nullopt;
+    }
+    p.set = r.set;
+    p.names = r.symbol_names;
+  } else if (kind == FileKind::kKiss) {
+    KissParseResult r = parse_kiss(*text);
+    if (!r.ok()) {
+      err << path << ": " << r.error << "\n";
+      return std::nullopt;
+    }
+    p.set = derive_face_constraints(r.fsm).set;
+    p.names = r.fsm.state_names;
+  } else {
+    err << path << ": cannot determine file type (.con or .kiss2 expected)\n";
+    return std::nullopt;
+  }
+  return p;
+}
+
+std::optional<Encoding> run_algorithm(const std::string& algo,
+                                      const ConstraintSet& set, int bits,
+                                      uint64_t seed, std::ostream& err) {
+  if (algo == "picola") {
+    PicolaOptions o;
+    o.num_bits = bits;
+    return picola_encode(set, o).encoding;
+  }
+  if (algo == "picola-best") {
+    PicolaOptions o;
+    o.num_bits = bits;
+    return picola_encode_best(set, 8, o).encoding;
+  }
+  if (algo == "nova") {
+    NovaLikeOptions o;
+    o.num_bits = bits;
+    return nova_like_encode(set, o).encoding;
+  }
+  if (algo == "enc") {
+    EncLikeOptions o;
+    o.num_bits = bits;
+    return enc_like_encode(set, o).encoding;
+  }
+  if (algo == "anneal") {
+    AnnealingOptions o;
+    o.num_bits = bits;
+    o.seed = seed;
+    return annealing_encode(set, o).encoding;
+  }
+  if (algo == "sequential") return sequential_encoding(set.num_symbols, bits);
+  if (algo == "gray") return gray_encoding(set.num_symbols, bits);
+  if (algo == "random") return random_encoding(set.num_symbols, seed, bits);
+  if (algo == "exact") {
+    ExactOptions o;
+    o.num_bits = bits;
+    try {
+      return exact_encode(set, o).encoding;
+    } catch (const std::invalid_argument& e) {
+      err << e.what() << "\n";
+      return std::nullopt;
+    }
+  }
+  err << "unknown algorithm " << algo << " (picola picola-best nova enc "
+      << "anneal sequential gray random exact)\n";
+  return std::nullopt;
+}
+
+std::string codes_text(const Encoding& enc,
+                       const std::vector<std::string>& names) {
+  std::ostringstream os;
+  for (int s = 0; s < enc.num_symbols; ++s) {
+    if (!names.empty())
+      os << names[static_cast<size_t>(s)];
+    else
+      os << s;
+    os << ' ';
+    for (int b = enc.num_bits - 1; b >= 0; --b) os << enc.bit(s, b);
+    os << '\n';
+  }
+  return os.str();
+}
+
+int cmd_encode(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "encode needs one input file\n";
+    return 2;
+  }
+  auto problem = load_problem(a.positional[0], err);
+  if (!problem) return 1;
+  std::string algo = a.options.count("--algorithm")
+                         ? a.options.at("--algorithm")
+                         : "picola";
+  int bits = 0;
+  if (a.options.count("--bits")) {
+    auto v = parse_int(a.options.at("--bits"));
+    if (!v || *v < 0) { err << "bad --bits value\n"; return 2; }
+    bits = *v;
+  }
+  uint64_t seed = 1;
+  if (a.options.count("--seed")) {
+    auto v = parse_int(a.options.at("--seed"));
+    if (!v || *v < 0) { err << "bad --seed value\n"; return 2; }
+    seed = static_cast<uint64_t>(*v);
+  }
+
+  Stopwatch sw;
+  auto enc = run_algorithm(algo, problem->set, bits, seed, err);
+  if (!enc) return 1;
+  double ms = sw.elapsed_ms();
+
+  std::string codes = codes_text(*enc, problem->names);
+  if (a.options.count("--output")) {
+    if (!write_file(a.options.at("--output"), codes, err)) return 1;
+  }
+  if (!a.options.count("--quiet")) out << codes;
+
+  EncodingQuality q = encoding_quality(problem->set, *enc);
+  ConstraintEvalResult ev = evaluate_constraints(problem->set, *enc);
+  out << "# algorithm " << algo << ", " << enc->num_bits << " bits, "
+      << ms << " ms\n";
+  out << "# satisfied " << q.satisfied_constraints << "/" << problem->set.size()
+      << " constraints, " << q.satisfied_dichotomies << "/"
+      << q.total_dichotomies << " dichotomies, " << ev.total_cubes
+      << " implementation cubes\n";
+  return 0;
+}
+
+int cmd_assign(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "assign needs one KISS2 file\n";
+    return 2;
+  }
+  auto text = read_file(a.positional[0], err);
+  if (!text) return 1;
+  KissParseResult r = parse_kiss(*text);
+  if (!r.ok()) {
+    err << a.positional[0] << ": " << r.error << "\n";
+    return 1;
+  }
+  StateAssignOptions opt;
+  std::string algo = a.options.count("--algorithm")
+                         ? a.options.at("--algorithm")
+                         : "picola";
+  if (algo == "picola") opt.assigner = Assigner::kPicola;
+  else if (algo == "nova") opt.assigner = Assigner::kNovaILike;
+  else if (algo == "nova-io") opt.assigner = Assigner::kNovaIoLike;
+  else if (algo == "enc") opt.assigner = Assigner::kEncLike;
+  else if (algo == "sequential") opt.assigner = Assigner::kSequential;
+  else if (algo == "random") opt.assigner = Assigner::kRandom;
+  else {
+    err << "unknown assigner " << algo << "\n";
+    return 2;
+  }
+  if (a.options.count("--raw-table")) opt.use_symbolic_cover = false;
+  if (a.options.count("--minimize-states")) opt.minimize_states_first = true;
+
+  StateAssignResult res = assign_states(r.fsm, opt);
+  std::string verify = verify_against_fsm(res.machine, res.encoding,
+                                          res.minimized, res.encoded_dc, 500,
+                                          7);
+  if (res.states_merged > 0)
+    out << "# state minimisation merged " << res.states_merged
+        << " states\n";
+  out << "# " << assigner_name(opt.assigner) << ": " << res.product_terms
+      << " product terms, area " << res.area << ", self-check "
+      << (verify.empty() ? "PASS" : verify) << "\n";
+  out << "# codes:\n";
+  for (int s = 0; s < res.machine.num_states(); ++s) {
+    out << "#   " << res.machine.state_names[static_cast<size_t>(s)] << " = ";
+    for (int b = res.encoding.num_bits - 1; b >= 0; --b)
+      out << res.encoding.bit(s, b);
+    out << "\n";
+  }
+  std::string pla = write_pla(res.pla);
+  if (a.options.count("--output")) {
+    if (!write_file(a.options.at("--output"), pla, err)) return 1;
+  } else {
+    out << pla;
+  }
+  if (a.options.count("--blif")) {
+    std::string blif = write_blif(res.machine, res.encoding, res.minimized);
+    if (!write_file(a.options.at("--blif"), blif, err)) return 1;
+  }
+  return verify.empty() ? 0 : 1;
+}
+
+int cmd_minimize(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "minimize needs one PLA file\n";
+    return 2;
+  }
+  auto text = read_file(a.positional[0], err);
+  if (!text) return 1;
+  PlaParseResult r = parse_pla(*text);
+  if (!r.ok()) {
+    err << a.positional[0] << ": " << r.error << "\n";
+    return 1;
+  }
+  Cover onset = r.pla.onset();
+  Cover dc = r.pla.dcset();
+  Stopwatch sw;
+  Cover m;
+  if (a.options.count("--exact")) {
+    auto exact = esp::exact_minimize(onset, dc);
+    if (!exact) {
+      err << "problem too large for exact minimisation\n";
+      return 1;
+    }
+    m = *exact;
+  } else {
+    esp::EspressoOptions o;
+    if (a.options.count("--single-pass")) o.single_pass = true;
+    m = esp::minimize_cover(onset, dc, o);
+  }
+  double ms = sw.elapsed_ms();
+  Pla outpla = Pla::from_cover(m);
+  outpla.input_labels = r.pla.input_labels;
+  outpla.output_labels = r.pla.output_labels;
+  out << "# " << r.pla.rows.size() << " -> " << outpla.rows.size()
+      << " terms in " << ms << " ms\n";
+  std::string text_out = write_pla(outpla);
+  if (a.options.count("--output")) {
+    if (!write_file(a.options.at("--output"), text_out, err)) return 1;
+  } else {
+    out << text_out;
+  }
+  return 0;
+}
+
+int cmd_encode_input(const ParsedArgs& a, std::ostream& out,
+                     std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "encode-input needs one .mv PLA file\n";
+    return 2;
+  }
+  auto text = read_file(a.positional[0], err);
+  if (!text) return 1;
+  MvPlaParseResult r = parse_mv_pla(*text);
+  if (!r.ok()) {
+    err << a.positional[0] << ": " << r.error << "\n";
+    return 1;
+  }
+  int var = r.pla.num_binary;
+  if (a.options.count("--var")) {
+    auto v = parse_int(a.options.at("--var"));
+    if (!v) { err << "bad --var value\n"; return 2; }
+    var = *v;
+  }
+  if (var < r.pla.num_binary || var >= r.pla.num_vars()) {
+    err << "--var must name a multi-valued variable ("
+        << r.pla.num_binary << ".." << r.pla.num_vars() - 1 << ")\n";
+    return 2;
+  }
+  InputEncodingOptions opt;
+  std::string algo = a.options.count("--algorithm")
+                         ? a.options.at("--algorithm")
+                         : "picola";
+  if (algo == "picola") opt.encoder = InputEncoder::kPicola;
+  else if (algo == "nova") opt.encoder = InputEncoder::kNovaLike;
+  else if (algo == "enc") opt.encoder = InputEncoder::kEncLike;
+  else if (algo == "anneal") opt.encoder = InputEncoder::kAnnealing;
+  else if (algo == "sequential") opt.encoder = InputEncoder::kSequential;
+  else if (algo == "random") opt.encoder = InputEncoder::kRandom;
+  else {
+    err << "unknown encoder " << algo << "\n";
+    return 2;
+  }
+  if (a.options.count("--bits")) {
+    auto v = parse_int(a.options.at("--bits"));
+    if (!v || *v < 0) { err << "bad --bits value\n"; return 2; }
+    opt.num_bits = *v;
+  }
+  if (a.options.count("--seed")) {
+    auto v = parse_int(a.options.at("--seed"));
+    if (!v || *v < 0) { err << "bad --seed value\n"; return 2; }
+    opt.seed = static_cast<uint64_t>(*v);
+  }
+
+  InputEncodingResult res =
+      encode_symbolic_input(r.pla.onset(), r.pla.dcset(), var, opt);
+  out << "# variable " << var << " (" << res.encoding.num_symbols
+      << " values) encoded with " << res.encoding.num_bits << " bits\n";
+  out << "# " << res.constraints.size() << " face constraints, "
+      << res.minimized_symbolic.size() << " symbolic cubes -> "
+      << res.minimized.size() << " encoded cubes\n";
+  for (int v = 0; v < res.encoding.num_symbols; ++v) {
+    out << "# value " << v << " = ";
+    for (int b = res.encoding.num_bits - 1; b >= 0; --b)
+      out << res.encoding.bit(v, b);
+    out << "\n";
+  }
+  MvPla outpla;
+  if (mv_pla_from_covers(res.minimized, res.encoded_dc, &outpla)) {
+    std::string text_out = write_mv_pla(outpla);
+    if (a.options.count("--output")) {
+      if (!write_file(a.options.at("--output"), text_out, err)) return 1;
+    } else {
+      out << text_out;
+    }
+  } else {
+    out << res.minimized.to_string();
+  }
+  return 0;
+}
+
+int cmd_info(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "info needs one file\n";
+    return 2;
+  }
+  auto text = read_file(a.positional[0], err);
+  if (!text) return 1;
+  switch (sniff(*text)) {
+    case FileKind::kKiss: {
+      KissParseResult r = parse_kiss(*text);
+      if (!r.ok()) {
+        err << r.error << "\n";
+        return 1;
+      }
+      const Fsm& f = r.fsm;
+      out << "KISS2 FSM: " << f.num_inputs << " inputs, " << f.num_outputs
+          << " outputs, " << f.num_states() << " states, "
+          << f.transitions.size() << " rows\n";
+      out << "deterministic: " << (f.is_deterministic() ? "yes" : "no")
+          << ", complete: " << (f.is_complete() ? "yes" : "no") << "\n";
+      DerivedConstraints d = derive_face_constraints(f);
+      out << "face constraints: " << d.set.size() << " ("
+          << d.set.num_seed_dichotomies() << " seed dichotomies)\n";
+      return 0;
+    }
+    case FileKind::kPla: {
+      PlaParseResult r = parse_pla(*text);
+      if (!r.ok()) {
+        err << r.error << "\n";
+        return 1;
+      }
+      out << "PLA: " << r.pla.num_inputs << " inputs, " << r.pla.num_outputs
+          << " outputs, " << r.pla.rows.size() << " terms, area "
+          << r.pla.area() << "\n";
+      return 0;
+    }
+    case FileKind::kCon: {
+      ConstraintParseResult r = parse_constraints(*text);
+      if (!r.ok()) {
+        err << r.error << "\n";
+        return 1;
+      }
+      out << "encoding problem: " << r.set.num_symbols << " symbols, "
+          << r.set.size() << " constraints, " << r.set.num_seed_dichotomies()
+          << " seed dichotomies, minimum length "
+          << Encoding::min_bits(r.set.num_symbols) << " bits\n";
+      return 0;
+    }
+    default:
+      err << "cannot determine file type\n";
+      return 1;
+  }
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  auto parsed = parse_args(args, err);
+  if (!parsed) return 2;
+  if (parsed->command == "encode") return cmd_encode(*parsed, out, err);
+  if (parsed->command == "encode-input")
+    return cmd_encode_input(*parsed, out, err);
+  if (parsed->command == "assign") return cmd_assign(*parsed, out, err);
+  if (parsed->command == "minimize") return cmd_minimize(*parsed, out, err);
+  if (parsed->command == "info") return cmd_info(*parsed, out, err);
+  err << "unknown command " << parsed->command
+      << " (encode encode-input assign minimize info)\n";
+  return 2;
+}
+
+int main_entry(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args, std::cout, std::cerr);
+}
+
+}  // namespace picola::cli

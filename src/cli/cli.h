@@ -1,0 +1,34 @@
+#pragma once
+// Command-line driver, exposed as a library function so the tests can run
+// it in-process.  Subcommands:
+//
+//   picola encode  <file.con|file.kiss2> [--algorithm A] [--bits N]
+//                  [--seed S] [-o codes.txt] [--quiet]
+//       Solve the encoding problem; print codes and quality metrics.
+//       Algorithms: picola nova enc anneal sequential gray random exact.
+//
+//   picola assign  <file.kiss2> [--algorithm A] [-o out.pla] [--raw-table]
+//       Full state assignment; write the minimised PLA.
+//
+//   picola minimize <file.pla> [-o out.pla] [--exact] [--single-pass]
+//       Two-level minimisation of an espresso-format PLA.
+//
+//   picola info    <file.kiss2|file.pla|file.con>
+//       Print structural statistics.
+//
+// Every command returns 0 on success and prints diagnostics to `err`.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace picola::cli {
+
+/// Run a CLI invocation; `args` excludes the program name.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// Convenience used by main(): converts argv and uses std::cout/cerr.
+int main_entry(int argc, char** argv);
+
+}  // namespace picola::cli

@@ -1,0 +1,37 @@
+#pragma once
+// Text format for standalone input-encoding problems (".con"):
+//
+//   # comment
+//   .n 15                # anonymous symbols 0..14, or:
+//   .names idle run halt # named symbols (choose one of .n/.names)
+//   0 1 5                # one constraint per line (indices or names)
+//   idle run * 2.5       # optional "* <weight>" suffix
+//   .e
+//
+// Used by the CLI driver and the examples so encoding problems can be
+// shipped independently of an FSM.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "constraints/face_constraint.h"
+
+namespace picola {
+
+struct ConstraintParseResult {
+  ConstraintSet set;
+  std::vector<std::string> symbol_names;  ///< empty when .n was used
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+ConstraintParseResult parse_constraints(const std::string& text);
+ConstraintParseResult parse_constraints(std::istream& in);
+
+/// Serialise; uses names when `names` is non-empty (must match
+/// set.num_symbols).
+std::string write_constraints(const ConstraintSet& set,
+                              const std::vector<std::string>& names = {});
+
+}  // namespace picola

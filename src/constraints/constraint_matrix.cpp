@@ -1,0 +1,91 @@
+#include "constraints/constraint_matrix.h"
+
+#include <cassert>
+
+namespace picola {
+
+namespace {
+int clog2(int n) {
+  int d = 0;
+  while ((1 << d) < n) ++d;
+  return d;
+}
+}  // namespace
+
+ConstraintMatrix::ConstraintMatrix(const ConstraintSet& cs, int nv)
+    : num_symbols_(cs.num_symbols), nv_(nv) {
+  rows_.reserve(static_cast<size_t>(cs.size()));
+  for (const auto& c : cs.constraints) {
+    Row row;
+    row.constraint = c;
+    row.entries.assign(static_cast<size_t>(num_symbols_), 0);
+    for (int m : c.members) row.entries[static_cast<size_t>(m)] = kMember;
+    rows_.push_back(std::move(row));
+  }
+}
+
+int ConstraintMatrix::add_constraint(
+    const FaceConstraint& c,
+    const std::vector<std::vector<int>>& generated_columns) {
+  assert(static_cast<int>(generated_columns.size()) == columns_generated_);
+  Row row;
+  row.constraint = c;
+  row.entries.assign(static_cast<size_t>(num_symbols_), 0);
+  for (int m : c.members) row.entries[static_cast<size_t>(m)] = kMember;
+  for (int i = 0; i < columns_generated_; ++i)
+    apply_column(&row, generated_columns[static_cast<size_t>(i)], i);
+  rows_.push_back(std::move(row));
+  return num_constraints() - 1;
+}
+
+void ConstraintMatrix::apply_column(Row* row, const std::vector<int>& bits,
+                                    int col_index) {
+  const auto& members = row->constraint.members;
+  int v = bits[static_cast<size_t>(members[0])];
+  bool uniform = true;
+  for (int m : members) {
+    if (bits[static_cast<size_t>(m)] != v) {
+      uniform = false;
+      break;
+    }
+  }
+  if (!uniform) {
+    ++row->free;
+    return;
+  }
+  ++row->pinned;
+  for (int j = 0; j < num_symbols_; ++j) {
+    auto& e = row->entries[static_cast<size_t>(j)];
+    if (e == 0 && bits[static_cast<size_t>(j)] == 1 - v) e = col_index + 1;
+  }
+}
+
+void ConstraintMatrix::record_column(const std::vector<int>& bits) {
+  assert(static_cast<int>(bits.size()) == num_symbols_);
+  assert(columns_generated_ < nv_);
+  for (auto& row : rows_) apply_column(&row, bits, columns_generated_);
+  ++columns_generated_;
+}
+
+bool ConstraintMatrix::satisfied(int k) const {
+  const Row& row = rows_[static_cast<size_t>(k)];
+  for (int e : row.entries)
+    if (e == 0) return false;
+  return true;
+}
+
+int ConstraintMatrix::min_super_dim(int k) const {
+  const Row& row = rows_[static_cast<size_t>(k)];
+  int by_size = clog2(row.constraint.size());
+  return by_size > row.free ? by_size : row.free;
+}
+
+std::vector<int> ConstraintMatrix::potential_intruders(int k) const {
+  const Row& row = rows_[static_cast<size_t>(k)];
+  std::vector<int> out;
+  for (int j = 0; j < num_symbols_; ++j)
+    if (row.entries[static_cast<size_t>(j)] == 0) out.push_back(j);
+  return out;
+}
+
+}  // namespace picola

@@ -1,0 +1,119 @@
+#pragma once
+// The paper's constraint-matrix notation (§3.1).
+//
+// Entry (k, j) for a non-member symbol j of constraint L_k starts at 0 and
+// is overwritten with i+1 when generated code column i satisfies the seed
+// dichotomy (L_k : {j}): members uniform in the column, j opposite.  The
+// matrix therefore tracks, at any point of the column-by-column encoding:
+//   * which dichotomies are already satisfied and by which column,
+//   * the potential intruder set I_k (entries still 0),
+//   * dim[super(L_k)] bounds via the number of "participating" columns
+//     (columns in which the members are uniform, pinning one literal).
+
+#include <vector>
+
+#include "constraints/face_constraint.h"
+
+namespace picola {
+
+/// Mutable encoding-time state of a constraint set over nv code columns.
+class ConstraintMatrix {
+ public:
+  /// Entry value marking a member position.
+  static constexpr int kMember = -1;
+
+  ConstraintMatrix(const ConstraintSet& cs, int nv);
+
+  int num_symbols() const { return num_symbols_; }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  int nv() const { return nv_; }
+  int columns_generated() const { return columns_generated_; }
+  int columns_remaining() const { return nv_ - columns_generated_; }
+
+  const FaceConstraint& constraint(int k) const {
+    return rows_[static_cast<size_t>(k)].constraint;
+  }
+
+  /// kMember for members; 0 = dichotomy not yet satisfied; i+1 = satisfied
+  /// by column i.
+  int entry(int k, int j) const {
+    return rows_[static_cast<size_t>(k)].entries[static_cast<size_t>(j)];
+  }
+
+  /// Active constraints participate in the cost function; infeasible
+  /// originals are deactivated when their guide is added.
+  bool active(int k) const { return rows_[static_cast<size_t>(k)].active; }
+  void deactivate(int k) { rows_[static_cast<size_t>(k)].active = false; }
+
+  /// Constraints flagged by Classify() as unsatisfiable.  They may remain
+  /// active (their dichotomies still shrink the intruder set) but are not
+  /// re-classified.
+  bool infeasible(int k) const {
+    return rows_[static_cast<size_t>(k)].infeasible;
+  }
+  void mark_infeasible(int k) {
+    rows_[static_cast<size_t>(k)].infeasible = true;
+  }
+
+  /// Index of the guide row currently attached to constraint `k`, or -1.
+  int guide_of(int k) const { return rows_[static_cast<size_t>(k)].guide; }
+  void set_guide_of(int k, int guide_row) {
+    rows_[static_cast<size_t>(k)].guide = guide_row;
+  }
+
+  /// Scale the weight used by the cost function for constraint `k`.
+  void scale_weight(int k, double factor) {
+    rows_[static_cast<size_t>(k)].constraint.weight *= factor;
+  }
+
+  /// Append a constraint mid-encoding (guide constraints).  Its dichotomy
+  /// entries start unsatisfied; already-generated columns are replayed so
+  /// the bookkeeping (pinned/free columns, satisfied entries) is exact.
+  /// Returns the new constraint's index.
+  int add_constraint(const FaceConstraint& c,
+                     const std::vector<std::vector<int>>& generated_columns);
+
+  /// Record a freshly generated code column (bits[j] ∈ {0,1} per symbol).
+  void record_column(const std::vector<int>& bits);
+
+  /// All non-member entries satisfied?
+  bool satisfied(int k) const;
+
+  /// Columns generated so far in which the members are uniform
+  /// ("participating" columns: each pins a literal of super(L_k)).
+  int pinned_columns(int k) const {
+    return rows_[static_cast<size_t>(k)].pinned;
+  }
+  /// Columns generated so far in which the members differ (each contributes
+  /// a free dimension to super(L_k)).
+  int free_columns(int k) const { return rows_[static_cast<size_t>(k)].free; }
+
+  /// Paper §3.1: dim[super(L_k)] can still end anywhere in
+  /// [free_columns, nv - pinned_columns].
+  int max_super_dim(int k) const { return nv_ - pinned_columns(k); }
+  int min_super_dim(int k) const;
+
+  /// Non-member symbols whose dichotomy is still unsatisfied (the potential
+  /// intruder set I_k under the partial encoding).
+  std::vector<int> potential_intruders(int k) const;
+
+ private:
+  struct Row {
+    FaceConstraint constraint;
+    std::vector<int> entries;  ///< kMember / 0 / column+1
+    int pinned = 0;
+    int free = 0;
+    bool active = true;
+    bool infeasible = false;
+    int guide = -1;  ///< row index of the attached guide constraint
+  };
+
+  void apply_column(Row* row, const std::vector<int>& bits, int col_index);
+
+  int num_symbols_;
+  int nv_;
+  int columns_generated_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace picola

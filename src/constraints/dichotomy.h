@@ -1,0 +1,45 @@
+#pragma once
+// Seed dichotomies and satisfaction predicates (paper §2).
+//
+// A seed dichotomy of constraint L is (L : {j}) for one symbol j ∉ L; it is
+// satisfied when some encoding column gives every member of L one value and
+// j the other.  A face constraint is satisfied iff all of its seed
+// dichotomies are — equivalently, iff the supercube of its members' codes
+// contains no non-member code.
+
+#include <vector>
+
+#include "constraints/face_constraint.h"
+#include "encoders/encoding.h"
+
+namespace picola {
+
+/// One seed dichotomy: (constraint's members : {outsider}).
+struct SeedDichotomy {
+  int constraint = 0;  ///< index into a ConstraintSet
+  int outsider = 0;    ///< the single excluded symbol
+};
+
+/// All seed dichotomies of a constraint set, in (constraint, outsider)
+/// order.
+std::vector<SeedDichotomy> seed_dichotomies(const ConstraintSet& cs);
+
+/// True when some column separates all members (uniform value) from the
+/// outsider (opposite value).
+bool dichotomy_satisfied(const FaceConstraint& c, int outsider,
+                         const Encoding& enc);
+
+/// True when the supercube of member codes contains no non-member code.
+bool constraint_satisfied(const FaceConstraint& c, const Encoding& enc);
+
+/// The intruder set I of a constraint (paper §2): non-member symbols whose
+/// codes lie inside the supercube of the members' codes.
+std::vector<int> intruders(const FaceConstraint& c, const Encoding& enc);
+
+/// Number of satisfied constraints in the set.
+int count_satisfied_constraints(const ConstraintSet& cs, const Encoding& enc);
+
+/// Number of satisfied seed dichotomies over the whole set.
+long count_satisfied_dichotomies(const ConstraintSet& cs, const Encoding& enc);
+
+}  // namespace picola

@@ -1,0 +1,60 @@
+#include "constraints/face_constraint.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace picola {
+
+bool FaceConstraint::contains(int symbol) const {
+  return std::binary_search(members.begin(), members.end(), symbol);
+}
+
+std::vector<int> FaceConstraint::intersect(const FaceConstraint& other) const {
+  std::vector<int> out;
+  std::set_intersection(members.begin(), members.end(), other.members.begin(),
+                        other.members.end(), std::back_inserter(out));
+  return out;
+}
+
+std::string FaceConstraint::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i) os << ',';
+    os << members[i];
+  }
+  os << '}';
+  if (is_guide) os << "(guide of " << origin << ")";
+  return os.str();
+}
+
+void ConstraintSet::add(std::vector<int> members, double weight) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  if (static_cast<int>(members.size()) < 2) return;
+  if (static_cast<int>(members.size()) >= num_symbols) return;
+  for (auto& c : constraints) {
+    if (c.members == members) {
+      c.weight += weight;
+      return;
+    }
+  }
+  FaceConstraint c;
+  c.members = std::move(members);
+  c.weight = weight;
+  constraints.push_back(std::move(c));
+}
+
+long ConstraintSet::num_seed_dichotomies() const {
+  long n = 0;
+  for (const auto& c : constraints) n += num_symbols - c.size();
+  return n;
+}
+
+std::string ConstraintSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& c : constraints) os << c.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace picola

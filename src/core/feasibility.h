@@ -1,0 +1,36 @@
+#pragma once
+// Dynamic infeasibility detection (paper §3.3): the nv-compatibility test
+// between pairs of constraints and the Classify() routine that flags
+// constraints which can no longer be satisfied in B^nv given the columns
+// generated so far.
+
+#include <vector>
+
+#include "constraints/constraint_matrix.h"
+
+namespace picola {
+
+/// Smallest d with 2^d >= n.
+int ceil_log2(int n);
+
+/// nv-compatibility of two constraints (paper §3.3.1).
+///
+/// `dim_a`/`dim_b` are the minimum achievable dimensions of the
+/// constraints' supercubes under the current partial encoding
+/// (max(ceil_log2(size), free columns)); `son_size` is |A ∩ B|.  The
+/// routine applies Conditions I/II to adjust the father dimensions, then
+/// tests dim(super(A,B)) = dim(A) + dim(B) − dim(A∩B) ≤ nv; for a void son
+/// it applies the unused-code budget dc(A) + dc(B) ≤ dc(S).  Like the
+/// paper's, this is a conservative feasibility filter, not an exact
+/// decision procedure.
+bool nv_compatible(int size_a, int dim_a, int size_b, int dim_b, int son_size,
+                   int nv, int num_symbols);
+
+/// Classify(): indices of active, unsatisfied constraints that can no
+/// longer be satisfied, because
+///  (a) their minimum supercube dimension leaves more intruder slots than
+///      there are unused codes (static budget), or
+///  (b) they are not nv-compatible with an already-satisfied constraint.
+std::vector<int> classify_infeasible(const ConstraintMatrix& m);
+
+}  // namespace picola

@@ -1,0 +1,269 @@
+#include "core/picola.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <unordered_map>
+
+#include "core/feasibility.h"
+#include "eval/constraint_eval.h"
+
+namespace picola {
+namespace detail {
+
+namespace {
+
+/// Per-constraint bookkeeping while a column is under construction.
+struct ColState {
+  double weight = 0;   ///< dichotomy weight this column
+  int size = 0;        ///< |L|
+  int member_zeros = 0;
+  long unsat_at_zero = 0;  ///< unsatisfied non-member entries with bit 0
+  long unsat_at_one = 0;   ///< unsatisfied non-member entries with bit 1
+  bool active = false;
+
+  /// Weighted dichotomies this column will satisfy if the remaining bits
+  /// stay as they are: members uniform and opposite-valued unsatisfied
+  /// non-members.
+  double pending() const {
+    if (!active) return 0;
+    if (member_zeros == 0) return weight * static_cast<double>(unsat_at_zero);
+    if (member_zeros == size) return weight * static_cast<double>(unsat_at_one);
+    return 0;
+  }
+};
+
+}  // namespace
+
+std::vector<int> solve_column(const ConstraintMatrix& m,
+                              const std::vector<uint32_t>& prefixes,
+                              int column_index, const PicolaOptions& opt) {
+  const int n = m.num_symbols();
+  const int nv = m.nv();
+  const long cap = 1L << (nv - column_index - 1);
+
+  // Prefix groups.
+  std::unordered_map<uint32_t, int> group_of_prefix;
+  std::vector<int> group(static_cast<size_t>(n));
+  std::vector<long> group_size;
+  for (int j = 0; j < n; ++j) {
+    auto [it, fresh] = group_of_prefix.try_emplace(
+        prefixes[static_cast<size_t>(j)],
+        static_cast<int>(group_size.size()));
+    if (fresh) group_size.push_back(0);
+    group[static_cast<size_t>(j)] = it->second;
+    ++group_size[static_cast<size_t>(it->second)];
+  }
+  std::vector<long> zeros_in_group(group_size.size(), 0);
+
+  // Constraint state.
+  const int r = m.num_constraints();
+  std::vector<ColState> cs(static_cast<size_t>(r));
+  for (int k = 0; k < r; ++k) {
+    ColState& st = cs[static_cast<size_t>(k)];
+    st.active = m.active(k);
+    if (!st.active) continue;
+    const FaceConstraint& c = m.constraint(k);
+    st.size = c.size();
+    long unsat = 0;
+    for (int j = 0; j < n; ++j)
+      if (m.entry(k, j) == 0) ++unsat;
+    st.unsat_at_one = unsat;  // every bit starts at 1
+    if (unsat == 0) {
+      st.active = false;  // nothing left to gain from this constraint
+      continue;
+    }
+    if (opt.unweighted) {
+      st.weight = 1.0;
+    } else {
+      double satisfied_frac =
+          1.0 - static_cast<double>(unsat) / static_cast<double>(n - st.size);
+      st.weight = c.weight *
+                  (1.0 + opt.progress_weight * satisfied_frac) *
+                  (1.0 + opt.size_weight / static_cast<double>(st.size));
+    }
+  }
+
+  std::vector<int> bits(static_cast<size_t>(n), 1);
+
+  // Gain of flipping symbol `s` to 0 given the current column state.
+  auto gain_of = [&](int s) {
+    double gain = 0;
+    for (int k = 0; k < r; ++k) {
+      ColState& st = cs[static_cast<size_t>(k)];
+      if (!st.active) continue;
+      int e = m.entry(k, s);
+      if (e == ConstraintMatrix::kMember) {
+        double before = st.pending();
+        ++st.member_zeros;
+        double after = st.pending();
+        --st.member_zeros;
+        gain += after - before;
+      } else if (e == 0) {
+        if (st.member_zeros == 0)
+          gain += st.weight;  // members (still) uniform at 1, s drops to 0
+        else if (st.member_zeros == st.size)
+          gain -= st.weight;  // members at 0: s at 1 was a pending dichotomy
+      }
+    }
+    return gain;
+  };
+
+  auto flip = [&](int s) {
+    bits[static_cast<size_t>(s)] = 0;
+    ++zeros_in_group[static_cast<size_t>(group[static_cast<size_t>(s)])];
+    for (int k = 0; k < r; ++k) {
+      ColState& st = cs[static_cast<size_t>(k)];
+      if (!st.active) continue;
+      int e = m.entry(k, s);
+      if (e == ConstraintMatrix::kMember) {
+        ++st.member_zeros;
+      } else if (e == 0) {
+        --st.unsat_at_one;
+        ++st.unsat_at_zero;
+      }
+    }
+  };
+
+  // Optional random tie-breaking for multi-start runs.
+  std::mt19937_64 rng(opt.tie_break_seed * 0x9E3779B97F4A7C15ULL +
+                      static_cast<uint64_t>(column_index));
+  const bool randomize = opt.tie_break_seed != 0;
+  constexpr double kTieEps = 1e-9;
+
+  while (true) {
+    // Validity: every (prefix, bit=1) group must fit under the remaining
+    // columns' capacity; (prefix, bit=0) groups are kept legal by
+    // construction.
+    bool valid = true;
+    for (size_t g = 0; g < group_size.size(); ++g) {
+      if (group_size[g] - zeros_in_group[g] > cap) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid && !opt.greedy_continue) break;
+
+    int best = -1;
+    double best_gain = 0;
+    int ties = 0;
+    for (int s = 0; s < n; ++s) {
+      if (bits[static_cast<size_t>(s)] == 0) continue;
+      size_t g = static_cast<size_t>(group[static_cast<size_t>(s)]);
+      if (zeros_in_group[g] + 1 > cap) continue;  // would overfill the 0 side
+      if (!valid && group_size[g] - zeros_in_group[g] <= cap)
+        continue;  // must make progress on an oversized group first
+      double gain = gain_of(s);
+      if (best < 0 || gain > best_gain + (randomize ? kTieEps : 0.0)) {
+        best = s;
+        best_gain = gain;
+        ties = 1;
+      } else if (randomize && gain > best_gain - kTieEps) {
+        // Reservoir-sample among the tied candidates.
+        ++ties;
+        if (rng() % static_cast<uint64_t>(ties) == 0) best = s;
+      }
+    }
+    if (best < 0) {
+      assert(valid && "an oversized group always has a legal flip");
+      break;
+    }
+    if (valid && best_gain <= 0) break;
+    flip(best);
+  }
+  return bits;
+}
+
+}  // namespace detail
+
+PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
+  const int n = cs.num_symbols;
+  assert(n >= 2);
+  const int nv = opt.num_bits > 0 ? opt.num_bits : Encoding::min_bits(n);
+  assert((1L << nv) >= n && "code length too small");
+
+  ConstraintMatrix m(cs, nv);
+  PicolaResult result;
+  std::vector<std::vector<int>> columns;
+  std::vector<uint32_t> prefixes(static_cast<size_t>(n), 0);
+
+  for (int col = 0; col < nv; ++col) {
+    // Update_constraints(): classify, then attach/refresh guides.
+    std::vector<int> infeasible;
+    if (opt.use_classify) {
+      infeasible = classify_infeasible(m);
+    } else {
+      // Static budget check only.
+      for (int k = 0; k < m.num_constraints(); ++k) {
+        if (!m.active(k) || m.infeasible(k) || m.satisfied(k)) continue;
+        if (m.constraint(k).is_guide) continue;
+        long dim = m.min_super_dim(k);
+        if ((1L << dim) - m.constraint(k).size() > (1L << nv) - n)
+          infeasible.push_back(k);
+      }
+    }
+    result.stats.infeasible_per_column.push_back(
+        static_cast<int>(infeasible.size()));
+    for (int k : infeasible) {
+      // The original stays in the cost function with reduced weight: its
+      // remaining dichotomies still shrink the intruder set, which is what
+      // makes the (dynamic) guide constraint meaningful.
+      m.mark_infeasible(k);
+      m.scale_weight(k, opt.infeasible_weight_factor);
+      ++result.stats.constraints_deactivated;
+    }
+    if (opt.use_guides) {
+      // Refresh the guide of every infeasible original whose potential
+      // intruder set shrank since the last column.
+      const int original_rows = m.num_constraints();
+      for (int k = 0; k < original_rows; ++k) {
+        if (!m.infeasible(k) || m.constraint(k).is_guide) continue;
+        auto g = make_guide(m, k, opt.guide);
+        if (!g) continue;
+        int old = m.guide_of(k);
+        if (old >= 0 && m.constraint(old).members == g->members) continue;
+        if (old >= 0) m.deactivate(old);
+        int idx = m.add_constraint(*g, columns);
+        m.set_guide_of(k, idx);
+        if (old < 0) ++result.stats.guides_added;
+      }
+    }
+
+    // Solve(): one column.
+    std::vector<int> bits = detail::solve_column(m, prefixes, col, opt);
+    m.record_column(bits);
+    for (int j = 0; j < n; ++j)
+      prefixes[static_cast<size_t>(j)] |=
+          static_cast<uint32_t>(bits[static_cast<size_t>(j)]) << col;
+    columns.push_back(std::move(bits));
+  }
+
+  result.encoding.num_symbols = n;
+  result.encoding.num_bits = nv;
+  result.encoding.codes = prefixes;
+  assert(result.encoding.validate().empty());
+
+  for (int k = 0; k < static_cast<int>(cs.constraints.size()); ++k)
+    if (m.satisfied(k)) ++result.stats.satisfied_constraints;
+  return result;
+}
+
+PicolaResult picola_encode_best(const ConstraintSet& cs, int restarts,
+                                const PicolaOptions& opt) {
+  PicolaResult best = picola_encode(cs, opt);
+  if (restarts <= 1) return best;
+  int best_cost = evaluate_constraints(cs, best.encoding).total_cubes;
+  for (int r = 1; r < restarts; ++r) {
+    PicolaOptions o = opt;
+    o.tie_break_seed = static_cast<uint64_t>(r);
+    PicolaResult cand = picola_encode(cs, o);
+    int cost = evaluate_constraints(cs, cand.encoding).total_cubes;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+}  // namespace picola

@@ -1,0 +1,91 @@
+#pragma once
+// PICOLA — Partial Input COLumn based Algorithm (the paper's contribution).
+//
+// Generates a minimum-length encoding column by column.  Before each
+// column, Update_constraints() runs Classify() to detect constraints that
+// can no longer be satisfied and substitutes them by their
+// guide-constraints; Solve() then builds the column greedily, flipping the
+// bit that maximises a weighted sum of newly satisfied seed dichotomies
+// while keeping the partial encoding valid (every group of symbols sharing
+// a code prefix still fits in the codes the remaining columns can provide).
+
+#include <vector>
+
+#include "constraints/constraint_matrix.h"
+#include "core/guide.h"
+#include "encoders/encoding.h"
+
+namespace picola {
+
+/// Tunable knobs; the defaults reproduce the paper's algorithm, the flags
+/// exist for the ablation benches (DESIGN.md §7).
+struct PicolaOptions {
+  /// Substitute infeasible constraints by guide constraints (§3.2).
+  bool use_guides = true;
+  /// Run the pairwise nv-compatibility Classify() (§3.3); when off, only
+  /// the static unused-code budget check is applied.
+  bool use_classify = true;
+  /// Keep flipping bits while the gain is positive after the column first
+  /// becomes valid; when off, stop at the first valid column (the paper's
+  /// literal Solve() description).
+  bool greedy_continue = true;
+  /// Weight the dichotomies of nearly-satisfied constraints higher:
+  /// w *= 1 + progress_weight * satisfied_fraction.
+  double progress_weight = 1.0;
+  /// Weight small constraints higher (they are cheaper to finish):
+  /// w *= 1 + size_weight / |L|.
+  double size_weight = 1.0;
+  /// Use plain unweighted dichotomy counts (ablation: the ENC objective).
+  bool unweighted = false;
+  /// Weight multiplier applied to a constraint once it is classified
+  /// infeasible (it stays in the cost function so its remaining
+  /// dichotomies keep shrinking the intruder set).
+  double infeasible_weight_factor = 0.5;
+  /// Code length; 0 selects the minimum ceil(log2 n).
+  int num_bits = 0;
+  /// Guide-constraint construction policy.
+  GuideOptions guide;
+  /// Random tie-breaking seed for multi-start runs; 0 keeps the
+  /// deterministic lowest-index rule.
+  uint64_t tie_break_seed = 0;
+};
+
+/// Diagnostics of one run.
+struct PicolaStats {
+  int guides_added = 0;
+  int constraints_deactivated = 0;
+  /// Infeasible constraints detected before each column.
+  std::vector<int> infeasible_per_column;
+  /// Satisfied original constraints at the end.
+  int satisfied_constraints = 0;
+};
+
+/// Result of a run.
+struct PicolaResult {
+  Encoding encoding;
+  PicolaStats stats;
+};
+
+/// Encode `cs.num_symbols` symbols (>= 2) with minimum code length,
+/// maximising cheap implementation of the face constraints.
+PicolaResult picola_encode(const ConstraintSet& cs,
+                           const PicolaOptions& opt = {});
+
+/// Quality mode: run PICOLA `restarts` times (the first with deterministic
+/// tie-breaking, the rest with seeded random tie-breaking) and return the
+/// run with the smallest espresso-evaluated total cube count.
+PicolaResult picola_encode_best(const ConstraintSet& cs, int restarts,
+                                const PicolaOptions& opt = {});
+
+namespace detail {
+
+/// One Solve() column (exposed for unit tests): returns the bit of every
+/// symbol in the next column given the matrix state and the prefixes
+/// (codes built from the already generated columns).
+std::vector<int> solve_column(const ConstraintMatrix& m,
+                              const std::vector<uint32_t>& prefixes,
+                              int column_index, const PicolaOptions& opt);
+
+}  // namespace detail
+
+}  // namespace picola

@@ -1,0 +1,56 @@
+#include "core/theorem1.h"
+
+#include "constraints/dichotomy.h"
+
+namespace picola {
+
+namespace {
+
+/// Supercube of the intruders if it avoids every member code.
+std::optional<CodeCube> intruder_cube(const FaceConstraint& l,
+                                      const Encoding& enc,
+                                      std::vector<int>* intr_out) {
+  std::vector<int> intr = intruders(l, enc);
+  if (intr_out) *intr_out = intr;
+  if (intr.empty()) return CodeCube{};  // unused; callers special-case
+  CodeCube super_i = enc.supercube(intr);
+  for (int s : l.members)
+    if (super_i.contains(enc.code(s))) return std::nullopt;
+  return super_i;
+}
+
+}  // namespace
+
+std::optional<std::vector<CodeCube>> theorem1_cover(const FaceConstraint& l,
+                                                    const Encoding& enc) {
+  CodeCube super_l = enc.supercube(l.members);
+  std::vector<int> intr;
+  auto super_i = intruder_cube(l, enc, &intr);
+  if (!super_i) return std::nullopt;
+  if (intr.empty()) return std::vector<CodeCube>{super_l};
+
+  // M: bit positions fixed in super(I) but free in super(L).
+  uint32_t m_bits = super_i->care & ~super_l.care;
+  std::vector<CodeCube> cover;
+  for (int b = 0; b < enc.num_bits; ++b) {
+    uint32_t bit = uint32_t{1} << b;
+    if (!(m_bits & bit)) continue;
+    CodeCube c;
+    c.care = (super_i->care & ~m_bits) | bit;
+    c.value = (super_i->value ^ bit) & c.care;
+    cover.push_back(c);
+  }
+  return cover;
+}
+
+std::optional<int> theorem1_cube_count(const FaceConstraint& l,
+                                       const Encoding& enc) {
+  std::vector<int> intr;
+  auto super_i = intruder_cube(l, enc, &intr);
+  if (!super_i) return std::nullopt;
+  if (intr.empty()) return 1;
+  CodeCube super_l = enc.supercube(l.members);
+  return super_l.dim(enc.num_bits) - super_i->dim(enc.num_bits);
+}
+
+}  // namespace picola

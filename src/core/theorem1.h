@@ -1,0 +1,28 @@
+#pragma once
+// Theorem I (paper §3.2): if the intruders of constraint L form a cube that
+// does not intersect L's codes, then L is implementable with exactly
+// dim[super(L)] - dim[super(I)] cubes, built constructively: for every
+// literal m of super(I) absent from super(L), take super(I) with m
+// complemented and the other such literals freed.
+
+#include <optional>
+#include <vector>
+
+#include "constraints/face_constraint.h"
+#include "encoders/encoding.h"
+
+namespace picola {
+
+/// The constructive cover of Theorem I under a complete encoding.
+/// Returns nullopt when the precondition fails (some member code lies in
+/// the supercube of the intruders).  When the constraint is satisfied
+/// (no intruders) the cover is the single cube super(L).
+std::optional<std::vector<CodeCube>> theorem1_cover(const FaceConstraint& l,
+                                                    const Encoding& enc);
+
+/// Theorem I's cube count, dim[super(L)] - dim[super(I)], or 1 when the
+/// constraint is satisfied; nullopt when the precondition fails.
+std::optional<int> theorem1_cube_count(const FaceConstraint& l,
+                                       const Encoding& enc);
+
+}  // namespace picola

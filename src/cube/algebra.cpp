@@ -1,0 +1,117 @@
+#include "cube/algebra.h"
+
+namespace picola {
+
+Cover sharp(const Cube& a, const Cube& b, const CubeSpace& s) {
+  Cover out(s);
+  if (a.distance(b, s) != 0) {  // disjoint: nothing removed
+    out.add(a);
+    return out;
+  }
+  if (b.contains(a)) return out;  // fully removed
+  // One cube per variable where b restricts a: a with that literal
+  // reduced to (a_v & ~b_v).
+  for (int v = 0; v < s.num_vars(); ++v) {
+    Cube c = a;
+    bool nonempty = false;
+    for (int p = 0; p < s.parts(v); ++p) {
+      bool keep = a.test(s, v, p) && !b.test(s, v, p);
+      c.set(s, v, p, keep);
+      nonempty |= keep;
+    }
+    if (nonempty) out.add(std::move(c));
+  }
+  out.remove_contained();
+  return out;
+}
+
+Cover disjoint_sharp(const Cube& a, const Cube& b, const CubeSpace& s) {
+  Cover out(s);
+  if (a.distance(b, s) != 0) {
+    out.add(a);
+    return out;
+  }
+  if (b.contains(a)) return out;
+  // Peel one variable at a time: the piece outside b in variable v, with
+  // the earlier variables already clamped to b (making pieces disjoint).
+  Cube rest = a;
+  for (int v = 0; v < s.num_vars(); ++v) {
+    Cube piece = rest;
+    bool nonempty = false;
+    for (int p = 0; p < s.parts(v); ++p) {
+      bool keep = rest.test(s, v, p) && !b.test(s, v, p);
+      piece.set(s, v, p, keep);
+      nonempty |= keep;
+    }
+    if (nonempty) out.add(std::move(piece));
+    // Clamp variable v to b for the remaining pieces.
+    for (int p = 0; p < s.parts(v); ++p)
+      rest.set(s, v, p, rest.test(s, v, p) && b.test(s, v, p));
+    if (rest.is_empty(s)) break;
+  }
+  return out;
+}
+
+std::optional<Cube> consensus(const Cube& a, const Cube& b,
+                              const CubeSpace& s) {
+  int d = a.distance(b, s);
+  if (d > 1) return std::nullopt;
+  Cube x = a.intersect(b);
+  if (d == 0) return std::nullopt;  // overlapping cubes: no consensus var
+  // The single conflicting variable gets the union literal.
+  Cube c = x;
+  for (int v = 0; v < s.num_vars(); ++v) {
+    if (!x.var_empty(s, v)) continue;
+    for (int p = 0; p < s.parts(v); ++p)
+      c.set(s, v, p, a.test(s, v, p) || b.test(s, v, p));
+  }
+  if (c.is_empty(s)) return std::nullopt;
+  return c;
+}
+
+Cover cover_intersect(const Cover& f, const Cover& g) {
+  const CubeSpace& s = f.space();
+  Cover out(s);
+  for (const Cube& a : f.cubes()) {
+    for (const Cube& b : g.cubes()) {
+      Cube x = a.intersect(b);
+      if (!x.is_empty(s)) out.add(std::move(x));
+    }
+  }
+  out.remove_contained();
+  return out;
+}
+
+Cover cover_sharp(const Cover& f, const Cover& g) {
+  const CubeSpace& s = f.space();
+  Cover remaining = f;
+  for (const Cube& b : g.cubes()) {
+    Cover next(s);
+    for (const Cube& a : remaining.cubes()) next.append(sharp(a, b, s));
+    next.remove_contained();
+    remaining = std::move(next);
+    if (remaining.empty()) break;
+  }
+  return remaining;
+}
+
+Cover make_disjoint(const Cover& f) {
+  const CubeSpace& s = f.space();
+  Cover out(s);
+  for (const Cube& c : f.cubes()) {
+    // c minus everything already emitted, in disjoint pieces.
+    Cover pieces(s);
+    pieces.add(c);
+    for (const Cube& prev : out.cubes()) {
+      Cover next(s);
+      for (const Cube& piece : pieces.cubes())
+        next.append(disjoint_sharp(piece, prev, s));
+      pieces = std::move(next);
+      if (pieces.empty()) break;
+    }
+    out.append(pieces);
+  }
+  return out;
+}
+
+}  // namespace picola

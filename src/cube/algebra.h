@@ -1,0 +1,37 @@
+#pragma once
+// Classical cube-algebra operations beyond the basics on Cube/Cover:
+// sharp, disjoint sharp, consensus, and cover-level intersection/sharp.
+// These are the textbook primitives (Dietmeyer / ESPRESSO-II, ch. 3); the
+// minimiser uses faster special-cased routines internally, but the library
+// exposes the full algebra for clients and for cross-checking.
+
+#include <optional>
+
+#include "cube/cover.h"
+
+namespace picola {
+
+/// a # b: cover of the points of `a` not in `b`.  Empty when b contains a.
+Cover sharp(const Cube& a, const Cube& b, const CubeSpace& s);
+
+/// Disjoint sharp: like sharp() but the result cubes are pairwise
+/// disjoint (the classic recursive peeling).
+Cover disjoint_sharp(const Cube& a, const Cube& b, const CubeSpace& s);
+
+/// Consensus of two cubes: their largest "bridging" implicant, defined
+/// when the cubes conflict in exactly one variable (the classical
+/// distance-1 consensus); nullopt otherwise.
+std::optional<Cube> consensus(const Cube& a, const Cube& b,
+                              const CubeSpace& s);
+
+/// Pairwise intersection of two covers (empty cubes dropped).
+Cover cover_intersect(const Cover& f, const Cover& g);
+
+/// F # G: points of `f` not covered by `g`.
+Cover cover_sharp(const Cover& f, const Cover& g);
+
+/// Disjoint-cube representation of a cover (pairwise-disjoint cubes with
+/// the same minterm set).
+Cover make_disjoint(const Cover& f);
+
+}  // namespace picola

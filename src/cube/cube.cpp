@@ -1,0 +1,159 @@
+#include "cube/cube.h"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace picola {
+
+namespace {
+// Iterate over the words overlapped by variable `var`, calling
+// fn(word_index, mask_of_var_bits_in_that_word).
+template <typename Fn>
+void for_var_words(const CubeSpace& s, int var, Fn&& fn) {
+  int lo = s.offset(var);
+  int hi = lo + s.parts(var);  // exclusive
+  for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+    int wlo = w << 6;
+    int from = std::max(lo, wlo) - wlo;
+    int to = std::min(hi, wlo + 64) - wlo;  // exclusive, 1..64
+    uint64_t mask = (to == 64) ? ~uint64_t{0} : ((uint64_t{1} << to) - 1);
+    mask &= ~((uint64_t{1} << from) - 1);
+    fn(w, mask);
+  }
+}
+}  // namespace
+
+Cube Cube::zeros(const CubeSpace& s) { return Cube(s.num_words()); }
+
+Cube Cube::full(const CubeSpace& s) {
+  Cube c(s.num_words());
+  int n = s.total_parts();
+  for (int w = 0; w < c.num_words(); ++w) {
+    int bits = std::min(64, n - (w << 6));
+    c.words_[static_cast<size_t>(w)] =
+        bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  }
+  return c;
+}
+
+Cube Cube::minterm(const CubeSpace& s, const std::vector<int>& values) {
+  assert(static_cast<int>(values.size()) == s.num_vars());
+  Cube c(s.num_words());
+  for (int v = 0; v < s.num_vars(); ++v) {
+    assert(values[v] >= 0 && values[v] < s.parts(v));
+    c.set(s, v, values[v]);
+  }
+  return c;
+}
+
+void Cube::set_var_full(const CubeSpace& s, int var) {
+  for_var_words(s, var,
+                [&](int w, uint64_t m) { words_[static_cast<size_t>(w)] |= m; });
+}
+
+void Cube::clear_var(const CubeSpace& s, int var) {
+  for_var_words(s, var,
+                [&](int w, uint64_t m) { words_[static_cast<size_t>(w)] &= ~m; });
+}
+
+int Cube::var_popcount(const CubeSpace& s, int var) const {
+  int n = 0;
+  for_var_words(s, var, [&](int w, uint64_t m) {
+    n += std::popcount(words_[static_cast<size_t>(w)] & m);
+  });
+  return n;
+}
+
+int Cube::binary_value(const CubeSpace& s, int var) const {
+  assert(s.is_binary(var));
+  bool p0 = test(s, var, 0);
+  bool p1 = test(s, var, 1);
+  if (p0 && p1) return 2;
+  if (p1) return 1;
+  if (p0) return 0;
+  return 3;
+}
+
+void Cube::set_binary(const CubeSpace& s, int var, int value) {
+  assert(s.is_binary(var));
+  set(s, var, 0, value == 0 || value == 2);
+  set(s, var, 1, value == 1 || value == 2);
+}
+
+bool Cube::contains(const Cube& other) const {
+  for (size_t w = 0; w < words_.size(); ++w)
+    if (other.words_[w] & ~words_[w]) return false;
+  return true;
+}
+
+bool Cube::is_empty(const CubeSpace& s) const {
+  for (int v = 0; v < s.num_vars(); ++v)
+    if (var_empty(s, v)) return true;
+  return false;
+}
+
+int Cube::distance(const Cube& other, const CubeSpace& s) const {
+  Cube x = intersect(other);
+  int d = 0;
+  for (int v = 0; v < s.num_vars(); ++v)
+    if (x.var_empty(s, v)) ++d;
+  return d;
+}
+
+Cube Cube::intersect(const Cube& other) const {
+  Cube r = *this;
+  for (size_t w = 0; w < words_.size(); ++w) r.words_[w] &= other.words_[w];
+  return r;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+  Cube r = *this;
+  for (size_t w = 0; w < words_.size(); ++w) r.words_[w] |= other.words_[w];
+  return r;
+}
+
+std::optional<Cube> Cube::cofactor(const Cube& c, const CubeSpace& s) const {
+  if (distance(c, s) != 0) return std::nullopt;
+  Cube full = Cube::full(s);
+  Cube r = *this;
+  for (size_t w = 0; w < words_.size(); ++w)
+    r.words_[w] |= full.words_[w] & ~c.words_[w];
+  return r;
+}
+
+uint64_t Cube::num_minterms(const CubeSpace& s) const {
+  constexpr uint64_t kCap = uint64_t{1} << 62;
+  uint64_t n = 1;
+  for (int v = 0; v < s.num_vars(); ++v) {
+    uint64_t p = static_cast<uint64_t>(var_popcount(s, v));
+    if (p == 0) return 0;
+    if (n > kCap / p) return kCap;
+    n *= p;
+  }
+  return n;
+}
+
+bool Cube::covers_minterm(const CubeSpace& s,
+                          const std::vector<int>& values) const {
+  assert(static_cast<int>(values.size()) == s.num_vars());
+  for (int v = 0; v < s.num_vars(); ++v)
+    if (!test(s, v, values[v])) return false;
+  return true;
+}
+
+std::string Cube::to_string(const CubeSpace& s) const {
+  std::ostringstream os;
+  for (int v = 0; v < s.num_vars(); ++v) {
+    if (v) os << ' ';
+    if (s.is_binary(v)) {
+      static const char* sym[] = {"0", "1", "-", "~"};
+      os << sym[binary_value(s, v)];
+    } else {
+      for (int p = 0; p < s.parts(v); ++p) os << (test(s, v, p) ? '1' : '0');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace picola

@@ -1,0 +1,69 @@
+#include "cube/space.h"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace picola {
+
+CubeSpace::CubeSpace(std::vector<int> parts) : parts_(std::move(parts)) {
+  offsets_.reserve(parts_.size());
+  int off = 0;
+  for (int p : parts_) {
+    assert(p >= 1 && "every variable needs at least one part");
+    offsets_.push_back(off);
+    off += p;
+  }
+  total_parts_ = off;
+}
+
+CubeSpace CubeSpace::binary(int nvars) {
+  return CubeSpace(std::vector<int>(static_cast<size_t>(nvars), 2));
+}
+
+CubeSpace CubeSpace::multi_valued(std::vector<int> part_counts) {
+  return CubeSpace(std::move(part_counts));
+}
+
+CubeSpace CubeSpace::fsm_layout(int n_binary, int mv_parts, int out_parts) {
+  std::vector<int> parts(static_cast<size_t>(n_binary), 2);
+  int mv_var = -1;
+  int out_var = -1;
+  if (mv_parts > 0) {
+    mv_var = static_cast<int>(parts.size());
+    parts.push_back(mv_parts);
+  }
+  if (out_parts > 0) {
+    out_var = static_cast<int>(parts.size());
+    parts.push_back(out_parts);
+  }
+  CubeSpace s(std::move(parts));
+  s.mv_var_ = mv_var;
+  s.output_var_ = out_var;
+  return s;
+}
+
+uint64_t CubeSpace::num_minterms() const {
+  constexpr uint64_t kCap = uint64_t{1} << 62;
+  uint64_t n = 1;
+  for (int p : parts_) {
+    if (n > kCap / static_cast<uint64_t>(p)) return kCap;
+    n *= static_cast<uint64_t>(p);
+  }
+  return n;
+}
+
+std::string CubeSpace::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (int v = 0; v < num_vars(); ++v) {
+    if (v) os << ',';
+    if (v == mv_var_) os << "mv:";
+    if (v == output_var_) os << "out:";
+    os << parts_[v];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace picola

@@ -1,0 +1,77 @@
+#pragma once
+// Multi-valued cube space description.
+//
+// A CubeSpace describes the variables of a positional-notation cube:
+// every variable has a number of "parts" (values).  A binary variable has
+// two parts (part 0 = literal value 0, part 1 = literal value 1).  A
+// symbolic variable over n symbols has n parts (one-hot positional
+// notation).  A multi-output function is modelled, as in ESPRESSO-II, by a
+// final multi-valued "output variable" with one part per output.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace picola {
+
+/// Immutable description of the variables (and their part counts) over
+/// which cubes and covers are defined.
+class CubeSpace {
+ public:
+  CubeSpace() = default;
+
+  /// Space of `nvars` binary variables (two parts each).
+  static CubeSpace binary(int nvars);
+
+  /// General multi-valued space; `part_counts[v]` is the number of parts of
+  /// variable `v`.  Every count must be >= 1.
+  static CubeSpace multi_valued(std::vector<int> part_counts);
+
+  /// Convenience: `n_binary` binary input variables, optionally followed by
+  /// one multi-valued input variable with `mv_parts` parts (skipped when
+  /// `mv_parts == 0`), optionally followed by an output variable with
+  /// `out_parts` parts (skipped when `out_parts == 0`).  This is the layout
+  /// used by symbolic FSM covers.  The index of the MV/output variable can
+  /// be recovered with mv_var()/output_var().
+  static CubeSpace fsm_layout(int n_binary, int mv_parts, int out_parts);
+
+  int num_vars() const { return static_cast<int>(parts_.size()); }
+  int parts(int var) const { return parts_[var]; }
+  int offset(int var) const { return offsets_[var]; }
+  int total_parts() const { return total_parts_; }
+  /// Number of 64-bit words needed to store one cube.
+  int num_words() const { return (total_parts_ + 63) / 64; }
+
+  /// True when variable `var` has exactly two parts.
+  bool is_binary(int var) const { return parts_[var] == 2; }
+
+  /// Index of the multi-valued symbolic variable in an fsm_layout() space,
+  /// or -1 when the space was not built with one.
+  int mv_var() const { return mv_var_; }
+  /// Index of the output variable in an fsm_layout() space, or -1.
+  int output_var() const { return output_var_; }
+
+  bool operator==(const CubeSpace& o) const {
+    return parts_ == o.parts_ && mv_var_ == o.mv_var_ &&
+           output_var_ == o.output_var_;
+  }
+  bool operator!=(const CubeSpace& o) const { return !(*this == o); }
+
+  /// Total number of minterms in the space (product of part counts).
+  /// Saturates at ~2^62 to avoid overflow on very large spaces.
+  uint64_t num_minterms() const;
+
+  /// Human-readable summary, e.g. "[2,2,2 | mv:5 | out:3]".
+  std::string to_string() const;
+
+ private:
+  explicit CubeSpace(std::vector<int> parts);
+
+  std::vector<int> parts_;
+  std::vector<int> offsets_;
+  int total_parts_ = 0;
+  int mv_var_ = -1;
+  int output_var_ = -1;
+};
+
+}  // namespace picola

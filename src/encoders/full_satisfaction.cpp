@@ -1,0 +1,40 @@
+#include "encoders/full_satisfaction.h"
+
+#include "constraints/dichotomy.h"
+#include "core/picola.h"
+#include "encoders/nova_like.h"
+
+namespace picola {
+
+FullSatisfactionResult satisfy_all_constraints(
+    const ConstraintSet& cs, const FullSatisfactionOptions& opt) {
+  FullSatisfactionResult result;
+  auto try_encoding = [&](Encoding e, int bits) {
+    if (count_satisfied_constraints(cs, e) != cs.size()) return false;
+    result.encoding = std::move(e);
+    result.bits_needed = bits;
+    result.success = true;
+    return true;
+  };
+  for (int bits = Encoding::min_bits(cs.num_symbols); bits <= opt.max_bits;
+       ++bits) {
+    // The column heuristic handles chained/overlapping constraints that a
+    // one-shot face embedder cannot place; try it first, then the embedder
+    // under its different orders.
+    {
+      PicolaOptions po;
+      po.num_bits = bits;
+      if (try_encoding(picola_encode(cs, po).encoding, bits)) return result;
+    }
+    for (EmbedOrder order :
+         {EmbedOrder::kSizeDesc, EmbedOrder::kWeightDesc, EmbedOrder::kSizeAsc}) {
+      NovaLikeOptions no;
+      no.num_bits = bits;
+      no.order = order;
+      if (try_encoding(nova_like_encode(cs, no).encoding, bits)) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace picola

@@ -1,0 +1,32 @@
+#pragma once
+// Complete face-constraint satisfaction (the conventional alternative the
+// paper argues against): raise the code length until every constraint can
+// be embedded, as classical face-hypercube-embedding tools do.  Used by
+// the length-sweep bench that reproduces the paper's motivation: the code
+// length required for full satisfaction often erases the area gain.
+
+#include "constraints/face_constraint.h"
+#include "encoders/encoding.h"
+
+namespace picola {
+
+struct FullSatisfactionOptions {
+  /// Hard upper bound on the code length tried (n symbols always fit
+  /// one-hot-ishly well before this).
+  int max_bits = 20;
+};
+
+struct FullSatisfactionResult {
+  Encoding encoding;
+  int bits_needed = 0;     ///< code length at which everything fit
+  bool success = false;    ///< false when max_bits was hit
+};
+
+/// Smallest code length (>= minimum) at which the greedy face embedder
+/// satisfies every constraint, together with that encoding.  This is an
+/// upper bound on the true minimum satisfying length (the embedder is
+/// greedy), which is exactly how conventional flows behave.
+FullSatisfactionResult satisfy_all_constraints(
+    const ConstraintSet& cs, const FullSatisfactionOptions& opt = {});
+
+}  // namespace picola

@@ -1,0 +1,31 @@
+#pragma once
+// Exact two-level minimisation (the QM / espresso-exact flow):
+// generate all prime implicants by recursive complementation-free
+// expansion (unate-recursive prime generation), extract essentials, and
+// solve the remaining covering problem by branch and bound.
+//
+// Intended for small functions (tests, the constraint-evaluation oracle,
+// and the exact column of the ablation benches); the covering step is
+// exponential in the worst case and guarded by a node budget.
+
+#include <optional>
+
+#include "cube/cover.h"
+
+namespace picola::esp {
+
+/// All prime implicants of the function (onset F, dc-set D).
+Cover all_primes(const Cover& F, const Cover& D);
+
+struct ExactMinimizeOptions {
+  /// Upper bound on branch-and-bound nodes; nullopt is returned when it is
+  /// exhausted.
+  long max_nodes = 1'000'000;
+};
+
+/// A minimum-cardinality prime cover of (F, D), or nullopt when the node
+/// budget is exhausted.
+std::optional<Cover> exact_minimize(const Cover& F, const Cover& D,
+                                    const ExactMinimizeOptions& opt = {});
+
+}  // namespace picola::esp

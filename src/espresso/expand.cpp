@@ -1,0 +1,125 @@
+// EXPAND: raise cubes to primes against the off-set, covering and removing
+// other cubes of the cover along the way.
+//
+// Per-cube expansion keeps, for every off-set cube, the bitmask of
+// variables in which it is disjoint from the growing cube ("empty
+// variables").  A part raise is legal iff no off-set cube at distance one
+// would reach distance zero.  The covering heuristic scores candidate parts
+// by how many still-uncovered cover cubes assert them; the score table is
+// computed once per expansion, which is a close and much cheaper
+// approximation of ESPRESSO's per-raise bookkeeping.
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "espresso/espresso.h"
+
+namespace picola::esp {
+namespace {
+
+Cube expand_one(Cube c, const Cover& R, const Cover& F,
+                const std::vector<bool>& covered, int self) {
+  const CubeSpace& s = R.space();
+  const int nvars = s.num_vars();
+  assert(nvars <= 64 && "expand uses a 64-bit variable mask");
+
+  std::vector<uint64_t> empty_mask(static_cast<size_t>(R.size()), 0);
+  std::vector<int> dist(static_cast<size_t>(R.size()), 0);
+  std::vector<int> dist1;  // indices of off-set cubes at distance one
+  for (int r = 0; r < R.size(); ++r) {
+    uint64_t m = 0;
+    Cube x = c.intersect(R[r]);
+    for (int v = 0; v < nvars; ++v) {
+      if (x.var_empty(s, v)) m |= uint64_t{1} << v;
+    }
+    empty_mask[static_cast<size_t>(r)] = m;
+    int d = std::popcount(m);
+    dist[static_cast<size_t>(r)] = d;
+    assert(d >= 1 && "cube intersects off-set");
+    if (d == 1) dist1.push_back(r);
+  }
+
+  // Covering-potential score per part, over currently uncovered cubes.
+  std::vector<std::vector<long>> score(static_cast<size_t>(nvars));
+  for (int v = 0; v < nvars; ++v)
+    score[static_cast<size_t>(v)].assign(static_cast<size_t>(s.parts(v)), 0);
+  for (int j = 0; j < F.size(); ++j) {
+    if (j == self || covered[static_cast<size_t>(j)]) continue;
+    for (int v = 0; v < nvars; ++v)
+      for (int p = 0; p < s.parts(v); ++p)
+        if (F[j].test(s, v, p)) ++score[static_cast<size_t>(v)][static_cast<size_t>(p)];
+  }
+
+  while (true) {
+    int best_v = -1, best_p = -1;
+    long best_score = -1;
+    for (int v = 0; v < nvars; ++v) {
+      for (int p = 0; p < s.parts(v); ++p) {
+        if (c.test(s, v, p)) continue;
+        bool blocked = false;
+        for (int r : dist1) {
+          if (empty_mask[static_cast<size_t>(r)] == (uint64_t{1} << v) &&
+              R[r].test(s, v, p)) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) continue;
+        long sc = score[static_cast<size_t>(v)][static_cast<size_t>(p)];
+        if (sc > best_score) {
+          best_score = sc;
+          best_v = v;
+          best_p = p;
+        }
+      }
+    }
+    if (best_v < 0) break;  // prime: every free part is blocked
+    c.set(s, best_v, best_p);
+    // Off-set cubes asserting this part may lose their emptiness in best_v.
+    uint64_t bit = uint64_t{1} << best_v;
+    for (int r = 0; r < R.size(); ++r) {
+      if ((empty_mask[static_cast<size_t>(r)] & bit) &&
+          R[r].test(s, best_v, best_p)) {
+        empty_mask[static_cast<size_t>(r)] &= ~bit;
+        int d = --dist[static_cast<size_t>(r)];
+        assert(d >= 1);
+        if (d == 1) dist1.push_back(r);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Cover expand(Cover F, const Cover& R) {
+  const CubeSpace& s = F.space();
+  // Expand the smallest cubes first: they are the hardest to cover and
+  // their primes tend to swallow the rest.
+  std::stable_sort(F.cubes().begin(), F.cubes().end(),
+                   [&](const Cube& a, const Cube& b) {
+                     uint64_t ma = a.num_minterms(s);
+                     uint64_t mb = b.num_minterms(s);
+                     if (ma != mb) return ma < mb;
+                     return a < b;
+                   });
+  std::vector<bool> covered(static_cast<size_t>(F.size()), false);
+  for (int i = 0; i < F.size(); ++i) {
+    if (covered[static_cast<size_t>(i)]) continue;
+    Cube prime = expand_one(F[i], R, F, covered, i);
+    for (int j = 0; j < F.size(); ++j) {
+      if (j == i || covered[static_cast<size_t>(j)]) continue;
+      if (prime.contains(F[j])) covered[static_cast<size_t>(j)] = true;
+    }
+    F[i] = std::move(prime);
+  }
+  Cover out(s);
+  out.reserve(F.size());
+  for (int i = 0; i < F.size(); ++i)
+    if (!covered[static_cast<size_t>(i)]) out.add(F[i]);
+  out.remove_contained();
+  return out;
+}
+
+}  // namespace picola::esp

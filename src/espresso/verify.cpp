@@ -1,0 +1,16 @@
+// Equivalence checking between covers (used by tests and by the state
+// assignment tool's self-checks).
+
+#include "espresso/espresso.h"
+
+namespace picola::esp {
+
+bool equivalent(const Cover& F1, const Cover& F2, const Cover& D) {
+  Cover a = F1;
+  a.append(D);
+  Cover b = F2;
+  b.append(D);
+  return cover_contains_cover(b, F1) && cover_contains_cover(a, F2);
+}
+
+}  // namespace picola::esp

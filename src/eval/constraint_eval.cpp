@@ -1,0 +1,44 @@
+#include "eval/constraint_eval.h"
+
+namespace picola {
+
+namespace {
+
+Cube code_minterm(const CubeSpace& s, uint32_t code, int num_bits) {
+  Cube c = Cube::full(s);
+  for (int b = 0; b < num_bits; ++b)
+    c.set_binary(s, b, static_cast<int>((code >> b) & 1u));
+  return c;
+}
+
+}  // namespace
+
+Cover constraint_cover(const FaceConstraint& c, const Encoding& enc) {
+  CubeSpace s = CubeSpace::binary(enc.num_bits);
+  Cover onset(s);
+  for (int m : c.members)
+    onset.add(code_minterm(s, enc.code(m), enc.num_bits));
+  Cover dc(s);
+  for (uint32_t u : enc.unused_codes())
+    dc.add(code_minterm(s, u, enc.num_bits));
+  return esp::minimize_cover(onset, dc);
+}
+
+int constraint_cube_count(const FaceConstraint& c, const Encoding& enc) {
+  return constraint_cover(c, enc).size();
+}
+
+ConstraintEvalResult evaluate_constraints(const ConstraintSet& cs,
+                                          const Encoding& enc) {
+  ConstraintEvalResult r;
+  r.per_constraint.reserve(static_cast<size_t>(cs.size()));
+  for (const auto& c : cs.constraints) {
+    int n = constraint_cube_count(c, enc);
+    r.per_constraint.push_back(n);
+    r.total_cubes += n;
+    if (n == 1) ++r.satisfied;
+  }
+  return r;
+}
+
+}  // namespace picola

@@ -1,0 +1,21 @@
+#include "eval/metrics.h"
+
+#include <cstdio>
+
+namespace picola {
+
+EncodingQuality encoding_quality(const ConstraintSet& cs, const Encoding& enc) {
+  EncodingQuality q;
+  q.satisfied_constraints = count_satisfied_constraints(cs, enc);
+  q.satisfied_dichotomies = count_satisfied_dichotomies(cs, enc);
+  q.total_dichotomies = cs.num_seed_dichotomies();
+  return q;
+}
+
+std::string format_ratio(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", x);
+  return buf;
+}
+
+}  // namespace picola

@@ -1,0 +1,171 @@
+#include "kiss/benchmarks.h"
+
+#include <stdexcept>
+
+#include "kiss/generator.h"
+#include "kiss/kiss_io.h"
+
+namespace picola {
+
+const std::vector<BenchmarkProfile>& benchmark_profiles() {
+  // Published (inputs, outputs, states, products) of the MCNC / IWLS'93
+  // FSM benchmarks referenced by the paper.
+  static const std::vector<BenchmarkProfile> kProfiles = {
+      {"bbara", 4, 2, 10, 60},     {"bbsse", 7, 7, 16, 56},
+      {"cse", 7, 7, 16, 91},       {"dk14", 3, 5, 7, 56},
+      {"dk16", 2, 3, 27, 108},     {"dk27", 1, 2, 7, 14},
+      {"donfile", 2, 1, 24, 96},   {"ex1", 9, 19, 20, 138},
+      {"ex2", 2, 2, 19, 72},       {"ex3", 2, 2, 10, 36},
+      {"ex5", 2, 2, 9, 32},        {"ex7", 2, 2, 10, 36},
+      {"keyb", 7, 2, 19, 170},     {"kirkman", 12, 6, 16, 370},
+      {"lion9", 2, 1, 9, 25},      {"mark1", 5, 16, 15, 22},
+      {"opus", 5, 6, 10, 22},      {"planet", 7, 19, 48, 115},
+      {"pma", 8, 8, 24, 73},       {"s1", 8, 6, 20, 107},
+      {"s1a", 8, 6, 20, 107},      {"s386", 7, 7, 13, 64},
+      {"s510", 19, 7, 47, 77},     {"s8", 4, 1, 5, 20},
+      {"s820", 18, 19, 25, 232},   {"s832", 18, 19, 25, 245},
+      {"sand", 11, 9, 32, 184},    {"scf", 27, 56, 121, 166},
+      {"styr", 9, 10, 30, 166},    {"tbk", 6, 3, 32, 1569},
+      {"tma", 7, 6, 20, 44},       {"train11", 2, 1, 11, 25},
+      // Small extras used by tests and examples.
+      {"lion", 2, 1, 4, 11},       {"train4", 2, 1, 4, 14},
+      {"dk15", 3, 5, 4, 32},       {"mc", 3, 5, 4, 10},
+  };
+  return kProfiles;
+}
+
+std::optional<BenchmarkProfile> find_profile(const std::string& name) {
+  for (const auto& p : benchmark_profiles())
+    if (p.name == name) return p;
+  return std::nullopt;
+}
+
+Fsm make_benchmark(const std::string& name) {
+  auto profile = find_profile(name);
+  if (!profile) throw std::out_of_range("unknown benchmark: " + name);
+  GeneratorParams params;
+  params.num_inputs = profile->inputs;
+  params.num_outputs = profile->outputs;
+  params.num_states = profile->states;
+  params.target_products = profile->products;
+  params.seed = 0x9E3779B97F4A7C15ULL;  // fixed: reconstruction is versioned
+  return generate_fsm(params, name);
+}
+
+const std::vector<std::string>& table1_benchmarks() {
+  // The 31 input-encoding problems of Table I, ordered as in the paper
+  // (small machines first, then the larger state-assignment set).
+  static const std::vector<std::string> kNames = {
+      "bbara", "bbsse", "cse",     "dk14",  "ex3",  "ex5",  "ex7",
+      "kirkman", "lion9", "mark1", "opus",  "train11", "s8",
+      "dk16",  "donfile", "ex1",   "ex2",   "keyb", "s1",   "s1a",
+      "sand",  "tma",   "pma",     "styr",  "tbk",  "s386", "s510",
+      "planet", "s820", "s832",    "scf",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& table2_benchmarks() {
+  static const std::vector<std::string> kNames = {
+      "s1",   "s1a",  "dk16",   "donfile", "ex1",  "ex2", "keyb",
+      "sand", "tma",  "pma",    "styr",    "tbk",  "s386", "s510",
+      "planet", "s820", "s832", "scf",     "cse",
+  };
+  return kNames;
+}
+
+namespace {
+
+// Hand-authored machines (original to this repository).
+
+// Traffic-light controller on a highway/farm-road crossing.
+// Inputs: car-on-farm-road, timeout.  Outputs: highway {G,Y,R} then
+// farm {G,Y,R}.  Every state's input cubes partition the input space.
+constexpr const char* kTraffic = R"(.i 2
+.o 6
+.s 4
+.p 12
+.r HG
+0- HG HG 100001
+10 HG HG 100001
+11 HG HY 100001
+-0 HY HY 010001
+-1 HY FG 010001
+10 FG FG 001100
+0- FG FY 001100
+11 FG FY 001100
+-0 FY FY 001010
+-1 FY HG 001010
+.e
+)";
+
+// Three-floor elevator controller.  Inputs: down-request, up-request.
+// Outputs: motor-up, motor-down, door-open.
+constexpr const char* kElevator = R"(.i 2
+.o 3
+.s 7
+.p 13
+.r F1
+00 F1 F1 001
+1- F1 U12 100
+01 F1 U12 100
+00 F2 F2 001
+1- F2 D21 010
+01 F2 U23 100
+00 F3 F3 001
+1- F3 D32 010
+01 F3 F3 001
+-- U12 F2 100
+-- U23 F3 100
+-- D21 F1 010
+-- D32 F2 010
+.e
+)";
+
+// Vending machine accepting nickels/dimes, vending at 20 cents.
+// Inputs: nickel, dime.  Outputs: vend, change.
+constexpr const char* kVending = R"(.i 2
+.o 2
+.s 4
+.p 16
+.r C0
+00 C0 C0 00
+10 C0 C5 00
+01 C0 C10 00
+11 C0 C15 00
+00 C5 C5 00
+10 C5 C10 00
+01 C5 C15 00
+11 C5 C0 10
+00 C10 C10 00
+10 C10 C15 00
+01 C10 C0 10
+11 C10 C0 11
+00 C15 C15 00
+10 C15 C0 10
+01 C15 C0 11
+11 C15 C0 11
+.e
+)";
+
+}  // namespace
+
+const std::vector<std::string>& example_fsm_names() {
+  static const std::vector<std::string> kNames = {"traffic", "elevator",
+                                                  "vending"};
+  return kNames;
+}
+
+Fsm make_example_fsm(const std::string& name) {
+  const char* text = nullptr;
+  if (name == "traffic") text = kTraffic;
+  else if (name == "elevator") text = kElevator;
+  else if (name == "vending") text = kVending;
+  else throw std::out_of_range("unknown example fsm: " + name);
+  KissParseResult r = parse_kiss(std::string(text));
+  if (!r.ok()) throw std::runtime_error("embedded fsm parse error: " + r.error);
+  r.fsm.name = name;
+  return r.fsm;
+}
+
+}  // namespace picola

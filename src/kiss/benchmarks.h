@@ -1,0 +1,49 @@
+#pragma once
+// Registry of the IWLS'93 benchmark profiles used by the paper's
+// evaluation, a factory that reconstructs benchmark-scale machines with
+// the deterministic generator (see generator.h and DESIGN.md §5), and a
+// few genuinely hand-authored small machines for examples and tests.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kiss/fsm.h"
+
+namespace picola {
+
+/// Published profile of one IWLS'93 FSM benchmark.
+struct BenchmarkProfile {
+  std::string name;
+  int inputs;
+  int outputs;
+  int states;
+  int products;  ///< transition rows in the original KISS2 file
+};
+
+/// All registered benchmark profiles (the machines named in the paper's
+/// Tables I and II, plus a few common small ones).
+const std::vector<BenchmarkProfile>& benchmark_profiles();
+
+/// Profile lookup by name; nullopt when unknown.
+std::optional<BenchmarkProfile> find_profile(const std::string& name);
+
+/// Reconstruct the named benchmark deterministically (same name -> same
+/// machine).  Throws std::out_of_range for unknown names.
+Fsm make_benchmark(const std::string& name);
+
+/// The 31 encoding problems of Table I (ordered as in the paper).
+const std::vector<std::string>& table1_benchmarks();
+
+/// The 19 state-assignment machines of Table II.
+const std::vector<std::string>& table2_benchmarks();
+
+/// Hand-authored small machines ("traffic", "elevator", "vending"),
+/// written for this repository; stable golden inputs for examples and
+/// tests.  Throws std::out_of_range for unknown names.
+Fsm make_example_fsm(const std::string& name);
+
+/// Names accepted by make_example_fsm().
+const std::vector<std::string>& example_fsm_names();
+
+}  // namespace picola

@@ -1,0 +1,80 @@
+#include "kiss/fsm.h"
+
+#include <algorithm>
+
+#include "cube/cover.h"
+#include "espresso/espresso.h"
+
+namespace picola {
+
+namespace {
+
+Cube input_cube(const CubeSpace& s, const std::string& in) {
+  Cube c = Cube::full(s);
+  for (int v = 0; v < static_cast<int>(in.size()); ++v) {
+    if (in[static_cast<size_t>(v)] == '0') c.set_binary(s, v, 0);
+    if (in[static_cast<size_t>(v)] == '1') c.set_binary(s, v, 1);
+  }
+  return c;
+}
+
+}  // namespace
+
+int Fsm::state_index(const std::string& sname) const {
+  auto it = std::find(state_names.begin(), state_names.end(), sname);
+  if (it == state_names.end()) return -1;
+  return static_cast<int>(it - state_names.begin());
+}
+
+int Fsm::add_state(const std::string& sname) {
+  int idx = state_index(sname);
+  if (idx >= 0) return idx;
+  state_names.push_back(sname);
+  return num_states() - 1;
+}
+
+std::string Fsm::validate() const {
+  if (num_inputs < 0 || num_outputs < 0) return "bad dimensions";
+  if (state_names.empty()) return "no states";
+  if (reset_state < 0 || reset_state >= num_states()) return "bad reset state";
+  for (const auto& t : transitions) {
+    if (static_cast<int>(t.input.size()) != num_inputs)
+      return "input width mismatch";
+    if (static_cast<int>(t.output.size()) != num_outputs)
+      return "output width mismatch";
+    if (t.from < 0 || t.from >= num_states()) return "bad source state";
+    if (t.to != Transition::kAnyState && (t.to < 0 || t.to >= num_states()))
+      return "bad target state";
+    for (char ch : t.input)
+      if (ch != '0' && ch != '1' && ch != '-') return "bad input character";
+    for (char ch : t.output)
+      if (ch != '0' && ch != '1' && ch != '-') return "bad output character";
+  }
+  return "";
+}
+
+bool Fsm::is_deterministic() const {
+  CubeSpace s = CubeSpace::binary(num_inputs);
+  for (int st = 0; st < num_states(); ++st) {
+    std::vector<Cube> cubes;
+    for (const auto& t : transitions)
+      if (t.from == st) cubes.push_back(input_cube(s, t.input));
+    for (size_t i = 0; i < cubes.size(); ++i)
+      for (size_t j = i + 1; j < cubes.size(); ++j)
+        if (cubes[i].distance(cubes[j], s) == 0) return false;
+  }
+  return true;
+}
+
+bool Fsm::is_complete() const {
+  CubeSpace s = CubeSpace::binary(num_inputs);
+  for (int st = 0; st < num_states(); ++st) {
+    Cover f(s);
+    for (const auto& t : transitions)
+      if (t.from == st) f.add(input_cube(s, t.input));
+    if (!esp::is_tautology(f)) return false;
+  }
+  return true;
+}
+
+}  // namespace picola

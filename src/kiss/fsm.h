@@ -1,0 +1,51 @@
+#pragma once
+// Finite-state-machine model matching the KISS2 benchmark format: binary
+// input/output planes, symbolic states, cube-style transitions.
+
+#include <string>
+#include <vector>
+
+namespace picola {
+
+/// One KISS2 transition row: on `input` (a cube over {0,1,-}) in state
+/// `from`, go to state `to` producing `output` (over {0,1,-}; '-' is a
+/// don't-care output).  `to == kAnyState` models KISS2's '*' next state.
+struct Transition {
+  static constexpr int kAnyState = -1;
+  std::string input;
+  int from = 0;
+  int to = 0;
+  std::string output;
+};
+
+/// A symbolic FSM (Mealy model, as in the IWLS'93 benchmarks).
+struct Fsm {
+  std::string name;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  std::vector<std::string> state_names;
+  std::vector<Transition> transitions;
+  int reset_state = 0;
+
+  int num_states() const { return static_cast<int>(state_names.size()); }
+
+  /// Index of a state name; -1 when absent.
+  int state_index(const std::string& name) const;
+
+  /// Add a state if new; returns its index either way.
+  int add_state(const std::string& name);
+
+  /// Structural validation: index ranges, plane widths, characters.
+  /// Returns an error message or "" when valid.
+  std::string validate() const;
+
+  /// True when for every state the transition input cubes are pairwise
+  /// disjoint (the machine is deterministic).
+  bool is_deterministic() const;
+
+  /// True when for every state the transition input cubes cover the entire
+  /// input space (the machine is completely specified).
+  bool is_complete() const;
+};
+
+}  // namespace picola

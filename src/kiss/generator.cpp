@@ -1,0 +1,152 @@
+#include "kiss/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace picola {
+
+namespace {
+
+/// An input-space region as a cube string over {0,1,-}.
+using Region = std::string;
+
+/// Number of free ('-') positions.
+int free_vars(const Region& r) {
+  return static_cast<int>(std::count(r.begin(), r.end(), '-'));
+}
+
+/// Split `r` on its `k`-th free variable into the 0- and 1-halves.
+std::pair<Region, Region> split_region(const Region& r, int k) {
+  Region a = r, b = r;
+  int seen = 0;
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (r[i] != '-') continue;
+    if (seen == k) {
+      a[i] = '0';
+      b[i] = '1';
+      return {a, b};
+    }
+    ++seen;
+  }
+  assert(false && "no such free variable");
+  return {a, b};
+}
+
+/// Partition the full input space into exactly `k` disjoint cubes (or as
+/// many as the space allows) by repeated splitting; biased towards
+/// splitting large regions so the partition stays balanced but irregular.
+std::vector<Region> make_partition(int num_inputs, int k, std::mt19937_64& rng) {
+  std::vector<Region> regions{Region(static_cast<size_t>(num_inputs), '-')};
+  while (static_cast<int>(regions.size()) < k) {
+    // Candidates: regions that can still be split.
+    std::vector<size_t> splittable;
+    for (size_t i = 0; i < regions.size(); ++i)
+      if (free_vars(regions[i]) > 0) splittable.push_back(i);
+    if (splittable.empty()) break;
+    // Prefer the largest regions (most free variables), with a random tie
+    // break, so the split tree stays shallow and cube-like.
+    std::shuffle(splittable.begin(), splittable.end(), rng);
+    size_t pick = splittable[0];
+    for (size_t i : splittable)
+      if (free_vars(regions[i]) > free_vars(regions[pick])) pick = i;
+    int fv = free_vars(regions[pick]);
+    auto [a, b] = split_region(regions[pick],
+                               static_cast<int>(rng() % static_cast<uint64_t>(fv)));
+    regions[pick] = a;
+    regions.push_back(b);
+  }
+  return regions;
+}
+
+std::string random_output(int num_outputs, std::mt19937_64& rng) {
+  std::string out(static_cast<size_t>(num_outputs), '0');
+  for (char& ch : out) ch = (rng() % 2) ? '1' : '0';
+  return out;
+}
+
+}  // namespace
+
+Fsm generate_fsm(const GeneratorParams& p, const std::string& name) {
+  assert(p.num_states >= 1 && p.num_inputs >= 0 && p.num_outputs >= 1);
+  // Mix the name into the seed so different benchmarks with the same
+  // profile differ.
+  uint64_t h = p.seed;
+  for (char ch : name) h = h * 1099511628211ULL + static_cast<uint64_t>(ch);
+  std::mt19937_64 rng(h);
+
+  Fsm fsm;
+  fsm.name = name;
+  fsm.num_inputs = p.num_inputs;
+  fsm.num_outputs = p.num_outputs;
+  for (int i = 0; i < p.num_states; ++i)
+    fsm.state_names.push_back("st" + std::to_string(i));
+  fsm.reset_state = 0;
+
+  const int ns = p.num_states;
+  const int csize = std::max(1, p.cluster_size);
+  const int nclusters = (ns + csize - 1) / csize;
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Rows budget: distribute target_products across states as evenly as the
+  // cluster partitions allow.
+  int rows_per_state = std::max(1, p.target_products / std::max(1, ns));
+  int extra = std::max(0, p.target_products - rows_per_state * ns);
+
+  for (int c = 0; c < nclusters; ++c) {
+    int first = c * csize;
+    int last = std::min(ns, first + csize);  // exclusive
+    int members = last - first;
+
+    // This cluster's share of the leftover rows enlarges its partition.
+    int k = rows_per_state;
+    if (extra > 0) {
+      int take = std::min(extra, members);
+      // One extra region when any member still needs an extra row.
+      if (take > 0) k += 1;
+      extra -= take;
+    }
+    std::vector<Region> partition = make_partition(p.num_inputs, k, rng);
+
+    // Cluster-wide output palette: a few patterns shared by the members so
+    // that symbolic minimisation can merge their rows.
+    std::vector<std::string> palette;
+    for (int i = 0; i < std::max(1, p.palette_size); ++i)
+      palette.push_back(random_output(p.num_outputs, rng));
+
+    for (size_t ri = 0; ri < partition.size(); ++ri) {
+      const Region& region = partition[ri];
+      bool shared = coin(rng) < p.shared_rule_prob;
+      // Shared rule: every member reacts identically in this region.
+      int shared_next = -1;
+      std::string shared_out;
+      if (shared) {
+        bool local = coin(rng) < p.locality;
+        shared_next = local
+                          ? first + static_cast<int>(rng() % static_cast<uint64_t>(members))
+                          : static_cast<int>(rng() % static_cast<uint64_t>(ns));
+        shared_out = palette[rng() % palette.size()];
+      }
+      for (int st = first; st < last; ++st) {
+        Transition t;
+        t.input = region;
+        t.from = st;
+        if (shared) {
+          t.to = shared_next;
+          t.output = shared_out;
+        } else {
+          bool local = coin(rng) < p.locality;
+          t.to = local
+                     ? first + static_cast<int>(rng() % static_cast<uint64_t>(members))
+                     : static_cast<int>(rng() % static_cast<uint64_t>(ns));
+          t.output = palette[rng() % palette.size()];
+        }
+        fsm.transitions.push_back(std::move(t));
+      }
+    }
+  }
+  return fsm;
+}
+
+}  // namespace picola

@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic synthetic FSM generator.
+//
+// The IWLS'93 KISS2 benchmark files are public but not distributed with
+// this repository; the generator reconstructs machines with the published
+// profile of each benchmark (inputs/outputs/states/products) and the
+// structural properties that give those benchmarks their characteristic
+// face-constraint structure: states are grouped into behavioural clusters,
+// a cluster shares an input-space partition, and many partition regions
+// are handled identically by every state of the cluster (those regions are
+// exactly what multi-valued minimisation merges into group constraints).
+// See DESIGN.md §5 for the substitution rationale.
+
+#include <cstdint>
+#include <string>
+
+#include "kiss/fsm.h"
+
+namespace picola {
+
+/// Parameters of the synthetic machine.
+struct GeneratorParams {
+  int num_inputs = 2;
+  int num_outputs = 2;
+  int num_states = 8;
+  /// Approximate number of transition rows (the generator hits this
+  /// exactly when the input space allows the required partitions).
+  int target_products = 32;
+  uint64_t seed = 1;
+  /// States per behavioural cluster.
+  int cluster_size = 4;
+  /// Probability that a partition region is handled identically by the
+  /// whole cluster (shared rule -> mergeable rows -> face constraints).
+  double shared_rule_prob = 0.6;
+  /// Probability that a next state stays within the cluster.
+  double locality = 0.7;
+  /// Number of distinct output patterns per cluster palette.
+  int palette_size = 3;
+};
+
+/// Generate a complete, deterministic FSM with the given profile.  The same
+/// (params, name) pair always yields the same machine.
+Fsm generate_fsm(const GeneratorParams& params, const std::string& name);
+
+}  // namespace picola

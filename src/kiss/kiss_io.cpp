@@ -1,0 +1,126 @@
+#include "kiss/kiss_io.h"
+
+#include <sstream>
+
+#include "base/parse_util.h"
+
+namespace picola {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+}  // namespace
+
+KissParseResult parse_kiss(std::istream& in) {
+  KissParseResult res;
+  Fsm& fsm = res.fsm;
+  std::string line;
+  int lineno = 0;
+  int declared_states = -1;
+  std::string reset_name;
+  bool saw_i = false, saw_o = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> toks = split_ws(line);
+    if (toks.empty()) continue;
+    const std::string& head = toks[0];
+    auto fail = [&](const std::string& msg) {
+      res.error = "line " + std::to_string(lineno) + ": " + msg;
+    };
+    if (head == ".i") {
+      if (toks.size() != 2) { fail(".i needs one argument"); return res; }
+      auto v = parse_int(toks[1]);
+      if (!v || *v < 0) { fail("bad .i value"); return res; }
+      fsm.num_inputs = *v;
+      saw_i = true;
+    } else if (head == ".o") {
+      if (toks.size() != 2) { fail(".o needs one argument"); return res; }
+      auto v = parse_int(toks[1]);
+      if (!v || *v < 0) { fail("bad .o value"); return res; }
+      fsm.num_outputs = *v;
+      saw_o = true;
+    } else if (head == ".s") {
+      if (toks.size() != 2) { fail(".s needs one argument"); return res; }
+      auto v = parse_int(toks[1]);
+      if (!v) { fail("bad .s value"); return res; }
+      declared_states = *v;
+    } else if (head == ".p") {
+      // row-count hint; ignored
+    } else if (head == ".r") {
+      if (toks.size() != 2) { fail(".r needs one argument"); return res; }
+      reset_name = toks[1];
+    } else if (head == ".e" || head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      res.warnings.push_back("line " + std::to_string(lineno) +
+                             ": ignored directive " + head);
+    } else {
+      if (!saw_i || !saw_o) { fail("transition before .i/.o"); return res; }
+      if (toks.size() != 4) { fail("transition needs 4 fields"); return res; }
+      Transition t;
+      t.input = toks[0];
+      t.from = fsm.add_state(toks[1]);
+      t.to = (toks[2] == "*") ? Transition::kAnyState : fsm.add_state(toks[2]);
+      t.output = toks[3];
+      for (char& ch : t.input)
+        if (ch == '2' || ch == '~') ch = '-';
+      fsm.transitions.push_back(std::move(t));
+    }
+  }
+  if (!saw_i || !saw_o) {
+    res.error = "missing .i or .o";
+    return res;
+  }
+  if (!reset_name.empty()) {
+    int r = fsm.state_index(reset_name);
+    if (r < 0) {
+      res.error = "reset state " + reset_name + " never used";
+      return res;
+    }
+    fsm.reset_state = r;
+  }
+  if (declared_states >= 0 && declared_states != fsm.num_states()) {
+    res.warnings.push_back(".s declared " + std::to_string(declared_states) +
+                           " states but " + std::to_string(fsm.num_states()) +
+                           " appear");
+  }
+  std::string verr = fsm.validate();
+  if (!verr.empty()) res.error = verr;
+  return res;
+}
+
+KissParseResult parse_kiss(const std::string& text) {
+  std::istringstream is(text);
+  return parse_kiss(is);
+}
+
+std::string write_kiss(const Fsm& fsm) {
+  std::ostringstream os;
+  os << ".i " << fsm.num_inputs << '\n';
+  os << ".o " << fsm.num_outputs << '\n';
+  os << ".p " << fsm.transitions.size() << '\n';
+  os << ".s " << fsm.num_states() << '\n';
+  if (!fsm.state_names.empty())
+    os << ".r " << fsm.state_names[static_cast<size_t>(fsm.reset_state)] << '\n';
+  for (const auto& t : fsm.transitions) {
+    os << t.input << ' ' << fsm.state_names[static_cast<size_t>(t.from)] << ' ';
+    if (t.to == Transition::kAnyState)
+      os << '*';
+    else
+      os << fsm.state_names[static_cast<size_t>(t.to)];
+    os << ' ' << t.output << '\n';
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace picola

@@ -1,0 +1,31 @@
+#pragma once
+// KISS2 file format reader/writer (the IWLS'93 FSM benchmark format).
+//
+// Directives: .i .o .s .p .r .e/.end; transition rows are
+// `<input-cube> <from-state> <to-state|*> <output-plane>`.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "kiss/fsm.h"
+
+namespace picola {
+
+/// Outcome of parsing; `ok()` is false when `error` is non-empty.
+struct KissParseResult {
+  Fsm fsm;
+  std::string error;
+  std::vector<std::string> warnings;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse KISS2 text.
+KissParseResult parse_kiss(const std::string& text);
+/// Parse from a stream.
+KissParseResult parse_kiss(std::istream& in);
+
+/// Serialise to KISS2 text.
+std::string write_kiss(const Fsm& fsm);
+
+}  // namespace picola

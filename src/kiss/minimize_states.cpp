@@ -1,0 +1,178 @@
+#include "kiss/minimize_states.h"
+
+#include <numeric>
+
+namespace picola {
+
+namespace {
+
+/// Do two input cubes intersect?
+bool inputs_intersect(const std::string& a, const std::string& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Do two output planes conflict (some position specified 0 in one and 1
+/// in the other)?
+bool outputs_conflict(const std::string& a, const std::string& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return true;
+  }
+  return false;
+}
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(static_cast<size_t>(n)) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+  }
+};
+
+}  // namespace
+
+StateMinimizeResult minimize_states(const Fsm& fsm) {
+  StateMinimizeResult result;
+  result.fsm = fsm;
+  const int n = fsm.num_states();
+  result.state_map.resize(static_cast<size_t>(n));
+  std::iota(result.state_map.begin(), result.state_map.end(), 0);
+  if (!fsm.is_deterministic()) {
+    result.note = "machine is nondeterministic; left unchanged";
+    return result;
+  }
+  const bool complete = fsm.is_complete();
+
+  // Rows grouped by source state.
+  std::vector<std::vector<const Transition*>> rows(static_cast<size_t>(n));
+  for (const auto& t : fsm.transitions)
+    rows[static_cast<size_t>(t.from)].push_back(&t);
+
+  // Pair chart: incompatible[p][q] for p < q.
+  auto idx = [n](int p, int q) {
+    return static_cast<size_t>(p) * static_cast<size_t>(n) +
+           static_cast<size_t>(q);
+  };
+  std::vector<bool> bad(static_cast<size_t>(n) * static_cast<size_t>(n), false);
+
+  // Base marking: conflicting outputs on intersecting inputs.
+  for (int p = 0; p < n; ++p) {
+    for (int q = p + 1; q < n; ++q) {
+      for (const Transition* r : rows[static_cast<size_t>(p)]) {
+        for (const Transition* t : rows[static_cast<size_t>(q)]) {
+          if (!inputs_intersect(r->input, t->input)) continue;
+          if (outputs_conflict(r->output, t->output)) {
+            bad[idx(p, q)] = true;
+          }
+        }
+        if (bad[idx(p, q)]) break;
+      }
+    }
+  }
+
+  // Propagate: a pair is incompatible when some shared input drives it to
+  // an incompatible pair.  '*' successors impose nothing.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (bad[idx(p, q)]) continue;
+        bool mark = false;
+        for (const Transition* r : rows[static_cast<size_t>(p)]) {
+          for (const Transition* t : rows[static_cast<size_t>(q)]) {
+            if (!inputs_intersect(r->input, t->input)) continue;
+            int a = r->to, b = t->to;
+            if (a == Transition::kAnyState || b == Transition::kAnyState)
+              continue;
+            if (a == b) continue;
+            int lo = std::min(a, b), hi = std::max(a, b);
+            if (bad[idx(lo, hi)]) {
+              mark = true;
+              break;
+            }
+          }
+          if (mark) break;
+        }
+        if (mark) {
+          bad[idx(p, q)] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Merge classes of compatible pairs.
+  UnionFind uf(n);
+  for (int p = 0; p < n; ++p)
+    for (int q = p + 1; q < n; ++q)
+      if (!bad[idx(p, q)]) uf.unite(p, q);
+
+  // For incompletely specified machines compatibility is not transitive:
+  // only accept classes that are cliques of compatible pairs.
+  if (!complete) {
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (uf.find(p) == uf.find(q) && bad[idx(p, q)]) {
+          // Break the class apart: fall back to singletons for its members.
+          int root = uf.find(p);
+          for (int s = 0; s < n; ++s)
+            if (uf.find(s) == root)
+              uf.parent[static_cast<size_t>(s)] = s;
+        }
+      }
+    }
+  }
+
+  // Build the reduced machine: representatives keep their rows.
+  std::vector<int> rep_of(static_cast<size_t>(n));
+  std::vector<int> new_id(static_cast<size_t>(n), -1);
+  Fsm out;
+  out.name = fsm.name;
+  out.num_inputs = fsm.num_inputs;
+  out.num_outputs = fsm.num_outputs;
+  for (int s = 0; s < n; ++s) rep_of[static_cast<size_t>(s)] = uf.find(s);
+  for (int s = 0; s < n; ++s) {
+    int rep = rep_of[static_cast<size_t>(s)];
+    if (new_id[static_cast<size_t>(rep)] < 0) {
+      new_id[static_cast<size_t>(rep)] =
+          out.add_state(fsm.state_names[static_cast<size_t>(rep)]);
+    }
+    result.state_map[static_cast<size_t>(s)] = new_id[static_cast<size_t>(rep)];
+  }
+  for (const auto& t : fsm.transitions) {
+    if (rep_of[static_cast<size_t>(t.from)] != t.from) continue;  // merged away
+    Transition nt;
+    nt.input = t.input;
+    nt.from = result.state_map[static_cast<size_t>(t.from)];
+    nt.to = t.to == Transition::kAnyState
+                ? Transition::kAnyState
+                : result.state_map[static_cast<size_t>(t.to)];
+    nt.output = t.output;
+    out.transitions.push_back(std::move(nt));
+  }
+  out.reset_state = result.state_map[static_cast<size_t>(fsm.reset_state)];
+
+  result.merged = n - out.num_states();
+  result.exact = complete;
+  result.fsm = std::move(out);
+  if (result.merged == 0 && result.note.empty())
+    result.note = "machine is already minimal";
+  return result;
+}
+
+}  // namespace picola

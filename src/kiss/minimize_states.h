@@ -1,0 +1,34 @@
+#pragma once
+// State minimisation before assignment (the classic companion step; cf.
+// the "considering state minimisation during state assignment" line of
+// work the paper's venue hosted).
+//
+// For deterministic, completely specified machines this is the exact
+// pair-chart equivalence algorithm: mark distinguishable pairs (different
+// outputs somewhere, then different successor classes) to a fixpoint and
+// merge the equivalence classes.  For incompletely specified machines the
+// same chart computes *compatible* pairs; since compatibility is not
+// transitive, classes are only merged when they turn out to be cliques of
+// compatible pairs (a sound, conservative reduction — exact ISFSM
+// minimisation is a covering problem out of scope here).
+
+#include <string>
+#include <vector>
+
+#include "kiss/fsm.h"
+
+namespace picola {
+
+struct StateMinimizeResult {
+  Fsm fsm;                     ///< reduced machine
+  std::vector<int> state_map;  ///< original state -> reduced state
+  int merged = 0;              ///< states removed
+  bool exact = false;          ///< true for the CSFSM equivalence algorithm
+  std::string note;            ///< diagnostics (e.g. why nothing merged)
+};
+
+/// Minimise the state count of a deterministic machine.  Nondeterministic
+/// machines are returned unchanged with a note.
+StateMinimizeResult minimize_states(const Fsm& fsm);
+
+}  // namespace picola

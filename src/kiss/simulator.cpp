@@ -1,0 +1,39 @@
+#include "kiss/simulator.h"
+
+namespace picola {
+
+FsmSimulator::FsmSimulator(const Fsm& fsm)
+    : fsm_(&fsm), state_(fsm.reset_state) {}
+
+bool FsmSimulator::input_matches(const std::string& cube,
+                                 const std::vector<int>& bits) {
+  for (size_t i = 0; i < cube.size(); ++i) {
+    if (cube[i] == '-') continue;
+    int want = cube[i] - '0';
+    if (bits[i] != want) return false;
+  }
+  return true;
+}
+
+SimStep FsmSimulator::step(const std::vector<int>& bits) {
+  SimStep r;
+  for (const auto& t : fsm_->transitions) {
+    if (t.from != state_) continue;
+    if (!input_matches(t.input, bits)) continue;
+    r.matched = true;
+    r.output = t.output;
+    if (t.to == Transition::kAnyState) {
+      r.free_next = true;
+      r.next_state = state_;
+    } else {
+      r.next_state = t.to;
+    }
+    state_ = r.next_state;
+    return r;
+  }
+  r.output.assign(static_cast<size_t>(fsm_->num_outputs), '-');
+  r.next_state = state_;
+  return r;
+}
+
+}  // namespace picola

@@ -1,0 +1,45 @@
+#pragma once
+// Symbolic FSM simulator: steps a machine through binary input vectors,
+// reporting the (possibly partially unspecified) outputs.  Used by the
+// state-assignment tool's co-simulation self-check and by tests.
+
+#include <string>
+#include <vector>
+
+#include "kiss/fsm.h"
+
+namespace picola {
+
+/// Result of one simulation step.
+struct SimStep {
+  bool matched = false;   ///< a transition row matched the input
+  std::string output;     ///< the matched row's output plane ('-' = dc)
+  int next_state = 0;     ///< state after the step (kAnyState rows keep the
+                          ///< current state and set `free_next`)
+  bool free_next = false; ///< next state was unspecified ('*')
+};
+
+/// Step-by-step simulator over the symbolic machine.
+class FsmSimulator {
+ public:
+  explicit FsmSimulator(const Fsm& fsm);
+
+  void reset() { state_ = fsm_->reset_state; }
+  int state() const { return state_; }
+  void set_state(int s) { state_ = s; }
+
+  /// Apply one input vector (bits.size() == num_inputs).  On a match the
+  /// simulator advances to the row's next state; unmatched inputs leave the
+  /// state unchanged (the machine is incompletely specified there).
+  SimStep step(const std::vector<int>& bits);
+
+  /// True when the transition input cube matches the bit vector.
+  static bool input_matches(const std::string& cube,
+                            const std::vector<int>& bits);
+
+ private:
+  const Fsm* fsm_;
+  int state_;
+};
+
+}  // namespace picola

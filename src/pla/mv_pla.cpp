@@ -1,0 +1,218 @@
+#include "pla/mv_pla.h"
+
+#include <sstream>
+
+#include "base/parse_util.h"
+
+namespace picola {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+}  // namespace
+
+CubeSpace MvPla::space() const {
+  std::vector<int> parts(static_cast<size_t>(num_binary), 2);
+  for (int s : mv_sizes) parts.push_back(s);
+  return CubeSpace::multi_valued(std::move(parts));
+}
+
+namespace {
+
+Cover rows_to_cover(const MvPla& pla, bool want_dc) {
+  CubeSpace s = pla.space();
+  Cover f(s);
+  for (const auto& row : pla.rows) {
+    if (row.is_dc != want_dc) continue;
+    Cube c = Cube::full(s);
+    for (int v = 0; v < pla.num_binary; ++v) {
+      char ch = row.binary[static_cast<size_t>(v)];
+      if (ch == '0') c.set_binary(s, v, 0);
+      if (ch == '1') c.set_binary(s, v, 1);
+    }
+    for (size_t m = 0; m < pla.mv_sizes.size(); ++m) {
+      int var = pla.num_binary + static_cast<int>(m);
+      c.clear_var(s, var);
+      const std::string& field = row.fields[m];
+      for (int p = 0; p < pla.mv_sizes[m]; ++p)
+        if (field[static_cast<size_t>(p)] == '1') c.set(s, var, p);
+    }
+    if (!c.is_empty(s)) f.add(std::move(c));
+  }
+  return f;
+}
+
+}  // namespace
+
+Cover MvPla::onset() const { return rows_to_cover(*this, false); }
+Cover MvPla::dcset() const { return rows_to_cover(*this, true); }
+
+std::string MvPla::validate() const {
+  if (num_binary < 0 || mv_sizes.empty()) return "need at least one mv var";
+  for (int s : mv_sizes)
+    if (s < 1) return "bad mv size";
+  for (const auto& row : rows) {
+    if (static_cast<int>(row.binary.size()) != num_binary)
+      return "binary field width mismatch";
+    for (char ch : row.binary)
+      if (ch != '0' && ch != '1' && ch != '-') return "bad binary character";
+    if (row.fields.size() != mv_sizes.size()) return "missing mv field";
+    for (size_t m = 0; m < mv_sizes.size(); ++m) {
+      if (static_cast<int>(row.fields[m].size()) != mv_sizes[m])
+        return "mv field width mismatch";
+      for (char ch : row.fields[m])
+        if (ch != '0' && ch != '1') return "bad mv character";
+    }
+  }
+  return "";
+}
+
+MvPlaParseResult parse_mv_pla(std::istream& in) {
+  MvPlaParseResult res;
+  MvPla& pla = res.pla;
+  std::string line;
+  int lineno = 0;
+  bool have_mv = false;
+  bool in_dc = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> toks = split_ws(line);
+    if (toks.empty()) continue;
+    auto fail = [&](const std::string& msg) {
+      res.error = "line " + std::to_string(lineno) + ": " + msg;
+    };
+    if (toks[0] == ".mv") {
+      if (toks.size() < 4) { fail(".mv needs >= 3 arguments"); return res; }
+      auto nv_opt = parse_int(toks[1]);
+      auto nb_opt = parse_int(toks[2]);
+      if (!nv_opt || !nb_opt || *nb_opt < 0) { fail("bad .mv value"); return res; }
+      int nv = *nv_opt;
+      pla.num_binary = *nb_opt;
+      for (size_t i = 3; i < toks.size(); ++i) {
+        auto sz = parse_int(toks[i]);
+        if (!sz || *sz < 1) { fail("bad .mv size"); return res; }
+        pla.mv_sizes.push_back(*sz);
+      }
+      if (nv != pla.num_vars()) { fail(".mv count mismatch"); return res; }
+      have_mv = true;
+    } else if (toks[0] == ".label") {
+      pla.labels.assign(toks.begin() + 1, toks.end());
+    } else if (toks[0] == ".dc") {
+      in_dc = true;
+    } else if (toks[0] == ".ons" || toks[0] == ".onset") {
+      in_dc = false;
+    } else if (toks[0] == ".p") {
+      // row-count hint
+    } else if (toks[0] == ".e" || toks[0] == ".end") {
+      break;
+    } else if (toks[0][0] == '.') {
+      fail("unknown directive " + toks[0]);
+      return res;
+    } else {
+      if (!have_mv) { fail("cube before .mv"); return res; }
+      size_t want = 1 + pla.mv_sizes.size();
+      if (pla.num_binary == 0) want = pla.mv_sizes.size();
+      if (toks.size() != want) { fail("wrong field count"); return res; }
+      MvPla::Row row;
+      size_t k = 0;
+      row.binary = pla.num_binary == 0 ? "" : toks[k++];
+      for (char& ch : row.binary)
+        if (ch == '2' || ch == '~') ch = '-';
+      while (k < toks.size()) row.fields.push_back(toks[k++]);
+      row.is_dc = in_dc;
+      pla.rows.push_back(std::move(row));
+    }
+  }
+  if (!have_mv) {
+    res.error = "missing .mv";
+    return res;
+  }
+  std::string verr = pla.validate();
+  if (!verr.empty()) res.error = verr;
+  return res;
+}
+
+MvPlaParseResult parse_mv_pla(const std::string& text) {
+  std::istringstream is(text);
+  return parse_mv_pla(is);
+}
+
+bool mv_pla_from_covers(const Cover& onset, const Cover& dc, MvPla* out) {
+  const CubeSpace& s = onset.space();
+  int nb = 0;
+  while (nb < s.num_vars() && s.is_binary(nb)) ++nb;
+  for (int v = nb; v < s.num_vars(); ++v)
+    if (s.is_binary(v)) return false;  // binary var after an mv var
+  if (nb == s.num_vars()) return false;  // no mv variable at all
+
+  out->num_binary = nb;
+  out->mv_sizes.clear();
+  out->labels.clear();
+  out->rows.clear();
+  for (int v = nb; v < s.num_vars(); ++v) out->mv_sizes.push_back(s.parts(v));
+
+  auto emit = [&](const Cover& f, bool is_dc) {
+    for (const Cube& c : f.cubes()) {
+      MvPla::Row row;
+      row.is_dc = is_dc;
+      row.binary.resize(static_cast<size_t>(nb));
+      for (int v = 0; v < nb; ++v) {
+        static const char sym[] = {'0', '1', '-', '~'};
+        row.binary[static_cast<size_t>(v)] = sym[c.binary_value(s, v)];
+      }
+      for (int v = nb; v < s.num_vars(); ++v) {
+        std::string field(static_cast<size_t>(s.parts(v)), '0');
+        for (int p = 0; p < s.parts(v); ++p)
+          if (c.test(s, v, p)) field[static_cast<size_t>(p)] = '1';
+        row.fields.push_back(std::move(field));
+      }
+      out->rows.push_back(std::move(row));
+    }
+  };
+  emit(onset, false);
+  if (!dc.empty() && dc.space() == s) emit(dc, true);
+  return true;
+}
+
+std::string write_mv_pla(const MvPla& pla) {
+  std::ostringstream os;
+  os << ".mv " << pla.num_vars() << ' ' << pla.num_binary;
+  for (int s : pla.mv_sizes) os << ' ' << s;
+  os << '\n';
+  if (!pla.labels.empty()) {
+    os << ".label";
+    for (const auto& l : pla.labels) os << ' ' << l;
+    os << '\n';
+  }
+  os << ".p " << pla.rows.size() << '\n';
+  bool dc_mode = false;
+  // Onset rows first, then dc rows under a .dc header.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& row : pla.rows) {
+      if (row.is_dc != (pass == 1)) continue;
+      if (pass == 1 && !dc_mode) {
+        os << ".dc\n";
+        dc_mode = true;
+      }
+      if (pla.num_binary > 0) os << row.binary << ' ';
+      for (size_t m = 0; m < row.fields.size(); ++m) {
+        if (m) os << ' ';
+        os << row.fields[m];
+      }
+      os << '\n';
+    }
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace picola

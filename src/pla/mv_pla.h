@@ -1,0 +1,66 @@
+#pragma once
+// Multi-valued PLA model and espresso `.mv` file format.
+//
+// Layout follows espresso's multiple-valued extension:
+//   .mv <num_vars> <num_binary> <size...>   sizes of the non-binary vars
+//   row: <binary field over 01-> <positional field per mv var> ...
+// The last variable is the output variable (as in espresso, outputs are
+// one multi-valued variable); `.type fd` semantics apply to it with '1's
+// as the asserted parts and '-'/'~' ignored (dc rows use `.type`-style
+// conventions via a '2' digit is not supported — dc cubes carry '1' parts
+// in a separate dc section introduced by `.dc`).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cube/cover.h"
+
+namespace picola {
+
+/// A multi-valued personality matrix: binary input field plus positional
+/// fields for each multi-valued variable (the last one being the output).
+struct MvPla {
+  int num_binary = 0;
+  std::vector<int> mv_sizes;  ///< sizes of the non-binary variables
+  std::vector<std::string> labels;  ///< optional variable labels
+
+  struct Row {
+    std::string binary;                ///< width num_binary over {0,1,-}
+    std::vector<std::string> fields;   ///< one 0/1 string per mv variable
+    bool is_dc = false;                ///< row belongs to the dc-set
+  };
+  std::vector<Row> rows;
+
+  /// Total variables (binary + multi-valued).
+  int num_vars() const {
+    return num_binary + static_cast<int>(mv_sizes.size());
+  }
+
+  /// The cube space: binary vars then the mv vars in declaration order.
+  CubeSpace space() const;
+
+  /// Onset / dc-set covers.
+  Cover onset() const;
+  Cover dcset() const;
+
+  /// Structural check; "" when valid.
+  std::string validate() const;
+};
+
+struct MvPlaParseResult {
+  MvPla pla;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+MvPlaParseResult parse_mv_pla(const std::string& text);
+MvPlaParseResult parse_mv_pla(std::istream& in);
+std::string write_mv_pla(const MvPla& pla);
+
+/// Rebuild an MvPla from covers.  The space must consist of a (possibly
+/// empty) prefix of binary variables followed by the multi-valued ones —
+/// the format cannot express other orders; returns false in that case.
+bool mv_pla_from_covers(const Cover& onset, const Cover& dc, MvPla* out);
+
+}  // namespace picola

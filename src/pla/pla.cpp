@@ -1,0 +1,117 @@
+#include "pla/pla.h"
+
+#include <cassert>
+
+namespace picola {
+
+namespace {
+
+// Build the input part of a cube from a row's input string.
+bool apply_input_plane(const CubeSpace& s, const std::string& in, Cube* c) {
+  for (int v = 0; v < static_cast<int>(in.size()); ++v) {
+    switch (in[static_cast<size_t>(v)]) {
+      case '0':
+        c->set_binary(s, v, 0);
+        break;
+      case '1':
+        c->set_binary(s, v, 1);
+        break;
+      case '-':
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+// Cover of rows whose output plane contains `ch`; the cube asserts exactly
+// those output parts.
+Cover plane_cover(const Pla& pla, char ch) {
+  CubeSpace s = pla.space();
+  int ov = s.output_var();
+  Cover f(s);
+  for (const auto& row : pla.rows) {
+    bool any = false;
+    Cube c = Cube::full(s);
+    c.clear_var(s, ov);
+    for (int o = 0; o < pla.num_outputs; ++o) {
+      if (row.out[static_cast<size_t>(o)] == ch) {
+        c.set(s, ov, o);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    bool ok = apply_input_plane(s, row.in, &c);
+    assert(ok);
+    (void)ok;
+    f.add(std::move(c));
+  }
+  return f;
+}
+
+}  // namespace
+
+Cover Pla::onset() const { return plane_cover(*this, '1'); }
+
+Cover Pla::dcset() const {
+  if (type == PlaType::F || type == PlaType::FR) return Cover(space());
+  return plane_cover(*this, '-');
+}
+
+Cover Pla::offset_rows() const {
+  if (type == PlaType::F || type == PlaType::FD) return Cover(space());
+  return plane_cover(*this, '0');
+}
+
+Pla Pla::from_cover(const Cover& onset, const Cover& dc) {
+  const CubeSpace& s = onset.space();
+  int ov = s.output_var();
+  assert(ov >= 0 && "cover needs an output variable");
+  assert(s.mv_var() < 0 && "symbolic variables must be encoded first");
+
+  Pla pla;
+  pla.num_inputs = s.num_vars() - 1;
+  pla.num_outputs = s.parts(ov);
+  pla.type = PlaType::FD;
+
+  auto emit = [&](const Cover& f, char ch) {
+    for (const Cube& c : f.cubes()) {
+      Pla::Row row;
+      row.in.resize(static_cast<size_t>(pla.num_inputs));
+      for (int v = 0; v < pla.num_inputs; ++v) {
+        static const char sym[] = {'0', '1', '-', '~'};
+        row.in[static_cast<size_t>(v)] = sym[c.binary_value(s, v)];
+      }
+      row.out.assign(static_cast<size_t>(pla.num_outputs), '0');
+      bool any = false;
+      for (int o = 0; o < pla.num_outputs; ++o) {
+        if (c.test(s, ov, o)) {
+          row.out[static_cast<size_t>(o)] = ch;
+          any = true;
+        }
+      }
+      if (any) pla.rows.push_back(std::move(row));
+    }
+  };
+  emit(onset, '1');
+  if (!dc.empty() && dc.space() == s) emit(dc, '-');
+  return pla;
+}
+
+std::string Pla::validate() const {
+  if (num_inputs < 0 || num_outputs <= 0) return "bad dimensions";
+  for (const auto& row : rows) {
+    if (static_cast<int>(row.in.size()) != num_inputs)
+      return "input plane width mismatch";
+    if (static_cast<int>(row.out.size()) != num_outputs)
+      return "output plane width mismatch";
+    for (char ch : row.in)
+      if (ch != '0' && ch != '1' && ch != '-') return "bad input character";
+    for (char ch : row.out)
+      if (ch != '0' && ch != '1' && ch != '-') return "bad output character";
+  }
+  return "";
+}
+
+}  // namespace picola

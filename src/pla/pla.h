@@ -1,0 +1,64 @@
+#pragma once
+// Programmable-logic-array model: a binary-input, multi-output personality
+// matrix, convertible to/from multi-output covers, with Berkeley espresso
+// file format I/O (see pla_io.h).
+
+#include <string>
+#include <vector>
+
+#include "cube/cover.h"
+
+namespace picola {
+
+/// Interpretation of the output plane, following espresso's `.type`.
+enum class PlaType {
+  F,    ///< '1' = onset; everything else off
+  FD,   ///< '1' = onset, '-' = dc (the default)
+  FR,   ///< '1' = onset, '0' = offset, rest unspecified
+  FDR,  ///< '1' = onset, '0' = offset, '-' = dc
+};
+
+/// A two-level personality matrix.  The input plane uses '0', '1', '-';
+/// the output plane uses '1', '0', '-' with PlaType semantics.
+struct Pla {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  PlaType type = PlaType::FD;
+  std::vector<std::string> input_labels;   ///< optional (.ilb)
+  std::vector<std::string> output_labels;  ///< optional (.ob)
+
+  struct Row {
+    std::string in;   ///< length num_inputs over {0,1,-}
+    std::string out;  ///< length num_outputs over {0,1,-}
+  };
+  std::vector<Row> rows;
+
+  /// The multi-output cube space: num_inputs binary variables plus one
+  /// output variable with num_outputs parts.
+  CubeSpace space() const {
+    return CubeSpace::fsm_layout(num_inputs, 0, num_outputs);
+  }
+
+  /// Onset cover: one cube per row that asserts at least one '1' output.
+  Cover onset() const;
+  /// Dc-set cover (rows with '-' outputs); empty for types F and FR.
+  Cover dcset() const;
+  /// Explicit off-set cover (rows with '0' outputs); only meaningful for
+  /// types FR and FDR.
+  Cover offset_rows() const;
+
+  /// Rebuild a PLA (type FD) from a multi-output cover over a space with an
+  /// output variable; cubes asserting no output are skipped.
+  static Pla from_cover(const Cover& onset, const Cover& dc = {});
+
+  /// Total PLA area in the usual 2-level metric:
+  /// rows * (2 * num_inputs + num_outputs).
+  long area() const {
+    return static_cast<long>(rows.size()) * (2L * num_inputs + num_outputs);
+  }
+
+  /// Structural sanity check; returns an error message or "" when valid.
+  std::string validate() const;
+};
+
+}  // namespace picola

@@ -1,0 +1,139 @@
+#include "pla/pla_io.h"
+
+#include <sstream>
+
+#include "base/parse_util.h"
+
+namespace picola {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+}  // namespace
+
+PlaParseResult parse_pla(std::istream& in) {
+  PlaParseResult res;
+  Pla& pla = res.pla;
+  pla.num_outputs = 0;
+  std::string line;
+  int lineno = 0;
+  bool saw_i = false, saw_o = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> toks = split_ws(line);
+    if (toks.empty()) continue;
+    const std::string& head = toks[0];
+    auto fail = [&](const std::string& msg) {
+      res.error = "line " + std::to_string(lineno) + ": " + msg;
+    };
+    if (head == ".i") {
+      if (toks.size() != 2) { fail(".i needs one argument"); return res; }
+      auto v = parse_int(toks[1]);
+      if (!v || *v < 0) { fail("bad .i value"); return res; }
+      pla.num_inputs = *v;
+      saw_i = true;
+    } else if (head == ".o") {
+      if (toks.size() != 2) { fail(".o needs one argument"); return res; }
+      auto v = parse_int(toks[1]);
+      if (!v || *v <= 0) { fail("bad .o value"); return res; }
+      pla.num_outputs = *v;
+      saw_o = true;
+    } else if (head == ".p") {
+      // row-count hint; ignored
+    } else if (head == ".type") {
+      if (toks.size() != 2) { fail(".type needs one argument"); return res; }
+      if (toks[1] == "f") pla.type = PlaType::F;
+      else if (toks[1] == "fd") pla.type = PlaType::FD;
+      else if (toks[1] == "fr") pla.type = PlaType::FR;
+      else if (toks[1] == "fdr") pla.type = PlaType::FDR;
+      else { fail("unknown .type " + toks[1]); return res; }
+    } else if (head == ".ilb") {
+      pla.input_labels.assign(toks.begin() + 1, toks.end());
+    } else if (head == ".ob") {
+      pla.output_labels.assign(toks.begin() + 1, toks.end());
+    } else if (head == ".e" || head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      res.warnings.push_back("line " + std::to_string(lineno) +
+                             ": ignored directive " + head);
+    } else {
+      if (!saw_i || !saw_o) { fail("cube before .i/.o"); return res; }
+      std::string in_plane, out_plane;
+      if (toks.size() == 2) {
+        in_plane = toks[0];
+        out_plane = toks[1];
+      } else {
+        // Allow the planes to be written without separation.
+        std::string all;
+        for (const auto& t : toks) all += t;
+        if (static_cast<int>(all.size()) != pla.num_inputs + pla.num_outputs) {
+          fail("cube width mismatch");
+          return res;
+        }
+        in_plane = all.substr(0, static_cast<size_t>(pla.num_inputs));
+        out_plane = all.substr(static_cast<size_t>(pla.num_inputs));
+      }
+      if (static_cast<int>(in_plane.size()) != pla.num_inputs ||
+          static_cast<int>(out_plane.size()) != pla.num_outputs) {
+        fail("cube width mismatch");
+        return res;
+      }
+      // Espresso allows 2|~ in the input plane as synonyms of '-'.
+      for (char& ch : in_plane)
+        if (ch == '2' || ch == '~') ch = '-';
+      for (char& ch : out_plane) {
+        if (ch == '2' || ch == '~' || ch == '4') ch = '-';
+      }
+      pla.rows.push_back({std::move(in_plane), std::move(out_plane)});
+    }
+  }
+  if (!saw_i || !saw_o) {
+    res.error = "missing .i or .o";
+    return res;
+  }
+  std::string verr = pla.validate();
+  if (!verr.empty()) res.error = verr;
+  return res;
+}
+
+PlaParseResult parse_pla(const std::string& text) {
+  std::istringstream is(text);
+  return parse_pla(is);
+}
+
+std::string write_pla(const Pla& pla) {
+  std::ostringstream os;
+  os << ".i " << pla.num_inputs << '\n';
+  os << ".o " << pla.num_outputs << '\n';
+  if (!pla.input_labels.empty()) {
+    os << ".ilb";
+    for (const auto& l : pla.input_labels) os << ' ' << l;
+    os << '\n';
+  }
+  if (!pla.output_labels.empty()) {
+    os << ".ob";
+    for (const auto& l : pla.output_labels) os << ' ' << l;
+    os << '\n';
+  }
+  switch (pla.type) {
+    case PlaType::F: os << ".type f\n"; break;
+    case PlaType::FD: os << ".type fd\n"; break;
+    case PlaType::FR: os << ".type fr\n"; break;
+    case PlaType::FDR: os << ".type fdr\n"; break;
+  }
+  os << ".p " << pla.rows.size() << '\n';
+  for (const auto& row : pla.rows) os << row.in << ' ' << row.out << '\n';
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace picola

@@ -1,0 +1,32 @@
+#pragma once
+// Berkeley espresso PLA file format reader/writer.
+//
+// Supported directives: .i .o .p .type .ilb .ob .e/.end; comments (#) and
+// blank lines are skipped.  Unknown dot-directives are ignored with a
+// warning collected into ParseResult::warnings.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pla/pla.h"
+
+namespace picola {
+
+/// Outcome of parsing; `ok()` is false when `error` is non-empty.
+struct PlaParseResult {
+  Pla pla;
+  std::string error;
+  std::vector<std::string> warnings;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse espresso PLA text.
+PlaParseResult parse_pla(const std::string& text);
+/// Parse from a stream.
+PlaParseResult parse_pla(std::istream& in);
+
+/// Serialise to espresso PLA text.
+std::string write_pla(const Pla& pla);
+
+}  // namespace picola

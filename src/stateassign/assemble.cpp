@@ -1,0 +1,229 @@
+#include "stateassign/assemble.h"
+
+#include <cassert>
+
+#include "core/input_encoding.h"
+
+namespace picola {
+
+CubeSpace encoded_space(const Fsm& fsm, const Encoding& enc) {
+  return CubeSpace::fsm_layout(fsm.num_inputs + enc.num_bits, 0,
+                               enc.num_bits + fsm.num_outputs);
+}
+
+namespace {
+
+/// Write `code` into the state-bit variables [ni, ni+nv) of `c`.
+void set_state_bits(const CubeSpace& s, int ni, const Encoding& enc,
+                    uint32_t code, Cube* c) {
+  for (int b = 0; b < enc.num_bits; ++b)
+    c->set_binary(s, ni + b, static_cast<int>((code >> b) & 1u));
+}
+
+/// Write a CodeCube literal into the state-bit variables.
+void set_state_cube(const CubeSpace& s, int ni, const Encoding& enc,
+                    const CodeCube& cc, Cube* c) {
+  for (int b = 0; b < enc.num_bits; ++b) {
+    uint32_t bit = uint32_t{1} << b;
+    if (cc.care & bit)
+      c->set_binary(s, ni + b, (cc.value & bit) ? 1 : 0);
+  }
+}
+
+/// Dc cubes for the unused state codes: any input, every output free.
+void add_unused_code_dc(const Fsm& fsm, const Encoding& enc,
+                        const CubeSpace& s, Cover* dcset) {
+  for (uint32_t u : enc.unused_codes()) {
+    Cube c = Cube::full(s);
+    set_state_bits(s, fsm.num_inputs, enc, u, &c);
+    dcset->add(std::move(c));
+  }
+}
+
+}  // namespace
+
+void encode_transition_table(const Fsm& fsm, const Encoding& enc,
+                             Cover* onset, Cover* dcset) {
+  CubeSpace s = encoded_space(fsm, enc);
+  const int ni = fsm.num_inputs;
+  const int nv = enc.num_bits;
+  const int ov = s.output_var();
+  *onset = Cover(s);
+  *dcset = Cover(s);
+
+  for (const auto& t : fsm.transitions) {
+    Cube base = Cube::full(s);
+    for (int v = 0; v < ni; ++v) {
+      char ch = t.input[static_cast<size_t>(v)];
+      if (ch == '0') base.set_binary(s, v, 0);
+      if (ch == '1') base.set_binary(s, v, 1);
+    }
+    set_state_bits(s, ni, enc, enc.code(t.from), &base);
+
+    Cube on = base;
+    on.clear_var(s, ov);
+    bool any_on = false;
+    if (t.to != Transition::kAnyState) {
+      uint32_t code = enc.code(t.to);
+      for (int b = 0; b < nv; ++b) {
+        if ((code >> b) & 1u) {
+          on.set(s, ov, b);
+          any_on = true;
+        }
+      }
+    }
+    for (int o = 0; o < fsm.num_outputs; ++o) {
+      if (t.output[static_cast<size_t>(o)] == '1') {
+        on.set(s, ov, nv + o);
+        any_on = true;
+      }
+    }
+    if (any_on) onset->add(std::move(on));
+
+    Cube dc = base;
+    dc.clear_var(s, ov);
+    bool any_dc = false;
+    if (t.to == Transition::kAnyState) {
+      for (int b = 0; b < nv; ++b) dc.set(s, ov, b);
+      any_dc = true;
+    }
+    for (int o = 0; o < fsm.num_outputs; ++o) {
+      if (t.output[static_cast<size_t>(o)] == '-') {
+        dc.set(s, ov, nv + o);
+        any_dc = true;
+      }
+    }
+    if (any_dc) dcset->add(std::move(dc));
+  }
+  add_unused_code_dc(fsm, enc, s, dcset);
+}
+
+void encode_one_hot_table(const Fsm& fsm, Cover* onset, Cover* dcset) {
+  const int ns = fsm.num_states();
+  const int ni = fsm.num_inputs;
+  const int no = fsm.num_outputs;
+  assert(ns <= 31 && "one-hot state registers wider than 31 are unsupported");
+  CubeSpace s = CubeSpace::fsm_layout(ni + ns, 0, ns + no);
+  const int ov = s.output_var();
+  *onset = Cover(s);
+  *dcset = Cover(s);
+
+  for (const auto& t : fsm.transitions) {
+    Cube base = Cube::full(s);
+    for (int v = 0; v < ni; ++v) {
+      char ch = t.input[static_cast<size_t>(v)];
+      if (ch == '0') base.set_binary(s, v, 0);
+      if (ch == '1') base.set_binary(s, v, 1);
+    }
+    // Present state: only its own bit is tested (the classic one-hot
+    // single-literal trick is legal because invalid patterns are dc).
+    base.set_binary(s, ni + t.from, 1);
+
+    Cube on = base;
+    on.clear_var(s, ov);
+    bool any_on = false;
+    if (t.to != Transition::kAnyState) {
+      on.set(s, ov, t.to);
+      any_on = true;
+    }
+    for (int o = 0; o < no; ++o) {
+      if (t.output[static_cast<size_t>(o)] == '1') {
+        on.set(s, ov, ns + o);
+        any_on = true;
+      }
+    }
+    if (any_on) onset->add(std::move(on));
+
+    Cube dc = base;
+    dc.clear_var(s, ov);
+    bool any_dc = false;
+    if (t.to == Transition::kAnyState) {
+      for (int q = 0; q < ns; ++q) dc.set(s, ov, q);
+      any_dc = true;
+    }
+    for (int o = 0; o < no; ++o) {
+      if (t.output[static_cast<size_t>(o)] == '-') {
+        dc.set(s, ov, ns + o);
+        any_dc = true;
+      }
+    }
+    if (any_dc) dcset->add(std::move(dc));
+  }
+
+  // Invalid one-hot patterns are don't-cares: all state bits zero, or any
+  // two state bits set.
+  {
+    Cube zero = Cube::full(s);
+    for (int q = 0; q < ns; ++q) zero.set_binary(s, ni + q, 0);
+    dcset->add(std::move(zero));
+    for (int a = 0; a < ns; ++a) {
+      for (int b = a + 1; b < ns; ++b) {
+        Cube two = Cube::full(s);
+        two.set_binary(s, ni + a, 1);
+        two.set_binary(s, ni + b, 1);
+        dcset->add(std::move(two));
+      }
+    }
+  }
+}
+
+void encode_symbolic_cover(const DerivedConstraints& derived, const Fsm& fsm,
+                           const Encoding& enc, Cover* onset, Cover* dcset) {
+  CubeSpace es = encoded_space(fsm, enc);
+  const CubeSpace& ss = derived.space;  // symbolic space
+  const int ni = fsm.num_inputs;
+  const int nv = enc.num_bits;
+  const int ns = fsm.num_states();
+  const int smv = ss.mv_var();
+  const int sov = ss.output_var();
+  const int eov = es.output_var();
+  *onset = Cover(es);
+  *dcset = Cover(es);
+
+  for (const Cube& sc : derived.minimized.cubes()) {
+    // Present-state literal -> a cover over the state bits.
+    std::vector<int> members;
+    for (int p = 0; p < ns; ++p)
+      if (sc.test(ss, smv, p)) members.push_back(p);
+    assert(!members.empty());
+
+    std::vector<CodeCube> state_cubes = encode_symbol_group(members, enc);
+
+    for (const CodeCube& scc : state_cubes) {
+      Cube out = Cube::full(es);
+      // Primary-input literals copy over (same variable order).
+      for (int v = 0; v < ni; ++v) {
+        int val = sc.binary_value(ss, v);
+        if (val == 0 || val == 1) out.set_binary(es, v, val);
+      }
+      set_state_cube(es, ni, enc, scc, &out);
+      // Output literal: next-state one-hot parts [0, ns) map onto code
+      // bits; primary outputs [ns, ns+no) map onto [nv, nv+no).
+      out.clear_var(es, eov);
+      bool any = false;
+      uint32_t next_bits = 0;
+      for (int q = 0; q < ns; ++q)
+        if (sc.test(ss, sov, q)) next_bits |= enc.code(q);
+      for (int b = 0; b < nv; ++b) {
+        if ((next_bits >> b) & 1u) {
+          out.set(es, eov, b);
+          any = true;
+        }
+      }
+      for (int o = 0; o < fsm.num_outputs; ++o) {
+        if (sc.test(ss, sov, ns + o)) {
+          out.set(es, eov, nv + o);
+          any = true;
+        }
+      }
+      if (any) onset->add(std::move(out));
+    }
+  }
+
+  // The dc-set comes from the raw table ('*' rows, '-' outputs) plus the
+  // unused codes; reuse the transition-table encoding of the dc plane.
+  Cover unused_onset(es);
+  encode_transition_table(fsm, enc, &unused_onset, dcset);
+}
+
+}  // namespace picola

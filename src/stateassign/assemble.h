@@ -1,0 +1,42 @@
+#pragma once
+// Assembling the encoded two-level implementation of an FSM: substitute
+// state codes into either the raw transition table or the minimised
+// symbolic cover, producing a binary multi-output cover
+// (inputs = primary inputs + state bits; outputs = next-state bits +
+// primary outputs).
+
+#include "constraints/derive.h"
+#include "encoders/encoding.h"
+#include "kiss/fsm.h"
+#include "pla/pla.h"
+
+namespace picola {
+
+/// The encoded combinational space of `fsm` under `enc`:
+/// fsm_layout(num_inputs + enc.num_bits, 0, enc.num_bits + num_outputs).
+CubeSpace encoded_space(const Fsm& fsm, const Encoding& enc);
+
+/// Encode the raw transition table: one cube per transition (next-state
+/// code bits + '1' outputs in the onset; '*' rows and '-' outputs in the
+/// dc-set).  Unused state codes are added to the dc-set with every output
+/// free.
+void encode_transition_table(const Fsm& fsm, const Encoding& enc,
+                             Cover* onset, Cover* dcset);
+
+/// Encode a minimised symbolic cover (the NOVA/PICOLA flow): the
+/// present-state literal of each symbolic cube is implemented over the
+/// state bits by the Theorem-I constructive cover when its precondition
+/// holds, and by an espresso-minimised cover of the member codes (unused
+/// codes as dc) otherwise.  Satisfied groups become single supercubes
+/// either way.
+void encode_symbolic_cover(const DerivedConstraints& derived,
+                           const Fsm& fsm, const Encoding& enc,
+                           Cover* onset, Cover* dcset);
+
+/// One-hot encoding of the transition table (one state bit per state).
+/// The invalid code patterns (no bit set / two bits set) are added to the
+/// dc-set compactly — O(n^2) cubes instead of 2^n minterms.  Requires
+/// fsm.num_states() <= 31.
+void encode_one_hot_table(const Fsm& fsm, Cover* onset, Cover* dcset);
+
+}  // namespace picola

@@ -1,0 +1,56 @@
+#include "stateassign/blif.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace picola {
+
+std::string write_blif(const Fsm& fsm, const Encoding& enc,
+                       const Cover& cover, const std::string& model_name) {
+  const CubeSpace& s = cover.space();
+  const int ni = fsm.num_inputs;
+  const int nv = enc.num_bits;
+  const int no = fsm.num_outputs;
+  const int ov = s.output_var();
+  assert(ov >= 0 && s.parts(ov) == nv + no);
+  assert(s.num_vars() == ni + nv + 1);
+
+  std::ostringstream os;
+  os << ".model " << (model_name.empty() ? fsm.name : model_name) << '\n';
+  os << ".inputs";
+  for (int i = 0; i < ni; ++i) os << " in" << i;
+  os << '\n';
+  os << ".outputs";
+  for (int o = 0; o < no; ++o) os << " out" << o;
+  os << '\n';
+
+  // One latch per state bit; initial value from the reset state's code.
+  uint32_t reset_code = enc.code(fsm.reset_state);
+  for (int b = 0; b < nv; ++b) {
+    os << ".latch ns" << b << " s" << b << ' '
+       << ((reset_code >> b) & 1u) << '\n';
+  }
+
+  // One single-output block per net.
+  auto emit_net = [&](int part, const std::string& net) {
+    os << ".names";
+    for (int i = 0; i < ni; ++i) os << " in" << i;
+    for (int b = 0; b < nv; ++b) os << " s" << b;
+    os << ' ' << net << '\n';
+    for (const Cube& c : cover.cubes()) {
+      if (!c.test(s, ov, part)) continue;
+      std::string row;
+      static const char sym[] = {'0', '1', '-', '~'};
+      for (int v = 0; v < ni + nv; ++v)
+        row += sym[c.binary_value(s, v)];
+      os << row << " 1\n";
+    }
+  };
+  for (int b = 0; b < nv; ++b) emit_net(b, "ns" + std::to_string(b));
+  for (int o = 0; o < no; ++o) emit_net(nv + o, "out" + std::to_string(o));
+
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace picola

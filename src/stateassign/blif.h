@@ -1,0 +1,23 @@
+#pragma once
+// BLIF netlist export of an encoded FSM implementation: one latch per
+// state bit, one single-output .names block per next-state bit and per
+// primary output, all driven by the minimised multi-output cover.  This is
+// the artifact a SIS-era flow would consume after state assignment.
+
+#include <string>
+
+#include "cube/cover.h"
+#include "encoders/encoding.h"
+#include "kiss/fsm.h"
+
+namespace picola {
+
+/// Serialise the encoded implementation as BLIF.  `cover` must live in the
+/// encoded space (fsm.num_inputs + enc.num_bits binary inputs; output
+/// variable = enc.num_bits next-state parts then fsm.num_outputs outputs),
+/// i.e. what StateAssignResult::minimized holds.
+std::string write_blif(const Fsm& fsm, const Encoding& enc,
+                       const Cover& cover,
+                       const std::string& model_name = "");
+
+}  // namespace picola

@@ -1,0 +1,154 @@
+// In-process tests of the command-line driver.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "kiss/benchmarks.h"
+#include "kiss/kiss_io.h"
+
+namespace picola {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    return testing::TempDir() + "picola_cli_" + name;
+  }
+  void write(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  }
+  std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+  int run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return cli::run(args, out_, err_);
+  }
+  std::ostringstream out_, err_;
+};
+
+constexpr const char* kCon =
+    ".n 15\n1 5 7 13\n0 1\n8 13\n5 6 7 8 13\n.e\n";
+
+TEST_F(CliTest, EncodeConFile) {
+  std::string in = temp_path("paper.con");
+  write(in, kCon);
+  EXPECT_EQ(run({"encode", in}), 0);
+  EXPECT_NE(out_.str().find("satisfied 3/4"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("5 implementation cubes"), std::string::npos);
+}
+
+TEST_F(CliTest, EncodeWritesCodesFile) {
+  std::string in = temp_path("w.con");
+  std::string codes = temp_path("codes.txt");
+  write(in, kCon);
+  EXPECT_EQ(run({"encode", in, "-o", codes, "--quiet"}), 0);
+  std::string text = slurp(codes);
+  // 15 symbols, one line each, 4-bit codes.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 15);
+}
+
+TEST_F(CliTest, EncodeAllAlgorithms) {
+  std::string in = temp_path("all.con");
+  write(in, kCon);
+  for (const char* algo :
+       {"picola", "nova", "enc", "anneal", "sequential", "gray", "random"}) {
+    EXPECT_EQ(run({"encode", in, "--algorithm", algo, "--quiet"}), 0) << algo;
+  }
+}
+
+TEST_F(CliTest, EncodeRejectsUnknownAlgorithm) {
+  std::string in = temp_path("bad.con");
+  write(in, kCon);
+  EXPECT_NE(run({"encode", in, "--algorithm", "magic"}), 0);
+}
+
+TEST_F(CliTest, EncodeFromKiss) {
+  std::string in = temp_path("m.kiss2");
+  write(in, write_kiss(make_example_fsm("vending")));
+  EXPECT_EQ(run({"encode", in, "--quiet"}), 0);
+  EXPECT_NE(out_.str().find("algorithm picola"), std::string::npos);
+}
+
+TEST_F(CliTest, AssignProducesVerifiedPla) {
+  std::string in = temp_path("t.kiss2");
+  std::string outpla = temp_path("t.pla");
+  write(in, write_kiss(make_example_fsm("traffic")));
+  EXPECT_EQ(run({"assign", in, "-o", outpla}), 0);
+  EXPECT_NE(out_.str().find("self-check PASS"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(slurp(outpla).find(".i "), std::string::npos);
+}
+
+TEST_F(CliTest, MinimizeShrinksPla) {
+  std::string in = temp_path("f.pla");
+  write(in, ".i 3\n.o 1\n000 1\n001 1\n011 1\n111 1\n.e\n");
+  EXPECT_EQ(run({"minimize", in}), 0);
+  EXPECT_NE(out_.str().find("4 -> 2 terms"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, MinimizeExactMode) {
+  std::string in = temp_path("e.pla");
+  write(in, ".i 3\n.o 1\n000 1\n001 1\n011 1\n111 1\n.e\n");
+  EXPECT_EQ(run({"minimize", in, "--exact"}), 0);
+  EXPECT_NE(out_.str().find("-> 2 terms"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoOnAllKinds) {
+  std::string con = temp_path("i.con");
+  write(con, kCon);
+  EXPECT_EQ(run({"info", con}), 0);
+  EXPECT_NE(out_.str().find("15 symbols"), std::string::npos);
+
+  std::string kiss = temp_path("i.kiss2");
+  write(kiss, write_kiss(make_example_fsm("elevator")));
+  EXPECT_EQ(run({"info", kiss}), 0);
+  EXPECT_NE(out_.str().find("KISS2 FSM"), std::string::npos);
+
+  std::string pla = temp_path("i.pla");
+  write(pla, ".i 2\n.o 1\n01 1\n.e\n");
+  EXPECT_EQ(run({"info", pla}), 0);
+  EXPECT_NE(out_.str().find("PLA: 2 inputs"), std::string::npos);
+}
+
+TEST_F(CliTest, EncodeInputOnMvPla) {
+  std::string in = temp_path("f.mv");
+  write(in,
+        ".mv 4 2 6 4\n00 100110 1000\n01 100110 1000\n1- 100110 0100\n"
+        "-0 011000 0010\n-1 011000 0011\n00 000001 0001\n01 000001 1001\n"
+        "1- 000001 0001\n.e\n");
+  EXPECT_EQ(run({"encode-input", in}), 0);
+  EXPECT_NE(out_.str().find("encoded with 3 bits"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find(".mv"), std::string::npos);
+}
+
+TEST_F(CliTest, EncodeInputRejectsBadVar) {
+  std::string in = temp_path("v.mv");
+  write(in, ".mv 2 1 3\n0 111\n.e\n");
+  EXPECT_NE(run({"encode-input", in, "--var", "0"}), 0);
+  EXPECT_NE(run({"encode-input", in, "--var", "9"}), 0);
+}
+
+TEST_F(CliTest, ErrorsAreGraceful) {
+  EXPECT_NE(run({}), 0);
+  EXPECT_NE(run({"frobnicate", "x"}), 0);
+  EXPECT_NE(run({"encode"}), 0);
+  EXPECT_NE(run({"encode", temp_path("missing.con")}), 0);
+  EXPECT_NE(run({"encode", temp_path("missing.con"), "--bits"}), 0);
+  std::string junk = temp_path("junk.con");
+  write(junk, "????");
+  EXPECT_NE(run({"info", junk}), 0);
+}
+
+}  // namespace
+}  // namespace picola

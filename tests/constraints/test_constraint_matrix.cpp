@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_matrix.h"
+
+namespace picola {
+namespace {
+
+ConstraintSet two_constraints() {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  cs.add({1, 2});
+  return cs;
+}
+
+TEST(ConstraintMatrix, InitialEntries) {
+  ConstraintMatrix m(two_constraints(), 2);
+  EXPECT_EQ(m.entry(0, 0), ConstraintMatrix::kMember);
+  EXPECT_EQ(m.entry(0, 1), ConstraintMatrix::kMember);
+  EXPECT_EQ(m.entry(0, 2), 0);
+  EXPECT_EQ(m.entry(0, 3), 0);
+  EXPECT_FALSE(m.satisfied(0));
+  EXPECT_EQ(m.pinned_columns(0), 0);
+  EXPECT_EQ(m.free_columns(0), 0);
+  EXPECT_EQ(m.max_super_dim(0), 2);
+  EXPECT_EQ(m.min_super_dim(0), 1);  // ceil_log2(2)
+  EXPECT_EQ(m.potential_intruders(0), (std::vector<int>{2, 3}));
+}
+
+TEST(ConstraintMatrix, RecordsPinningColumn) {
+  ConstraintMatrix m(two_constraints(), 2);
+  // Column 0: symbols {0,1} get 0, {2,3} get 1: pins constraint 0 and
+  // satisfies both of its dichotomies.
+  m.record_column({0, 0, 1, 1});
+  EXPECT_EQ(m.entry(0, 2), 1);
+  EXPECT_EQ(m.entry(0, 3), 1);
+  EXPECT_TRUE(m.satisfied(0));
+  EXPECT_EQ(m.pinned_columns(0), 1);
+  EXPECT_EQ(m.max_super_dim(0), 1);
+  // Constraint {1,2} has members split (1->0, 2->1): a free column.
+  EXPECT_FALSE(m.satisfied(1));
+  EXPECT_EQ(m.free_columns(1), 1);
+  EXPECT_EQ(m.min_super_dim(1), 1);
+  EXPECT_EQ(m.entry(1, 0), 0);
+  EXPECT_EQ(m.entry(1, 3), 0);
+}
+
+TEST(ConstraintMatrix, ColumnIndexStoredInEntries) {
+  ConstraintMatrix m(two_constraints(), 2);
+  m.record_column({0, 0, 0, 0});  // uniform everywhere: pins, separates none
+  EXPECT_EQ(m.entry(0, 2), 0);
+  m.record_column({0, 0, 1, 0});  // second column separates symbol 2
+  EXPECT_EQ(m.entry(0, 2), 2);    // satisfied by column index 1 -> entry 2
+  EXPECT_EQ(m.entry(0, 3), 0);
+  EXPECT_EQ(m.pinned_columns(0), 2);
+}
+
+TEST(ConstraintMatrix, MinSuperDimGrowsWithFreeColumns) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  ConstraintMatrix m(cs, 3);
+  m.record_column({0, 1, 0, 0});  // members split
+  m.record_column({1, 0, 0, 0});  // members split again
+  EXPECT_EQ(m.free_columns(0), 2);
+  EXPECT_EQ(m.min_super_dim(0), 2);
+  EXPECT_EQ(m.max_super_dim(0), 3);
+}
+
+TEST(ConstraintMatrix, AddConstraintReplaysColumns) {
+  ConstraintMatrix m(two_constraints(), 2);
+  std::vector<std::vector<int>> cols;
+  cols.push_back({0, 0, 1, 1});
+  m.record_column(cols[0]);
+  FaceConstraint g;
+  g.members = {2, 3};
+  g.is_guide = true;
+  int k = m.add_constraint(g, cols);
+  EXPECT_EQ(k, 2);
+  // The replayed column pins {2,3} and separates symbols 0 and 1.
+  EXPECT_TRUE(m.satisfied(k));
+  EXPECT_EQ(m.pinned_columns(k), 1);
+  EXPECT_EQ(m.entry(k, 0), 1);
+}
+
+TEST(ConstraintMatrix, DeactivateFlagsRow) {
+  ConstraintMatrix m(two_constraints(), 2);
+  EXPECT_TRUE(m.active(0));
+  m.deactivate(0);
+  EXPECT_FALSE(m.active(0));
+  EXPECT_TRUE(m.active(1));
+}
+
+}  // namespace
+}  // namespace picola

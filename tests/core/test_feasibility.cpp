@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/feasibility.h"
+#include "core/guide.h"
+
+namespace picola {
+namespace {
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(9), 4);
+}
+
+TEST(NvCompatible, DimensionTheoremRejectsOversizedUnion) {
+  // |A| = 4 (dim 2), |B| = 4 (dim 2), disjoint son of size 2 (dim 1):
+  // dim(super(A,B)) = 2 + 2 - 1 = 3 <= 3 -> compatible in B^3.
+  EXPECT_TRUE(nv_compatible(4, 2, 4, 2, 2, 3, 8));
+  // In B^2 it cannot fit.
+  EXPECT_FALSE(nv_compatible(4, 2, 4, 2, 2, 2, 4));
+}
+
+TEST(NvCompatible, ProperSonForcesStrictlyBiggerFather) {
+  // A = {a,b}, B = {b,c}; son {b} has dim 0, fathers need dim >= 1:
+  // 1 + 1 - 0 = 2 <= 2 -> compatible at nv=2.
+  EXPECT_TRUE(nv_compatible(2, 1, 2, 1, 1, 2, 4));
+  // But not at nv = 1.
+  EXPECT_FALSE(nv_compatible(2, 1, 2, 1, 1, 1, 2));
+}
+
+TEST(NvCompatible, DcConditionRaisesFatherDim) {
+  // Son of size 3 needs dim 2, leaving one dc slot; a father of size 5
+  // at dim 3 has 3 dc slots (fine), but a father of size 4 with the same
+  // son: dim(son)=2 with dc 1 > dc of a dim-2 father (0) -> father forced
+  // to dim 3.  Then 3 + 3 - 2 = 4 > 3 -> incompatible in B^3.
+  EXPECT_FALSE(nv_compatible(4, 2, 4, 2, 3, 3, 8));
+}
+
+TEST(NvCompatible, VoidSonUsesGlobalBudget) {
+  // Two disjoint constraints of size 3 (dim 2, dc 1 each) among 8 symbols
+  // in B^3: budget = 0 < 2 -> incompatible.
+  EXPECT_FALSE(nv_compatible(3, 2, 3, 2, 0, 3, 8));
+  // With 6 symbols the budget is 2 -> compatible.
+  EXPECT_TRUE(nv_compatible(3, 2, 3, 2, 0, 3, 6));
+}
+
+TEST(Classify, StaticBudgetDetectsInfeasibleSize3Constraint) {
+  // 4 symbols in B^2 (no unused codes): a 3-member constraint needs a
+  // 2-dimensional supercube with one dc slot -> infeasible immediately.
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1, 2});
+  cs.add({0, 1});
+  ConstraintMatrix m(cs, 2);
+  std::vector<int> bad = classify_infeasible(m);
+  EXPECT_EQ(bad, (std::vector<int>{0}));
+}
+
+TEST(Classify, SatisfiedConstraintKillsIncompatibleOne) {
+  // 8 symbols in B^3 (no unused codes).  Column {0,0,0,0,1,1,1,1}
+  // satisfies A = {0,1,2,3} on the face 0--.  B = {3,4,5,6} has a son {3}
+  // with A; dim(A) = dim(B) = 2, dim(son) = 0, so
+  // dim(super(A,B)) = 2 + 2 - 0 = 4 > 3: B is no longer satisfiable.
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1, 2, 3});
+  cs.add({3, 4, 5, 6});
+  ConstraintMatrix m(cs, 3);
+  EXPECT_TRUE(classify_infeasible(m).empty());
+  m.record_column({0, 0, 0, 0, 1, 1, 1, 1});
+  ASSERT_TRUE(m.satisfied(0));
+  EXPECT_EQ(classify_infeasible(m), (std::vector<int>{1}));
+}
+
+TEST(Classify, FreeColumnsRaiseMinDimIntoInfeasibility) {
+  // 8 symbols in B^3, constraint of size 2.  After two free columns its
+  // supercube has dim >= 2, i.e. >= 4 codes for 2 members: needs 2 unused
+  // codes but the budget is 0 -> infeasible.
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1});
+  ConstraintMatrix m(cs, 3);
+  m.record_column({0, 1, 0, 1, 0, 1, 0, 1});  // split
+  EXPECT_TRUE(classify_infeasible(m).empty());  // dim>=1: 0 dc needed
+  m.record_column({1, 0, 0, 1, 0, 1, 0, 1});  // split again
+  EXPECT_EQ(classify_infeasible(m), (std::vector<int>{0}));
+}
+
+TEST(Guide, BuildsGuideFromPotentialIntruders) {
+  ConstraintSet cs;
+  cs.num_symbols = 6;
+  cs.add({0, 1, 2});
+  ConstraintMatrix m(cs, 3);
+  // Column separating symbol 5 only.
+  m.record_column({0, 0, 0, 0, 0, 1});
+  auto g = make_guide(m, 0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->members, (std::vector<int>{3, 4}));
+  EXPECT_TRUE(g->is_guide);
+  EXPECT_EQ(g->origin, 0);
+  EXPECT_DOUBLE_EQ(g->weight, 0.75);
+}
+
+TEST(Guide, NoGuideForSingleIntruder) {
+  ConstraintSet cs;
+  cs.num_symbols = 5;
+  cs.add({0, 1, 2});
+  ConstraintMatrix m(cs, 3);
+  m.record_column({0, 0, 0, 0, 1});  // symbol 4 separated; only 3 remains
+  EXPECT_FALSE(make_guide(m, 0).has_value());
+}
+
+TEST(Guide, GuideOfGuideTracksRootOrigin) {
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1, 2});
+  ConstraintMatrix m(cs, 3);
+  auto g = make_guide(m, 0);
+  ASSERT_TRUE(g.has_value());
+  int gk = m.add_constraint(*g, {});
+  auto gg = make_guide(m, gk);
+  ASSERT_TRUE(gg.has_value());
+  EXPECT_EQ(gg->origin, 0);  // root, not the intermediate guide
+  GuideOptions no_rec;
+  no_rec.recursive = false;
+  EXPECT_FALSE(make_guide(m, gk, no_rec).has_value());
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/input_encoding.h"
+#include "pla/mv_pla.h"
+
+namespace picola {
+namespace {
+
+// The encoded function must equal the original under code substitution:
+// for every non-dc minterm (x, v, rest), original coverage at symbol v ==
+// encoded coverage at code(v).
+void check_substitution_sound(const Cover& onset, const Cover& dc, int var,
+                              const InputEncodingResult& r) {
+  const CubeSpace& s = onset.space();
+  const CubeSpace& es = r.encoded_space;
+  const int nv = r.encoding.num_bits;
+  Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+    if (dc.covers_minterm(mt)) return;  // free either way
+    // Translate to the encoded space.
+    std::vector<int> emt;
+    for (int u = 0; u < s.num_vars(); ++u) {
+      if (u == var) {
+        uint32_t code = r.encoding.code(mt[static_cast<size_t>(u)]);
+        for (int b = 0; b < nv; ++b)
+          emt.push_back(static_cast<int>((code >> b) & 1u));
+      } else {
+        emt.push_back(mt[static_cast<size_t>(u)]);
+      }
+    }
+    bool want = onset.covers_minterm(mt);
+    bool enc_dc = r.encoded_dc.covers_minterm(emt);
+    if (enc_dc) return;  // the encoded flow may declare extra dc (unused codes)
+    EXPECT_EQ(r.minimized.covers_minterm(emt), want)
+        << "substitution changed the function";
+    (void)es;
+  });
+}
+
+MvPla builtin() {
+  MvPlaParseResult r = parse_mv_pla(R"(.mv 4 2 6 4
+00 100110 1000
+01 100110 1000
+1- 100110 0100
+-0 011000 0010
+-1 011000 0011
+00 000001 0001
+01 000001 1001
+1- 000001 0001
+.e
+)");
+  EXPECT_TRUE(r.ok()) << r.error;
+  return r.pla;
+}
+
+TEST(InputEncoding, ReplaceVarLayout) {
+  CubeSpace s = CubeSpace::multi_valued({2, 5, 3});
+  CubeSpace t = replace_var_with_bits(s, 1, 3);
+  EXPECT_EQ(t.num_vars(), 5);
+  EXPECT_EQ(t.parts(0), 2);
+  EXPECT_EQ(t.parts(1), 2);
+  EXPECT_EQ(t.parts(2), 2);
+  EXPECT_EQ(t.parts(3), 2);
+  EXPECT_EQ(t.parts(4), 3);
+}
+
+TEST(InputEncoding, BuiltinFlowIsSound) {
+  MvPla pla = builtin();
+  InputEncodingResult r =
+      encode_symbolic_input(pla.onset(), pla.dcset(), pla.num_binary);
+  EXPECT_EQ(r.encoding.num_bits, 3);
+  EXPECT_EQ(r.encoding.validate(), "");
+  EXPECT_GE(r.constraints.size(), 1);
+  check_substitution_sound(pla.onset(), pla.dcset(), pla.num_binary, r);
+}
+
+TEST(InputEncoding, AllEncodersProduceSoundResults) {
+  MvPla pla = builtin();
+  for (InputEncoder e :
+       {InputEncoder::kPicola, InputEncoder::kNovaLike, InputEncoder::kEncLike,
+        InputEncoder::kSequential, InputEncoder::kRandom}) {
+    InputEncodingOptions opt;
+    opt.encoder = e;
+    InputEncodingResult r =
+        encode_symbolic_input(pla.onset(), pla.dcset(), pla.num_binary, opt);
+    check_substitution_sound(pla.onset(), pla.dcset(), pla.num_binary, r);
+  }
+}
+
+TEST(InputEncoding, EncodedGroupCoversExactlyMembers) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = 5 + static_cast<int>(rng() % 8);
+    Encoding e;
+    e.num_symbols = n;
+    e.num_bits = Encoding::min_bits(n);
+    std::vector<uint32_t> pool(size_t{1} << e.num_bits);
+    for (size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<uint32_t>(i);
+    std::shuffle(pool.begin(), pool.end(), rng);
+    e.codes.assign(pool.begin(), pool.begin() + n);
+
+    std::vector<int> members;
+    for (int v = 0; v < n; ++v)
+      if (rng() % 2) members.push_back(v);
+    if (members.empty()) members.push_back(0);
+
+    auto cubes = encode_symbol_group(members, e);
+    for (int v = 0; v < n; ++v) {
+      bool covered = false;
+      for (const CodeCube& cc : cubes)
+        if (cc.contains(e.code(v))) covered = true;
+      bool is_member =
+          std::find(members.begin(), members.end(), v) != members.end();
+      EXPECT_EQ(covered, is_member);
+    }
+  }
+}
+
+TEST(InputEncoding, WiderCodesReduceCubes) {
+  // With one extra bit every constraint fits, so the encoded cover can
+  // match the symbolic cube count.
+  MvPla pla = builtin();
+  InputEncodingOptions wide;
+  wide.num_bits = 4;
+  InputEncodingResult r4 =
+      encode_symbolic_input(pla.onset(), pla.dcset(), pla.num_binary, wide);
+  InputEncodingResult r3 =
+      encode_symbolic_input(pla.onset(), pla.dcset(), pla.num_binary);
+  EXPECT_LE(r4.minimized.size(), r3.minimized.size());
+  check_substitution_sound(pla.onset(), pla.dcset(), pla.num_binary, r4);
+}
+
+TEST(InputEncoding, SkipFinalMinimisation) {
+  MvPla pla = builtin();
+  InputEncodingOptions opt;
+  opt.minimize_final = false;
+  InputEncodingResult r =
+      encode_symbolic_input(pla.onset(), pla.dcset(), pla.num_binary, opt);
+  EXPECT_EQ(r.minimized.size(), r.encoded_onset.size());
+}
+
+}  // namespace
+}  // namespace picola

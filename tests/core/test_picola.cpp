@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "constraints/dichotomy.h"
+#include "core/picola.h"
+#include "eval/constraint_eval.h"
+
+namespace picola {
+namespace {
+
+// The paper's Figure 1b constraint set: 15 symbols,
+// L1 = {s2,s6,s8,s14}, L2 = {s1,s2}, L3 = {s9,s14},
+// L4 = {s6,s7,s8,s9,s14}  (symbol s<i> is id i-1).
+ConstraintSet paper_constraints() {
+  ConstraintSet cs;
+  cs.num_symbols = 15;
+  cs.add({1, 5, 7, 13});
+  cs.add({0, 1});
+  cs.add({8, 13});
+  cs.add({5, 6, 7, 8, 13});
+  return cs;
+}
+
+TEST(Picola, ProducesValidMinimumLengthEncoding) {
+  PicolaResult r = picola_encode(paper_constraints());
+  EXPECT_EQ(r.encoding.num_bits, 4);
+  EXPECT_EQ(r.encoding.validate(), "");
+}
+
+TEST(Picola, PaperExampleQuality) {
+  // The paper shows that L1..L3 can be satisfied while the infeasible L4
+  // is implemented with two cubes (five cubes in total).
+  PicolaResult r = picola_encode(paper_constraints());
+  ConstraintEvalResult eval =
+      evaluate_constraints(paper_constraints(), r.encoding);
+  EXPECT_GE(eval.satisfied, 3);
+  EXPECT_LE(eval.total_cubes, 5);
+}
+
+TEST(Picola, SolveColumnRespectsCapacity) {
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1, 2, 3});
+  ConstraintMatrix m(cs, 3);
+  std::vector<uint32_t> prefixes(8, 0);
+  PicolaOptions opt;
+  std::vector<int> bits = detail::solve_column(m, prefixes, 0, opt);
+  int zeros = 0;
+  for (int b : bits) zeros += b == 0;
+  // 8 symbols, capacity 4 per side: the column must balance exactly.
+  EXPECT_EQ(zeros, 4);
+}
+
+TEST(Picola, SolveColumnSatisfiesSeparableConstraint) {
+  // {0,1} among 4 symbols: the first column can pin the pair together and
+  // separate at least one outsider.
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  ConstraintMatrix m(cs, 2);
+  std::vector<uint32_t> prefixes(4, 0);
+  PicolaOptions opt;
+  std::vector<int> bits = detail::solve_column(m, prefixes, 0, opt);
+  EXPECT_EQ(bits[0], bits[1]) << "members should stay together";
+}
+
+TEST(Picola, EveryRunSatisfiedCountMatchesEvaluator) {
+  ConstraintSet cs = paper_constraints();
+  PicolaResult r = picola_encode(cs);
+  EXPECT_EQ(r.stats.satisfied_constraints,
+            count_satisfied_constraints(cs, r.encoding));
+}
+
+TEST(Picola, GuidesImproveInfeasibleConstraintCost) {
+  // 8 symbols in B^3 with two size-4 constraints that cannot both be
+  // satisfied (see test_feasibility): with guides the loser must still be
+  // implemented economically.
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1, 2, 3});
+  cs.add({3, 4, 5, 6});
+  PicolaOptions with;
+  PicolaResult r1 = picola_encode(cs, with);
+  PicolaOptions without;
+  without.use_guides = false;
+  PicolaResult r2 = picola_encode(cs, without);
+  int c1 = evaluate_constraints(cs, r1.encoding).total_cubes;
+  int c2 = evaluate_constraints(cs, r2.encoding).total_cubes;
+  EXPECT_LE(c1, c2);
+  EXPECT_GE(r1.stats.guides_added, 0);
+}
+
+TEST(Picola, ExplicitWiderCodeSatisfiesEverything) {
+  // With nv = 4 both constraints of the infeasible pair fit.
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1, 2, 3});
+  cs.add({4, 5, 6, 7});
+  PicolaOptions opt;
+  opt.num_bits = 3;
+  PicolaResult r = picola_encode(cs, opt);
+  EXPECT_EQ(count_satisfied_constraints(cs, r.encoding), 2);
+}
+
+TEST(Picola, TwoSymbolEdgeCase) {
+  ConstraintSet cs;
+  cs.num_symbols = 2;
+  PicolaResult r = picola_encode(cs);
+  EXPECT_EQ(r.encoding.num_bits, 1);
+  EXPECT_EQ(r.encoding.validate(), "");
+}
+
+TEST(Picola, EmptyConstraintSetStillEncodes) {
+  ConstraintSet cs;
+  cs.num_symbols = 5;
+  PicolaResult r = picola_encode(cs);
+  EXPECT_EQ(r.encoding.num_bits, 3);
+  EXPECT_EQ(r.encoding.validate(), "");
+}
+
+TEST(Picola, DeterministicAcrossRuns) {
+  ConstraintSet cs = paper_constraints();
+  PicolaResult a = picola_encode(cs);
+  PicolaResult b = picola_encode(cs);
+  EXPECT_EQ(a.encoding.codes, b.encoding.codes);
+}
+
+TEST(Picola, MultiStartNeverWorseThanSingle) {
+  ConstraintSet cs = paper_constraints();
+  int single = evaluate_constraints(cs, picola_encode(cs).encoding).total_cubes;
+  PicolaResult best = picola_encode_best(cs, 8);
+  EXPECT_EQ(best.encoding.validate(), "");
+  EXPECT_LE(evaluate_constraints(cs, best.encoding).total_cubes, single);
+}
+
+TEST(Picola, MultiStartDeterministic) {
+  ConstraintSet cs = paper_constraints();
+  EXPECT_EQ(picola_encode_best(cs, 5).encoding.codes,
+            picola_encode_best(cs, 5).encoding.codes);
+}
+
+TEST(Picola, RandomTieBreakStillValid) {
+  ConstraintSet cs = paper_constraints();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PicolaOptions o;
+    o.tie_break_seed = seed;
+    EXPECT_EQ(picola_encode(cs, o).encoding.validate(), "");
+  }
+}
+
+class PicolaRandomSets : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PicolaRandomSets, AlwaysValidAndNoWorseThanUnguided) {
+  std::mt19937 rng(GetParam());
+  int n = 5 + static_cast<int>(rng() % 12);
+  ConstraintSet cs;
+  cs.num_symbols = n;
+  int r = 2 + static_cast<int>(rng() % 8);
+  for (int k = 0; k < r; ++k) {
+    std::vector<int> members;
+    for (int s = 0; s < n; ++s)
+      if (rng() % 3 == 0) members.push_back(s);
+    cs.add(std::move(members));
+  }
+  PicolaResult res = picola_encode(cs);
+  EXPECT_EQ(res.encoding.validate(), "");
+  EXPECT_EQ(res.encoding.num_bits, Encoding::min_bits(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PicolaRandomSets, ::testing::Range(100u, 140u));
+
+}  // namespace
+}  // namespace picola

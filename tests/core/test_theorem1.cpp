@@ -1,0 +1,154 @@
+// Theorem I and the paper's running example (examples 3 and 4).
+
+#include <gtest/gtest.h>
+
+#include "constraints/dichotomy.h"
+#include <random>
+#include <algorithm>
+
+#include "core/theorem1.h"
+
+namespace picola {
+namespace {
+
+// Encoding reproducing the structure of the paper's examples 3/4:
+// s1 = 0000, s2 = 0010; the members of L4 = {s6,s7,s8,s9,s14} fill the rest
+// of the half-space 0--- except 0101 (unused); everything else lives in
+// 1---.  Intruders of L4 are then s1 and s2 with super(I4) = 00-0, and
+// Theorem I implements L4 with dim(0---) - dim(00-0) = 3 - 1 = 2 cubes:
+// {01--, 0--1}.  (Bit order here: code bit 3 is the leftmost literal.)
+Encoding example_encoding() {
+  Encoding e;
+  e.num_symbols = 15;
+  e.num_bits = 4;
+  e.codes.assign(15, 0);
+  e.codes[0] = 0b0000;   // s1
+  e.codes[1] = 0b0010;   // s2
+  e.codes[5] = 0b0001;   // s6
+  e.codes[6] = 0b0011;   // s7
+  e.codes[7] = 0b0100;   // s8
+  e.codes[8] = 0b0110;   // s9
+  e.codes[13] = 0b0111;  // s14
+  // remaining ids {2,3,4,9,10,11,12,14} -> 1000..1111
+  uint32_t next = 0b1000;
+  for (int id : {2, 3, 4, 9, 10, 11, 12, 14}) e.codes[static_cast<size_t>(id)] = next++;
+  return e;
+}
+
+FaceConstraint l4() {
+  FaceConstraint c;
+  c.members = {5, 6, 7, 8, 13};
+  return c;
+}
+
+TEST(Theorem1, PaperExampleIntruders) {
+  Encoding e = example_encoding();
+  EXPECT_EQ(e.validate(), "");
+  EXPECT_EQ(intruders(l4(), e), (std::vector<int>{0, 1}));
+  CodeCube super_l = e.supercube(l4().members);
+  EXPECT_EQ(super_l.dim(4), 3);           // 0---
+  EXPECT_EQ(super_l.care, 0b1000u);
+  EXPECT_EQ(super_l.value, 0b0000u);
+  CodeCube super_i = e.supercube({0, 1});
+  EXPECT_EQ(super_i.dim(4), 1);           // 00-0
+  EXPECT_EQ(super_i.care, 0b1101u);
+}
+
+TEST(Theorem1, PaperExampleCubeCount) {
+  auto count = theorem1_cube_count(l4(), example_encoding());
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 2);  // dim[super(L4)] - dim[super(I4)] = 3 - 1
+}
+
+TEST(Theorem1, PaperExampleConstructiveCover) {
+  Encoding e = example_encoding();
+  auto cover = theorem1_cover(l4(), e);
+  ASSERT_TRUE(cover.has_value());
+  ASSERT_EQ(cover->size(), 2u);
+  // Expected cubes 01-- (care 1100, value 0100) and 0--1 (care 1001,
+  // value 0001), in either order.
+  CodeCube a{0b1100, 0b0100};
+  CodeCube b{0b1001, 0b0001};
+  EXPECT_TRUE(((*cover)[0] == a && (*cover)[1] == b) ||
+              ((*cover)[0] == b && (*cover)[1] == a));
+}
+
+TEST(Theorem1, CoverIsSoundOnExample) {
+  Encoding e = example_encoding();
+  auto cover = theorem1_cover(l4(), e);
+  ASSERT_TRUE(cover.has_value());
+  FaceConstraint c = l4();
+  for (int s = 0; s < 15; ++s) {
+    bool covered = false;
+    for (const auto& cc : *cover)
+      if (cc.contains(e.code(s))) covered = true;
+    EXPECT_EQ(covered, c.contains(s)) << "symbol " << s;
+  }
+}
+
+TEST(Theorem1, SatisfiedConstraintIsOneCube) {
+  Encoding e = example_encoding();
+  FaceConstraint c;
+  c.members = {0, 1};  // super 00-0 excludes everyone else
+  auto count = theorem1_cube_count(c, e);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 1);
+  auto cover = theorem1_cover(c, e);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->size(), 1u);
+}
+
+TEST(Theorem1, PreconditionFailureReturnsNullopt) {
+  // Intruders 00 and 11 of members {01, 10}: super(I) covers everything,
+  // including the members.
+  Encoding e;
+  e.num_symbols = 4;
+  e.num_bits = 2;
+  e.codes = {0b01, 0b10, 0b00, 0b11};
+  FaceConstraint c;
+  c.members = {0, 1};
+  EXPECT_FALSE(theorem1_cover(c, e).has_value());
+  EXPECT_FALSE(theorem1_cube_count(c, e).has_value());
+}
+
+TEST(Theorem1, RandomisedSoundness) {
+  // For random encodings and constraints where the precondition holds,
+  // the constructive cover must cover exactly the members among used
+  // codes and match the claimed size.
+  std::mt19937_64 rng(77);
+  int applicable = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    int n = 5 + static_cast<int>(rng() % 8);  // 5..12 symbols
+    Encoding e;
+    e.num_symbols = n;
+    e.num_bits = Encoding::min_bits(n);
+    std::vector<uint32_t> pool(size_t{1} << e.num_bits);
+    for (size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<uint32_t>(i);
+    std::shuffle(pool.begin(), pool.end(), rng);
+    e.codes.assign(pool.begin(), pool.begin() + n);
+
+    FaceConstraint c;
+    for (int s = 0; s < n; ++s)
+      if (rng() % 2) c.members.push_back(s);
+    if (static_cast<int>(c.members.size()) < 2 ||
+        static_cast<int>(c.members.size()) >= n)
+      continue;
+
+    auto cover = theorem1_cover(c, e);
+    if (!cover) continue;
+    ++applicable;
+    auto count = theorem1_cube_count(c, e);
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(static_cast<int>(cover->size()), *count == 1 ? 1 : *count);
+    for (int s = 0; s < n; ++s) {
+      bool covered = false;
+      for (const auto& cc : *cover)
+        if (cc.contains(e.code(s))) covered = true;
+      EXPECT_EQ(covered, c.contains(s));
+    }
+  }
+  EXPECT_GT(applicable, 20);  // the sweep must actually exercise the theorem
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "cube/algebra.h"
+
+namespace picola {
+namespace {
+
+using test::bcube;
+using test::bcover;
+
+TEST(Sharp, DisjointCubesUnchanged) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover r = sharp(bcube(s, "0--"), bcube(s, "1--"), s);
+  ASSERT_EQ(r.size(), 1);
+  EXPECT_EQ(r[0], bcube(s, "0--"));
+}
+
+TEST(Sharp, ContainedCubeVanishes) {
+  CubeSpace s = CubeSpace::binary(3);
+  EXPECT_TRUE(sharp(bcube(s, "01-"), bcube(s, "0--"), s).empty());
+}
+
+TEST(Sharp, CarvesExactComplementWithinCube) {
+  CubeSpace s = CubeSpace::binary(3);
+  // (---) # (000) = 7 minterms in up to 3 cubes.
+  Cover r = sharp(Cube::full(s), bcube(s, "000"), s);
+  EXPECT_EQ(r.count_minterms_exact(), 7u);
+}
+
+TEST(DisjointSharp, PiecesAreDisjointAndExact) {
+  std::mt19937 rng(9);
+  CubeSpace s = CubeSpace::binary(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    Cover ab = test::random_cover(s, 2, rng, 0.5);
+    if (ab.size() < 2) continue;
+    const Cube &a = ab[0], &b = ab[1];
+    Cover pieces = disjoint_sharp(a, b, s);
+    // Exactness.
+    uint64_t expect = 0;
+    Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+      if (a.covers_minterm(s, mt) && !b.covers_minterm(s, mt)) ++expect;
+    });
+    EXPECT_EQ(pieces.count_minterms_exact(), expect);
+    // Pairwise disjoint.
+    for (int i = 0; i < pieces.size(); ++i)
+      for (int j = i + 1; j < pieces.size(); ++j)
+        EXPECT_NE(pieces[i].distance(pieces[j], s), 0);
+  }
+}
+
+TEST(Consensus, ClassicAdjacentCubes) {
+  CubeSpace s = CubeSpace::binary(2);
+  // x0'x1 and x0 x1': consensus undefined (distance 2).
+  EXPECT_FALSE(consensus(bcube(s, "01"), bcube(s, "10"), s).has_value());
+  // x0' and x0 x1: consensus = x1.
+  auto c = consensus(bcube(s, "0-"), bcube(s, "11"), s);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, bcube(s, "-1"));
+}
+
+TEST(Consensus, CoversTheSeam) {
+  std::mt19937 rng(12);
+  CubeSpace s = CubeSpace::binary(4);
+  int found = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Cover ab = test::random_cover(s, 2, rng, 0.4);
+    if (ab.size() < 2) continue;
+    auto c = consensus(ab[0], ab[1], s);
+    if (!c) continue;
+    ++found;
+    // The consensus must be an implicant of a + b.
+    Cover f(s);
+    f.add(ab[0]);
+    f.add(ab[1]);
+    Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+      if (c->covers_minterm(s, mt)) {
+        EXPECT_TRUE(f.covers_minterm(mt));
+      }
+    });
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(CoverAlgebra, IntersectAndSharpAreExact) {
+  std::mt19937 rng(21);
+  CubeSpace s = CubeSpace::binary(4);
+  for (int trial = 0; trial < 60; ++trial) {
+    Cover f = test::random_cover(s, 3, rng);
+    Cover g = test::random_cover(s, 3, rng);
+    Cover fi = cover_intersect(f, g);
+    Cover fs = cover_sharp(f, g);
+    Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+      bool in_f = f.covers_minterm(mt);
+      bool in_g = g.covers_minterm(mt);
+      EXPECT_EQ(fi.covers_minterm(mt), in_f && in_g);
+      EXPECT_EQ(fs.covers_minterm(mt), in_f && !in_g);
+    });
+  }
+}
+
+TEST(CoverAlgebra, MakeDisjointPreservesFunction) {
+  std::mt19937 rng(33);
+  CubeSpace s = CubeSpace::binary(4);
+  for (int trial = 0; trial < 60; ++trial) {
+    Cover f = test::random_cover(s, 4, rng);
+    Cover d = make_disjoint(f);
+    EXPECT_TRUE(test::same_function(f, d));
+    // Disjointness: total minterms equals the sum of cube sizes.
+    uint64_t total = 0;
+    for (const Cube& c : d.cubes()) total += c.num_minterms(s);
+    EXPECT_EQ(total, d.count_minterms_exact());
+  }
+}
+
+TEST(CoverAlgebra, WorksOnMultiValuedSpaces) {
+  std::mt19937 rng(44);
+  CubeSpace s = CubeSpace::multi_valued({2, 5, 3});
+  for (int trial = 0; trial < 40; ++trial) {
+    Cover f = test::random_cover(s, 3, rng, 0.5);
+    Cover g = test::random_cover(s, 2, rng, 0.5);
+    Cover fs = cover_sharp(f, g);
+    Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+      EXPECT_EQ(fs.covers_minterm(mt),
+                f.covers_minterm(mt) && !g.covers_minterm(mt));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace picola

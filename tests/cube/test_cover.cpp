@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "cube/cover.h"
+
+namespace picola {
+namespace {
+
+Cube bcube(const CubeSpace& s, const std::string& lits) {
+  Cube c = Cube::full(s);
+  for (int v = 0; v < s.num_vars(); ++v) {
+    char ch = lits[static_cast<size_t>(v)];
+    if (ch == '0') c.set_binary(s, v, 0);
+    if (ch == '1') c.set_binary(s, v, 1);
+  }
+  return c;
+}
+
+TEST(Cover, RemoveEmpty) {
+  CubeSpace s = CubeSpace::binary(2);
+  Cover f(s);
+  f.add(bcube(s, "0-"));
+  Cube empty = Cube::zeros(s);
+  f.add(empty);
+  f.remove_empty();
+  EXPECT_EQ(f.size(), 1);
+}
+
+TEST(Cover, RemoveContainedDropsSubsumedAndDuplicates) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f(s);
+  f.add(bcube(s, "0--"));
+  f.add(bcube(s, "00-"));  // contained in 0--
+  f.add(bcube(s, "0--"));  // duplicate
+  f.add(bcube(s, "1-1"));  // kept
+  f.remove_contained();
+  EXPECT_EQ(f.size(), 2);
+}
+
+TEST(Cover, MintermEnumerationCountsCorrectly) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f(s);
+  f.add(bcube(s, "0--"));  // 4 minterms
+  f.add(bcube(s, "-11"));  // 2 minterms, 1 overlaps 011
+  EXPECT_EQ(f.count_minterms_exact(), 5u);
+}
+
+TEST(Cover, CoversMinterm) {
+  CubeSpace s = CubeSpace::binary(2);
+  Cover f(s);
+  f.add(bcube(s, "01"));
+  EXPECT_TRUE(f.covers_minterm({0, 1}));
+  EXPECT_FALSE(f.covers_minterm({1, 1}));
+}
+
+TEST(Cover, ForEachMintermVisitsWholeSpace) {
+  CubeSpace s = CubeSpace::multi_valued({2, 3});
+  int n = 0;
+  Cover::for_each_minterm(s, [&](const std::vector<int>&) { ++n; });
+  EXPECT_EQ(n, 6);
+}
+
+TEST(Cover, AppendAndSort) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover a(s);
+  a.add(bcube(s, "000"));
+  Cover b(s);
+  b.add(bcube(s, "1--"));
+  a.append(b);
+  ASSERT_EQ(a.size(), 2);
+  a.sort_by_size_desc(s);
+  EXPECT_EQ(a[0].num_minterms(s), 4u);
+  EXPECT_EQ(a[1].num_minterms(s), 1u);
+}
+
+}  // namespace
+}  // namespace picola

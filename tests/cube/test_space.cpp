@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "cube/space.h"
+
+namespace picola {
+namespace {
+
+TEST(CubeSpace, BinaryLayout) {
+  CubeSpace s = CubeSpace::binary(3);
+  EXPECT_EQ(s.num_vars(), 3);
+  EXPECT_EQ(s.total_parts(), 6);
+  EXPECT_EQ(s.parts(0), 2);
+  EXPECT_EQ(s.offset(0), 0);
+  EXPECT_EQ(s.offset(2), 4);
+  EXPECT_TRUE(s.is_binary(1));
+  EXPECT_EQ(s.num_words(), 1);
+  EXPECT_EQ(s.num_minterms(), 8u);
+  EXPECT_EQ(s.mv_var(), -1);
+  EXPECT_EQ(s.output_var(), -1);
+}
+
+TEST(CubeSpace, MultiValuedLayout) {
+  CubeSpace s = CubeSpace::multi_valued({2, 5, 3});
+  EXPECT_EQ(s.num_vars(), 3);
+  EXPECT_EQ(s.total_parts(), 10);
+  EXPECT_EQ(s.offset(1), 2);
+  EXPECT_EQ(s.offset(2), 7);
+  EXPECT_FALSE(s.is_binary(1));
+  EXPECT_EQ(s.num_minterms(), 30u);
+}
+
+TEST(CubeSpace, FsmLayout) {
+  CubeSpace s = CubeSpace::fsm_layout(4, 7, 9);
+  EXPECT_EQ(s.num_vars(), 6);
+  EXPECT_EQ(s.mv_var(), 4);
+  EXPECT_EQ(s.output_var(), 5);
+  EXPECT_EQ(s.parts(4), 7);
+  EXPECT_EQ(s.parts(5), 9);
+  EXPECT_EQ(s.total_parts(), 4 * 2 + 7 + 9);
+}
+
+TEST(CubeSpace, FsmLayoutWithoutMv) {
+  CubeSpace s = CubeSpace::fsm_layout(3, 0, 4);
+  EXPECT_EQ(s.mv_var(), -1);
+  EXPECT_EQ(s.output_var(), 3);
+}
+
+TEST(CubeSpace, WordCountCrossesBoundary) {
+  CubeSpace s = CubeSpace::binary(40);  // 80 parts -> 2 words
+  EXPECT_EQ(s.num_words(), 2);
+  CubeSpace t = CubeSpace::binary(32);  // exactly 64 parts -> 1 word
+  EXPECT_EQ(t.num_words(), 1);
+}
+
+TEST(CubeSpace, MintermCountSaturates) {
+  CubeSpace s = CubeSpace::binary(100);
+  EXPECT_EQ(s.num_minterms(), uint64_t{1} << 62);
+}
+
+TEST(CubeSpace, Equality) {
+  EXPECT_EQ(CubeSpace::binary(3), CubeSpace::binary(3));
+  EXPECT_NE(CubeSpace::binary(3), CubeSpace::binary(4));
+  EXPECT_NE(CubeSpace::binary(2), CubeSpace::multi_valued({2, 3}));
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "constraints/dichotomy.h"
+#include "encoders/enc_like.h"
+#include "encoders/exact.h"
+#include "encoders/nova_like.h"
+#include "encoders/trivial.h"
+#include "eval/constraint_eval.h"
+
+namespace picola {
+namespace {
+
+ConstraintSet small_set() {
+  ConstraintSet cs;
+  cs.num_symbols = 6;
+  cs.add({0, 1});
+  cs.add({2, 3});
+  cs.add({1, 2, 4});
+  return cs;
+}
+
+TEST(TrivialEncoders, SequentialGrayRandomAreValid) {
+  for (int n : {2, 3, 5, 8, 13}) {
+    EXPECT_EQ(sequential_encoding(n).validate(), "");
+    EXPECT_EQ(gray_encoding(n).validate(), "");
+    EXPECT_EQ(random_encoding(n, 42).validate(), "");
+  }
+}
+
+TEST(TrivialEncoders, GrayAdjacentCodesDifferInOneBit) {
+  Encoding e = gray_encoding(8);
+  for (int i = 1; i < 8; ++i) {
+    uint32_t x = e.code(i) ^ e.code(i - 1);
+    EXPECT_EQ(x & (x - 1), 0u);  // power of two
+  }
+}
+
+TEST(TrivialEncoders, RandomIsSeedDeterministic) {
+  EXPECT_EQ(random_encoding(10, 7).codes, random_encoding(10, 7).codes);
+  EXPECT_NE(random_encoding(10, 7).codes, random_encoding(10, 8).codes);
+}
+
+TEST(NovaLike, ValidEncodingAndEmbedsEasyConstraints) {
+  NovaLikeResult r = nova_like_encode(small_set());
+  EXPECT_EQ(r.encoding.validate(), "");
+  EXPECT_EQ(r.encoding.num_bits, 3);
+  // {0,1} and {2,3} easily fit in B^3 together.
+  EXPECT_GE(r.embedded_constraints, 2);
+  EXPECT_EQ(count_satisfied_constraints(small_set(), r.encoding),
+            r.embedded_constraints);
+}
+
+TEST(NovaLike, EmbeddedConstraintsAreActuallySatisfied) {
+  ConstraintSet cs = small_set();
+  NovaLikeResult r = nova_like_encode(cs);
+  int satisfied = count_satisfied_constraints(cs, r.encoding);
+  EXPECT_EQ(satisfied, r.embedded_constraints);
+}
+
+TEST(NovaLike, SkipsImpossibleConstraintGracefully) {
+  // 4 symbols in B^2: {0,1,2} cannot be embedded (no spare code).
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1, 2});
+  NovaLikeResult r = nova_like_encode(cs);
+  EXPECT_EQ(r.encoding.validate(), "");
+  EXPECT_EQ(r.skipped_constraints, 1);
+}
+
+TEST(NovaLike, IoFlavourKeepsSatisfiedConstraints) {
+  ConstraintSet cs = small_set();
+  NovaLikeOptions opt;
+  opt.adjacency = {{0, 5, 3.0}, {1, 4, 2.0}};
+  NovaLikeResult plain = nova_like_encode(cs);
+  NovaLikeResult io = nova_like_encode(cs, opt);
+  EXPECT_EQ(io.encoding.validate(), "");
+  EXPECT_GE(count_satisfied_constraints(cs, io.encoding),
+            count_satisfied_constraints(cs, plain.encoding));
+}
+
+TEST(EncLike, ValidAndRefinementNeverHurts) {
+  ConstraintSet cs = small_set();
+  EncLikeOptions fast;
+  fast.minimize_in_loop = false;
+  EncLikeOptions full;
+  EncLikeResult r1 = enc_like_encode(cs, fast);
+  EncLikeResult r2 = enc_like_encode(cs, full);
+  EXPECT_EQ(r1.encoding.validate(), "");
+  EXPECT_EQ(r2.encoding.validate(), "");
+  EXPECT_LE(evaluate_constraints(cs, r2.encoding).total_cubes,
+            evaluate_constraints(cs, r1.encoding).total_cubes);
+  EXPECT_GT(r2.espresso_calls, 0);
+}
+
+TEST(Exact, FindsOptimumOnTinyProblem) {
+  // 4 symbols in B^2 with constraints {0,1} and {2,3}: both satisfiable
+  // simultaneously -> optimal total = 2 cubes.
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  cs.add({2, 3});
+  ExactResult r = exact_encode(cs);
+  EXPECT_EQ(r.best_cost, 2);
+  EXPECT_EQ(evaluate_constraints(cs, r.encoding).total_cubes, 2);
+}
+
+TEST(Exact, MaxSatisfiedObjective) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  cs.add({1, 2});
+  ExactOptions opt;
+  opt.objective = ExactObjective::kMaxSatisfiedConstraints;
+  ExactResult r = exact_encode(cs, opt);
+  // Both are satisfiable: place 1 adjacent to both 0 and 2.
+  EXPECT_EQ(-r.best_cost, 2);
+}
+
+TEST(Exact, ThrowsOnOversizedProblem) {
+  ConstraintSet cs;
+  cs.num_symbols = 20;
+  ExactOptions opt;
+  opt.max_candidates = 1000;
+  EXPECT_THROW(exact_encode(cs, opt), std::invalid_argument);
+}
+
+TEST(Exact, HeuristicsNeverBeatExact) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    int n = 5 + static_cast<int>(rng() % 2);  // 5..6 symbols
+    ConstraintSet cs;
+    cs.num_symbols = n;
+    for (int k = 0; k < 3; ++k) {
+      std::vector<int> members;
+      for (int s = 0; s < n; ++s)
+        if (rng() % 2) members.push_back(s);
+      cs.add(std::move(members));
+    }
+    ExactResult best = exact_encode(cs);
+    for (int cost :
+         {evaluate_constraints(cs, nova_like_encode(cs).encoding).total_cubes,
+          evaluate_constraints(cs, enc_like_encode(cs).encoding).total_cubes}) {
+      EXPECT_GE(cost, best.best_cost);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace picola

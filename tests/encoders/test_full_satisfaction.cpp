@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "constraints/dichotomy.h"
+#include "encoders/full_satisfaction.h"
+
+namespace picola {
+namespace {
+
+TEST(FullSatisfaction, AlreadySatisfiableAtMinimum) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  cs.add({2, 3});
+  FullSatisfactionResult r = satisfy_all_constraints(cs);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.bits_needed, 2);
+  EXPECT_EQ(count_satisfied_constraints(cs, r.encoding), 2);
+}
+
+TEST(FullSatisfaction, NeedsOneExtraBit) {
+  // Two overlapping chains over 4 symbols in B^2 cannot all be faces; B^3
+  // has room.
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1, 2});
+  cs.add({1, 2, 3});
+  cs.add({0, 3});
+  FullSatisfactionResult r = satisfy_all_constraints(cs);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.bits_needed, 2);
+  EXPECT_EQ(count_satisfied_constraints(cs, r.encoding), cs.size());
+  EXPECT_EQ(r.encoding.validate(), "");
+}
+
+TEST(FullSatisfaction, RespectsMaxBits) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1, 2});
+  cs.add({1, 2, 3});
+  cs.add({0, 3});
+  FullSatisfactionOptions opt;
+  opt.max_bits = 2;
+  FullSatisfactionResult r = satisfy_all_constraints(cs, opt);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(FullSatisfaction, EmptyConstraintSetTrivial) {
+  ConstraintSet cs;
+  cs.num_symbols = 5;
+  FullSatisfactionResult r = satisfy_all_constraints(cs);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.bits_needed, 3);
+}
+
+}  // namespace
+}  // namespace picola

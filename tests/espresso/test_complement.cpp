@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "espresso/espresso.h"
+
+namespace picola {
+namespace {
+
+using test::bcover;
+using test::random_cover;
+
+TEST(Complement, EmptyCoverGivesUniverse) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover c = esp::complement(Cover(s));
+  ASSERT_EQ(c.size(), 1);
+  EXPECT_EQ(c[0], Cube::full(s));
+}
+
+TEST(Complement, UniverseGivesEmpty) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f(s);
+  f.add(Cube::full(s));
+  EXPECT_TRUE(esp::complement(f).empty());
+}
+
+TEST(Complement, SingleCubeDeMorgan) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f = bcover(s, {"01-"});
+  Cover c = esp::complement(f);
+  // Complement = x0' + x1  ->  {"1--", "-0-"}
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.count_minterms_exact(), 6u);
+  EXPECT_TRUE(esp::disjoint(f, c));
+}
+
+TEST(Complement, SingleMvCube) {
+  CubeSpace s = CubeSpace::multi_valued({5});
+  Cube c = Cube::zeros(s);
+  c.set(s, 0, 1);
+  c.set(s, 0, 3);
+  Cover f(s);
+  f.add(c);
+  Cover comp = esp::complement(f);
+  EXPECT_EQ(comp.count_minterms_exact(), 3u);
+  EXPECT_TRUE(esp::disjoint(f, comp));
+}
+
+TEST(Complement, RandomCoversPartitionSpace) {
+  std::mt19937 rng(42);
+  CubeSpace s = CubeSpace::binary(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    Cover f = random_cover(s, 1 + static_cast<int>(rng() % 8), rng);
+    Cover c = esp::complement(f);
+    // Disjoint and jointly exhaustive.
+    EXPECT_TRUE(esp::disjoint(f, c)) << f.to_string();
+    Cover both = f;
+    both.append(c);
+    EXPECT_TRUE(esp::is_tautology(both)) << f.to_string();
+    EXPECT_EQ(f.count_minterms_exact() + c.count_minterms_exact(),
+              s.num_minterms());
+  }
+}
+
+TEST(Complement, RandomMvCoversPartitionSpace) {
+  std::mt19937 rng(7);
+  CubeSpace s = CubeSpace::multi_valued({2, 2, 6, 4});
+  for (int trial = 0; trial < 60; ++trial) {
+    Cover f = random_cover(s, 1 + static_cast<int>(rng() % 6), rng, 0.5);
+    Cover c = esp::complement(f);
+    EXPECT_TRUE(esp::disjoint(f, c));
+    Cover both = f;
+    both.append(c);
+    EXPECT_TRUE(esp::is_tautology(both));
+  }
+}
+
+TEST(Complement, ComplementFdAvoidsBothOnsetAndDcset) {
+  CubeSpace s = CubeSpace::binary(4);
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    Cover f = random_cover(s, 3, rng);
+    Cover d = random_cover(s, 2, rng);
+    Cover r = esp::complement_fd(f, d);
+    EXPECT_TRUE(esp::disjoint(r, f));
+    EXPECT_TRUE(esp::disjoint(r, d));
+    Cover all = f;
+    all.append(d);
+    all.append(r);
+    EXPECT_TRUE(esp::is_tautology(all));
+  }
+}
+
+TEST(Complement, DoubleComplementIsSameFunction) {
+  std::mt19937 rng(11);
+  CubeSpace s = CubeSpace::binary(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    Cover f = random_cover(s, 1 + static_cast<int>(rng() % 6), rng);
+    Cover cc = esp::complement(esp::complement(f));
+    EXPECT_TRUE(test::same_function(f, cc));
+  }
+}
+
+}  // namespace
+}  // namespace picola

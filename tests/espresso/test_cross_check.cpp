@@ -1,0 +1,93 @@
+// Cross-checks between independent implementations of the same math:
+// heuristic vs exact minimiser on multi-valued spaces, Blake primes vs
+// expand-based primality, complement vs cover_sharp from the full space.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "cube/algebra.h"
+#include "espresso/exact.h"
+#include "espresso/espresso.h"
+
+namespace picola {
+namespace {
+
+TEST(CrossCheck, HeuristicVsExactOnMvSpaces) {
+  std::mt19937 rng(61);
+  CubeSpace s = CubeSpace::multi_valued({2, 4, 3});
+  for (int trial = 0; trial < 40; ++trial) {
+    Cover f = test::random_cover(s, 4, rng, 0.4);
+    Cover d = test::random_cover(s, 1, rng, 0.2);
+    f.remove_empty();
+    if (f.empty()) continue;
+    auto exact = esp::exact_minimize(f, d);
+    ASSERT_TRUE(exact.has_value());
+    Cover heur = esp::minimize_cover(f, d);
+    EXPECT_GE(heur.size(), exact->size());
+    // Both implement the same function modulo dc.
+    Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+      if (d.covers_minterm(mt)) return;
+      EXPECT_EQ(heur.covers_minterm(mt), f.covers_minterm(mt));
+      EXPECT_EQ(exact->covers_minterm(mt), f.covers_minterm(mt));
+    });
+  }
+}
+
+TEST(CrossCheck, ComplementEqualsSharpFromUniverse) {
+  std::mt19937 rng(62);
+  CubeSpace s = CubeSpace::binary(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    Cover f = test::random_cover(s, 4, rng);
+    Cover comp = esp::complement(f);
+    Cover universe(s);
+    universe.add(Cube::full(s));
+    Cover shrp = cover_sharp(universe, f);
+    EXPECT_TRUE(test::same_function(comp, shrp));
+  }
+}
+
+TEST(CrossCheck, BlakePrimesContainEveryExpandResult) {
+  std::mt19937 rng(63);
+  CubeSpace s = CubeSpace::binary(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    Cover f = test::random_cover(s, 4, rng);
+    f.remove_empty();
+    if (f.empty()) continue;
+    Cover primes = esp::all_primes(f, Cover(s));
+    Cover r = esp::complement(f);
+    Cover expanded = esp::expand(f, r);
+    // Every cube EXPAND produces must literally appear among the primes.
+    for (const Cube& c : expanded.cubes()) {
+      bool found = false;
+      for (const Cube& p : primes.cubes())
+        if (p == c) found = true;
+      EXPECT_TRUE(found) << "expand produced a non-prime";
+    }
+  }
+}
+
+TEST(CrossCheck, MakeDisjointAgreesWithMintermCount) {
+  std::mt19937 rng(64);
+  CubeSpace s = CubeSpace::multi_valued({3, 2, 3});
+  for (int trial = 0; trial < 30; ++trial) {
+    Cover f = test::random_cover(s, 4, rng, 0.5);
+    Cover d = make_disjoint(f);
+    uint64_t sum = 0;
+    for (const Cube& c : d.cubes()) sum += c.num_minterms(s);
+    EXPECT_EQ(sum, f.count_minterms_exact());
+  }
+}
+
+TEST(CrossCheck, TautologyMatchesComplementEmptiness) {
+  std::mt19937 rng(65);
+  CubeSpace s = CubeSpace::binary(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    Cover f = test::random_cover(s, 2 + static_cast<int>(rng() % 10), rng, 0.6);
+    EXPECT_EQ(esp::is_tautology(f), esp::complement(f).empty());
+  }
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.h"
+#include "espresso/exact.h"
+#include "espresso/espresso.h"
+
+namespace picola {
+namespace {
+
+using test::bcover;
+using test::bcube;
+
+TEST(AllPrimes, SingleCubeIsItsOwnPrime) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f = bcover(s, {"01-"});
+  Cover p = esp::all_primes(f, Cover(s));
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_EQ(p[0], bcube(s, "01-"));
+}
+
+TEST(AllPrimes, ConsensusFindsStraddlingPrime) {
+  // f = x0'x1 + x0 x1': primes are exactly these two cubes;
+  // f = x0'x1' + x0 x1' + x1: consensus gives --' etc.
+  CubeSpace s = CubeSpace::binary(2);
+  Cover f = bcover(s, {"00", "01", "10"});
+  Cover p = esp::all_primes(f, Cover(s));
+  // Primes of (minterms 00,01,10) are 0- and -0.
+  EXPECT_EQ(p.size(), 2);
+  for (const Cube& c : p.cubes()) EXPECT_EQ(c.num_minterms(s), 2u);
+}
+
+TEST(AllPrimes, ClassicThreeVariableExample) {
+  // f = sum of minterms {000,001,011,111}: primes 00-, 0-1, -11.
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f = bcover(s, {"000", "001", "011", "111"});
+  Cover p = esp::all_primes(f, Cover(s));
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_TRUE(test::same_function(p, f));
+}
+
+TEST(AllPrimes, EveryPrimeIsMaximal) {
+  std::mt19937 rng(31);
+  CubeSpace s = CubeSpace::binary(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    Cover f = test::random_cover(s, 4, rng);
+    f.remove_empty();
+    if (f.empty()) continue;
+    Cover p = esp::all_primes(f, Cover(s));
+    EXPECT_TRUE(test::same_function(p, f));
+    Cover r = esp::complement(f);
+    for (const Cube& c : p.cubes()) {
+      for (int v = 0; v < s.num_vars(); ++v) {
+        for (int part = 0; part < 2; ++part) {
+          if (c.test(s, v, part)) continue;
+          Cube raised = c;
+          raised.set(s, v, part);
+          bool hits = false;
+          for (const Cube& rc : r.cubes())
+            if (raised.distance(rc, s) == 0) hits = true;
+          EXPECT_TRUE(hits) << "prime not maximal";
+        }
+      }
+    }
+  }
+}
+
+TEST(AllPrimes, MultiValuedConsensus) {
+  // One 3-valued variable with parts {0},{1},{2} in the onset: the single
+  // prime is the full literal.
+  CubeSpace s = CubeSpace::multi_valued({3});
+  Cover f(s);
+  for (int p = 0; p < 3; ++p) {
+    Cube c = Cube::zeros(s);
+    c.set(s, 0, p);
+    f.add(c);
+  }
+  Cover primes = esp::all_primes(f, Cover(s));
+  ASSERT_EQ(primes.size(), 1);
+  EXPECT_EQ(primes[0], Cube::full(s));
+}
+
+TEST(ExactMinimize, MatchesKnownOptimum) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f = bcover(s, {"000", "001", "011", "111"});
+  auto m = esp::exact_minimize(f, Cover(s));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size(), 2);
+  EXPECT_TRUE(test::same_function(*m, f));
+}
+
+TEST(ExactMinimize, UsesDontCares) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f = bcover(s, {"000", "011"});
+  Cover d = bcover(s, {"001", "010"});
+  auto m = esp::exact_minimize(f, d);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size(), 1);
+}
+
+TEST(ExactMinimize, EmptyOnset) {
+  CubeSpace s = CubeSpace::binary(3);
+  auto m = esp::exact_minimize(Cover(s), Cover(s));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(ExactMinimize, HeuristicNeverBeatsExact) {
+  std::mt19937 rng(17);
+  CubeSpace s = CubeSpace::binary(4);
+  int nontrivial = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Cover f = test::random_cover(s, 5, rng);
+    Cover d = test::random_cover(s, 1, rng, 0.2);
+    f.remove_empty();
+    d.remove_empty();
+    if (f.empty()) continue;
+    auto exact = esp::exact_minimize(f, d);
+    ASSERT_TRUE(exact.has_value());
+    Cover heur = esp::minimize_cover(f, d);
+    EXPECT_GE(heur.size(), exact->size());
+    if (exact->size() > 1) ++nontrivial;
+    // Exact result must be a correct cover.
+    Cover::for_each_minterm(s, [&](const std::vector<int>& mt) {
+      bool in_f = f.covers_minterm(mt);
+      bool in_d = d.covers_minterm(mt);
+      bool in_m = exact->covers_minterm(mt);
+      if (in_f && !in_d) {
+        EXPECT_TRUE(in_m);
+      }
+      if (!in_f && !in_d) {
+        EXPECT_FALSE(in_m);
+      }
+    });
+  }
+  EXPECT_GT(nontrivial, 10);
+}
+
+TEST(ExactMinimize, RefusesHugeSpaces) {
+  CubeSpace s = CubeSpace::binary(40);
+  Cover f(s);
+  f.add(Cube::full(s));
+  EXPECT_FALSE(esp::exact_minimize(f, Cover(s)).has_value());
+}
+
+TEST(LastGasp, NeverWorsensAndKeepsFunction) {
+  std::mt19937 rng(23);
+  CubeSpace s = CubeSpace::binary(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    Cover f = test::random_cover(s, 6, rng);
+    f.remove_empty();
+    if (f.empty()) continue;
+    Cover r = esp::complement(f);
+    Cover g = esp::last_gasp(f, Cover(s), r);
+    EXPECT_LE(g.size(), f.size());
+    EXPECT_TRUE(test::same_function(g, f));
+  }
+}
+
+TEST(ReduceCubeAgainst, FullyCoveredCubeVanishes) {
+  CubeSpace s = CubeSpace::binary(2);
+  Cover rest = bcover(s, {"--"});
+  Cube c = bcube(s, "01");
+  EXPECT_TRUE(esp::reduce_cube_against(c, rest).is_empty(s));
+}
+
+}  // namespace
+}  // namespace picola

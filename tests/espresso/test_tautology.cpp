@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "espresso/espresso.h"
+
+namespace picola {
+namespace {
+
+using test::bcover;
+using test::random_cover;
+
+TEST(Tautology, EmptyCoverIsNotTautology) {
+  Cover f(CubeSpace::binary(2));
+  EXPECT_FALSE(esp::is_tautology(f));
+}
+
+TEST(Tautology, FullCubeIsTautology) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f(s);
+  f.add(Cube::full(s));
+  EXPECT_TRUE(esp::is_tautology(f));
+}
+
+TEST(Tautology, ComplementaryPairIsTautology) {
+  CubeSpace s = CubeSpace::binary(3);
+  EXPECT_TRUE(esp::is_tautology(bcover(s, {"0--", "1--"})));
+}
+
+TEST(Tautology, SingleHalfSpaceIsNot) {
+  CubeSpace s = CubeSpace::binary(3);
+  EXPECT_FALSE(esp::is_tautology(bcover(s, {"0--"})));
+}
+
+TEST(Tautology, XorStyleCoverIsNot) {
+  CubeSpace s = CubeSpace::binary(2);
+  EXPECT_FALSE(esp::is_tautology(bcover(s, {"01", "10"})));
+}
+
+TEST(Tautology, FullDisjointPartition) {
+  CubeSpace s = CubeSpace::binary(3);
+  EXPECT_TRUE(esp::is_tautology(bcover(s, {"00-", "01-", "1-0", "1-1"})));
+}
+
+TEST(Tautology, AlmostFullMissingOneMinterm) {
+  CubeSpace s = CubeSpace::binary(3);
+  // Everything except 111.
+  EXPECT_FALSE(esp::is_tautology(bcover(s, {"0--", "-0-", "--0"})));
+  EXPECT_TRUE(esp::is_tautology(bcover(s, {"0--", "-0-", "--0", "111"})));
+}
+
+TEST(Tautology, MultiValuedPartition) {
+  CubeSpace s = CubeSpace::multi_valued({4});
+  Cover f(s);
+  for (int p = 0; p < 4; ++p) {
+    Cube c = Cube::zeros(s);
+    c.set(s, 0, p);
+    f.add(c);
+  }
+  EXPECT_TRUE(esp::is_tautology(f));
+  f.cubes().pop_back();
+  EXPECT_FALSE(esp::is_tautology(f));
+}
+
+TEST(Tautology, MixedBinaryMv) {
+  CubeSpace s = CubeSpace::multi_valued({2, 3});
+  // (x=0, y in {0,1,2}) + (x=1, y in {0,1}) + (x=1, y=2) = everything
+  Cover f(s);
+  Cube a = Cube::full(s);
+  a.set(s, 0, 1, false);  // x=0
+  f.add(a);
+  Cube b = Cube::full(s);
+  b.set(s, 0, 0, false);  // x=1
+  b.set(s, 1, 2, false);  // y in {0,1}
+  f.add(b);
+  EXPECT_FALSE(esp::is_tautology(f));
+  Cube c = Cube::full(s);
+  c.set(s, 0, 0, false);
+  c.set(s, 1, 0, false);
+  c.set(s, 1, 1, false);  // x=1, y=2
+  f.add(c);
+  EXPECT_TRUE(esp::is_tautology(f));
+}
+
+TEST(Tautology, AgreesWithExhaustiveCheckOnRandomCovers) {
+  std::mt19937 rng(1234);
+  CubeSpace s = CubeSpace::binary(5);
+  int taut_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Cover f = random_cover(s, 1 + static_cast<int>(rng() % 10), rng, 0.5);
+    bool exhaustive = f.count_minterms_exact() == s.num_minterms();
+    EXPECT_EQ(esp::is_tautology(f), exhaustive) << f.to_string();
+    taut_count += exhaustive;
+  }
+  // Sanity: the random mix should produce both outcomes.
+  EXPECT_GT(taut_count, 0);
+  EXPECT_LT(taut_count, 200);
+}
+
+TEST(Tautology, AgreesWithExhaustiveOnMvCovers) {
+  std::mt19937 rng(99);
+  CubeSpace s = CubeSpace::multi_valued({2, 2, 5, 3});
+  for (int trial = 0; trial < 100; ++trial) {
+    Cover f = random_cover(s, 1 + static_cast<int>(rng() % 8), rng, 0.6);
+    bool exhaustive = f.count_minterms_exact() == s.num_minterms();
+    EXPECT_EQ(esp::is_tautology(f), exhaustive) << f.to_string();
+  }
+}
+
+TEST(CoverContains, CubeContainment) {
+  CubeSpace s = CubeSpace::binary(3);
+  Cover f = bcover(s, {"00-", "01-"});
+  EXPECT_TRUE(esp::cover_contains_cube(f, test::bcube(s, "0--")));
+  EXPECT_FALSE(esp::cover_contains_cube(f, test::bcube(s, "---")));
+  EXPECT_TRUE(esp::cover_contains_cube(f, test::bcube(s, "001")));
+  EXPECT_FALSE(esp::cover_contains_cube(f, test::bcube(s, "1--")));
+}
+
+}  // namespace
+}  // namespace picola

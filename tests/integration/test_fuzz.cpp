@@ -1,0 +1,113 @@
+// Parser robustness: random byte soup and mutated valid inputs must never
+// crash — they either parse or return a diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "constraints/constraint_io.h"
+#include "kiss/benchmarks.h"
+#include "kiss/kiss_io.h"
+#include "pla/mv_pla.h"
+#include "pla/pla_io.h"
+
+namespace picola {
+namespace {
+
+std::string random_soup(std::mt19937& rng, int len) {
+  static const char kAlphabet[] = "01-*.abcdefgh \n\t.ioesrnpmv#|~2";
+  std::string s;
+  for (int i = 0; i < len; ++i)
+    s += kAlphabet[rng() % (sizeof(kAlphabet) - 1)];
+  return s;
+}
+
+std::string mutate(std::string text, std::mt19937& rng, int edits) {
+  for (int i = 0; i < edits && !text.empty(); ++i) {
+    size_t pos = rng() % text.size();
+    switch (rng() % 3) {
+      case 0:
+        text[pos] = static_cast<char>(' ' + rng() % 90);
+        break;
+      case 1:
+        text.erase(pos, 1);
+        break;
+      default:
+        text.insert(pos, 1, static_cast<char>(' ' + rng() % 90));
+        break;
+    }
+  }
+  return text;
+}
+
+TEST(Fuzz, RandomSoupNeverCrashesParsers) {
+  std::mt19937 rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = random_soup(rng, 1 + static_cast<int>(rng() % 200));
+    (void)parse_kiss(text);
+    (void)parse_pla(text);
+    (void)parse_mv_pla(text);
+    (void)parse_constraints(text);
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, MutatedKissEitherParsesOrErrors) {
+  std::mt19937 rng(2);
+  std::string base = write_kiss(make_example_fsm("vending"));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = mutate(base, rng, 1 + static_cast<int>(rng() % 6));
+    KissParseResult r = parse_kiss(text);
+    if (r.ok()) {
+      // Whatever parsed must be structurally valid.
+      EXPECT_EQ(r.fsm.validate(), "");
+    } else {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(Fuzz, MutatedPlaEitherParsesOrErrors) {
+  std::mt19937 rng(3);
+  std::string base = ".i 3\n.o 2\n.type fd\n01- 1-\n1-- 01\n000 10\n.e\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = mutate(base, rng, 1 + static_cast<int>(rng() % 6));
+    PlaParseResult r = parse_pla(text);
+    if (r.ok()) {
+      EXPECT_EQ(r.pla.validate(), "");
+    } else {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(Fuzz, MutatedConstraintsEitherParseOrError) {
+  std::mt19937 rng(4);
+  std::string base = ".n 8\n0 1 2\n3 4 * 2\n5 6 7\n.e\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = mutate(base, rng, 1 + static_cast<int>(rng() % 6));
+    ConstraintParseResult r = parse_constraints(text);
+    if (r.ok()) {
+      for (const auto& c : r.set.constraints) {
+        for (int m : c.members) {
+          EXPECT_GE(m, 0);
+          EXPECT_LT(m, r.set.num_symbols);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, RoundTripStability) {
+  // write(parse(write(x))) == write(parse(x)) for every embedded machine.
+  for (const auto& name : {"traffic", "elevator", "vending"}) {
+    std::string once = write_kiss(make_example_fsm(name));
+    KissParseResult r = parse_kiss(once);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(write_kiss(r.fsm), once);
+  }
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "kiss/benchmarks.h"
+#include "kiss/generator.h"
+#include "kiss/kiss_io.h"
+
+namespace picola {
+namespace {
+
+TEST(Generator, Deterministic) {
+  GeneratorParams p;
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.num_states = 9;
+  p.target_products = 40;
+  Fsm a = generate_fsm(p, "x");
+  Fsm b = generate_fsm(p, "x");
+  EXPECT_EQ(write_kiss(a), write_kiss(b));
+  Fsm c = generate_fsm(p, "y");
+  EXPECT_NE(write_kiss(a), write_kiss(c));
+}
+
+TEST(Generator, MatchesProfileDimensions) {
+  GeneratorParams p;
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_states = 11;
+  p.target_products = 50;
+  Fsm f = generate_fsm(p, "profile");
+  EXPECT_EQ(f.num_inputs, 4);
+  EXPECT_EQ(f.num_outputs, 3);
+  EXPECT_EQ(f.num_states(), 11);
+  EXPECT_EQ(f.validate(), "");
+  // Row budget approximately honoured (within the cluster rounding).
+  EXPECT_GE(static_cast<int>(f.transitions.size()), 40);
+  EXPECT_LE(static_cast<int>(f.transitions.size()), 70);
+}
+
+TEST(Generator, MachinesAreDeterministicAndComplete) {
+  GeneratorParams p;
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.num_states = 10;
+  p.target_products = 36;
+  Fsm f = generate_fsm(p, "dc");
+  EXPECT_TRUE(f.is_deterministic());
+  EXPECT_TRUE(f.is_complete());
+}
+
+TEST(Generator, EveryStateHasRows) {
+  GeneratorParams p;
+  p.num_inputs = 2;
+  p.num_outputs = 1;
+  p.num_states = 7;
+  p.target_products = 20;
+  Fsm f = generate_fsm(p, "rows");
+  std::vector<int> count(7, 0);
+  for (const auto& t : f.transitions) ++count[static_cast<size_t>(t.from)];
+  for (int c : count) EXPECT_GE(c, 1);
+}
+
+class BenchmarkSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkSuite, ReconstructsValidMachine) {
+  auto profile = find_profile(GetParam());
+  ASSERT_TRUE(profile.has_value());
+  Fsm f = make_benchmark(GetParam());
+  EXPECT_EQ(f.num_inputs, profile->inputs);
+  EXPECT_EQ(f.num_outputs, profile->outputs);
+  EXPECT_EQ(f.num_states(), profile->states);
+  EXPECT_EQ(f.validate(), "");
+  EXPECT_TRUE(f.is_deterministic());
+  EXPECT_TRUE(f.is_complete());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallAndMedium, BenchmarkSuite,
+    ::testing::Values("bbara", "dk14", "ex3", "lion9", "train11", "opus",
+                      "mark1", "ex2", "donfile", "bbsse", "dk16", "s8",
+                      "lion", "train4", "dk27", "mc"));
+
+TEST(Benchmarks, TableListsAreRegistered) {
+  for (const auto& name : table1_benchmarks())
+    EXPECT_TRUE(find_profile(name).has_value()) << name;
+  for (const auto& name : table2_benchmarks())
+    EXPECT_TRUE(find_profile(name).has_value()) << name;
+  EXPECT_EQ(table1_benchmarks().size(), 31u);
+  EXPECT_EQ(table2_benchmarks().size(), 19u);
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("nope"), std::out_of_range);
+  EXPECT_THROW(make_example_fsm("nope"), std::out_of_range);
+}
+
+class ExampleFsms : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExampleFsms, HandAuthoredMachinesAreClean) {
+  Fsm f = make_example_fsm(GetParam());
+  EXPECT_EQ(f.validate(), "");
+  EXPECT_TRUE(f.is_deterministic()) << GetParam();
+  EXPECT_TRUE(f.is_complete()) << GetParam();
+  EXPECT_GE(f.num_states(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExampleFsms,
+                         ::testing::Values("traffic", "elevator", "vending"));
+
+}  // namespace
+}  // namespace picola

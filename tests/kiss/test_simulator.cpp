@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "kiss/benchmarks.h"
+#include "kiss/simulator.h"
+
+namespace picola {
+namespace {
+
+TEST(Simulator, InputMatching) {
+  EXPECT_TRUE(FsmSimulator::input_matches("0-1", {0, 1, 1}));
+  EXPECT_TRUE(FsmSimulator::input_matches("---", {1, 0, 1}));
+  EXPECT_FALSE(FsmSimulator::input_matches("0-1", {1, 1, 1}));
+  EXPECT_FALSE(FsmSimulator::input_matches("0-1", {0, 1, 0}));
+}
+
+TEST(Simulator, WalksVendingMachine) {
+  Fsm f = make_example_fsm("vending");
+  FsmSimulator sim(f);
+  EXPECT_EQ(sim.state(), f.state_index("C0"));
+  // Insert a nickel: C0 -> C5.
+  SimStep s = sim.step({1, 0});
+  EXPECT_TRUE(s.matched);
+  EXPECT_EQ(sim.state(), f.state_index("C5"));
+  EXPECT_EQ(s.output, "00");
+  // Insert a dime: C5 -> C15.
+  s = sim.step({0, 1});
+  EXPECT_EQ(sim.state(), f.state_index("C15"));
+  // Insert a nickel at 15c: vend, back to C0.
+  s = sim.step({1, 0});
+  EXPECT_EQ(s.output, "10");
+  EXPECT_EQ(sim.state(), f.state_index("C0"));
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Fsm f = make_example_fsm("traffic");
+  FsmSimulator sim(f);
+  sim.step({1, 1});
+  EXPECT_NE(sim.state(), f.reset_state);
+  sim.reset();
+  EXPECT_EQ(sim.state(), f.reset_state);
+}
+
+TEST(Simulator, UnmatchedInputReportsNoMatch) {
+  Fsm f;
+  f.num_inputs = 1;
+  f.num_outputs = 1;
+  f.add_state("A");
+  f.transitions.push_back({"1", 0, 0, "1"});
+  FsmSimulator sim(f);
+  SimStep s = sim.step({0});
+  EXPECT_FALSE(s.matched);
+  EXPECT_EQ(s.output, "-");
+  EXPECT_EQ(sim.state(), 0);
+}
+
+TEST(Simulator, StarNextStateKeepsState) {
+  Fsm f;
+  f.num_inputs = 1;
+  f.num_outputs = 1;
+  f.add_state("A");
+  f.transitions.push_back({"-", 0, Transition::kAnyState, "1"});
+  FsmSimulator sim(f);
+  SimStep s = sim.step({1});
+  EXPECT_TRUE(s.matched);
+  EXPECT_TRUE(s.free_next);
+  EXPECT_EQ(sim.state(), 0);
+}
+
+}  // namespace
+}  // namespace picola

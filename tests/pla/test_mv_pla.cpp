@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "pla/mv_pla.h"
+
+namespace picola {
+namespace {
+
+constexpr const char* kSample = R"(.mv 4 2 3 2
+01 110 10
+1- 001 01
+.dc
+-- 010 01
+.e
+)";
+
+TEST(MvPla, ParsesSample) {
+  MvPlaParseResult r = parse_mv_pla(kSample);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const MvPla& p = r.pla;
+  EXPECT_EQ(p.num_binary, 2);
+  EXPECT_EQ(p.mv_sizes, (std::vector<int>{3, 2}));
+  ASSERT_EQ(p.rows.size(), 3u);
+  EXPECT_FALSE(p.rows[0].is_dc);
+  EXPECT_TRUE(p.rows[2].is_dc);
+  EXPECT_EQ(p.validate(), "");
+}
+
+TEST(MvPla, SpaceAndCovers) {
+  MvPlaParseResult r = parse_mv_pla(kSample);
+  ASSERT_TRUE(r.ok());
+  CubeSpace s = r.pla.space();
+  EXPECT_EQ(s.num_vars(), 4);
+  EXPECT_EQ(s.parts(2), 3);
+  EXPECT_EQ(s.parts(3), 2);
+  Cover on = r.pla.onset();
+  Cover dc = r.pla.dcset();
+  EXPECT_EQ(on.size(), 2);
+  EXPECT_EQ(dc.size(), 1);
+  // Row 0: binary 01, mv literal {0,1}, output part 0.
+  EXPECT_EQ(on[0].binary_value(s, 0), 0);
+  EXPECT_EQ(on[0].binary_value(s, 1), 1);
+  EXPECT_TRUE(on[0].test(s, 2, 0));
+  EXPECT_TRUE(on[0].test(s, 2, 1));
+  EXPECT_FALSE(on[0].test(s, 2, 2));
+  EXPECT_TRUE(on[0].test(s, 3, 0));
+  EXPECT_FALSE(on[0].test(s, 3, 1));
+}
+
+TEST(MvPla, RoundTrip) {
+  MvPlaParseResult r1 = parse_mv_pla(kSample);
+  ASSERT_TRUE(r1.ok());
+  std::string text = write_mv_pla(r1.pla);
+  MvPlaParseResult r2 = parse_mv_pla(text);
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  EXPECT_EQ(r2.pla.rows.size(), 3u);
+  EXPECT_EQ(r2.pla.onset().size(), 2);
+  EXPECT_EQ(r2.pla.dcset().size(), 1);
+}
+
+TEST(MvPla, NoBinaryVariables) {
+  MvPlaParseResult r = parse_mv_pla(".mv 2 0 4 2\n1100 10\n0011 01\n.e\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.pla.num_binary, 0);
+  EXPECT_EQ(r.pla.onset().size(), 2);
+}
+
+TEST(MvPla, Errors) {
+  EXPECT_FALSE(parse_mv_pla("01 10 1\n").ok());                     // no .mv
+  EXPECT_FALSE(parse_mv_pla(".mv 3 2 6 4\n.e\n").ok());             // count
+  EXPECT_FALSE(parse_mv_pla(".mv 4 2 3 2\n01 110\n.e\n").ok());     // fields
+  EXPECT_FALSE(parse_mv_pla(".mv 4 2 3 2\n01 11 10\n.e\n").ok());   // width
+  EXPECT_FALSE(parse_mv_pla(".mv 4 2 3 2\n01 11- 10\n.e\n").ok());  // bad char
+  EXPECT_FALSE(parse_mv_pla(".mv 4 2 3 2\n.bogus\n.e\n").ok());
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "pla/pla.h"
+#include "pla/pla_io.h"
+
+namespace picola {
+namespace {
+
+Pla sample() {
+  Pla p;
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.type = PlaType::FD;
+  p.rows = {{"01-", "10"}, {"1--", "01"}, {"000", "1-"}};
+  return p;
+}
+
+TEST(Pla, Validate) {
+  Pla p = sample();
+  EXPECT_EQ(p.validate(), "");
+  p.rows.push_back({"01", "10"});
+  EXPECT_NE(p.validate(), "");
+  p = sample();
+  p.rows[0].in = "01x";
+  EXPECT_NE(p.validate(), "");
+}
+
+TEST(Pla, SpaceLayout) {
+  Pla p = sample();
+  CubeSpace s = p.space();
+  EXPECT_EQ(s.num_vars(), 4);
+  EXPECT_EQ(s.output_var(), 3);
+  EXPECT_EQ(s.parts(3), 2);
+}
+
+TEST(Pla, OnsetDcsetSplit) {
+  Pla p = sample();
+  Cover on = p.onset();
+  Cover dc = p.dcset();
+  EXPECT_EQ(on.size(), 3);  // all rows assert some output
+  EXPECT_EQ(dc.size(), 1);  // row "000 1-" has a '-' output
+  // The dc cube asserts only output 1.
+  const CubeSpace& s = on.space();
+  EXPECT_FALSE(dc[0].test(s, 3, 0));
+  EXPECT_TRUE(dc[0].test(s, 3, 1));
+}
+
+TEST(Pla, TypeFIgnoresDashOutputs) {
+  Pla p = sample();
+  p.type = PlaType::F;
+  EXPECT_TRUE(p.dcset().empty());
+}
+
+TEST(Pla, FromCoverRoundTrip) {
+  Pla p = sample();
+  Pla q = Pla::from_cover(p.onset(), p.dcset());
+  EXPECT_EQ(q.num_inputs, 3);
+  EXPECT_EQ(q.num_outputs, 2);
+  EXPECT_EQ(q.validate(), "");
+  // Functions must match: compare via covers.
+  Cover on1 = p.onset(), on2 = q.onset();
+  EXPECT_EQ(on1.count_minterms_exact(), on2.count_minterms_exact());
+}
+
+TEST(Pla, Area) {
+  Pla p = sample();
+  EXPECT_EQ(p.area(), 3 * (2 * 3 + 2));
+}
+
+TEST(PlaIo, RoundTrip) {
+  Pla p = sample();
+  p.input_labels = {"a", "b", "c"};
+  p.output_labels = {"x", "y"};
+  std::string text = write_pla(p);
+  PlaParseResult r = parse_pla(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.pla.num_inputs, 3);
+  EXPECT_EQ(r.pla.num_outputs, 2);
+  EXPECT_EQ(r.pla.rows.size(), 3u);
+  EXPECT_EQ(r.pla.input_labels, p.input_labels);
+  EXPECT_EQ(r.pla.rows[0].in, "01-");
+  EXPECT_EQ(r.pla.rows[2].out, "1-");
+}
+
+TEST(PlaIo, ParsesComments) {
+  PlaParseResult r = parse_pla(
+      "# header\n.i 2\n.o 1\n01 1  # a cube\n\n.e\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.pla.rows.size(), 1u);
+}
+
+TEST(PlaIo, AcceptsTwoAsDash) {
+  PlaParseResult r = parse_pla(".i 2\n.o 1\n21 1\n.e\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.pla.rows[0].in, "-1");
+}
+
+TEST(PlaIo, RejectsMissingHeader) {
+  EXPECT_FALSE(parse_pla("01 1\n").ok());
+}
+
+TEST(PlaIo, RejectsWidthMismatch) {
+  EXPECT_FALSE(parse_pla(".i 3\n.o 1\n01 1\n.e\n").ok());
+}
+
+TEST(PlaIo, ParsesType) {
+  PlaParseResult r = parse_pla(".i 1\n.o 1\n.type fr\n1 1\n0 0\n.e\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.pla.type, PlaType::FR);
+  EXPECT_EQ(r.pla.offset_rows().size(), 1);
+}
+
+TEST(PlaIo, WarnsOnUnknownDirective) {
+  PlaParseResult r = parse_pla(".i 1\n.o 1\n.phase 1\n1 1\n.e\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kiss/benchmarks.h"
+#include "stateassign/blif.h"
+#include "stateassign/state_assign.h"
+
+namespace picola {
+namespace {
+
+StateAssignResult assigned(const std::string& name) {
+  return assign_states(make_example_fsm(name));
+}
+
+int count_lines_with(const std::string& text, const std::string& prefix) {
+  std::istringstream is(text);
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line))
+    if (line.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+TEST(Blif, StructureMatchesMachine) {
+  Fsm f = make_example_fsm("vending");
+  StateAssignResult r = assigned("vending");
+  std::string blif = write_blif(f, r.encoding, r.minimized);
+  EXPECT_EQ(count_lines_with(blif, ".model"), 1);
+  EXPECT_EQ(count_lines_with(blif, ".latch"), r.encoding.num_bits);
+  // One .names block per next-state bit and per primary output.
+  EXPECT_EQ(count_lines_with(blif, ".names"),
+            r.encoding.num_bits + f.num_outputs);
+  EXPECT_EQ(count_lines_with(blif, ".end"), 1);
+}
+
+TEST(Blif, LatchInitMatchesResetCode) {
+  Fsm f = make_example_fsm("traffic");
+  StateAssignResult r = assigned("traffic");
+  std::string blif = write_blif(f, r.encoding, r.minimized);
+  uint32_t reset = r.encoding.code(f.reset_state);
+  for (int b = 0; b < r.encoding.num_bits; ++b) {
+    std::string want = ".latch ns" + std::to_string(b) + " s" +
+                       std::to_string(b) + ' ' +
+                       std::to_string((reset >> b) & 1u);
+    EXPECT_NE(blif.find(want), std::string::npos) << want << "\n" << blif;
+  }
+}
+
+TEST(Blif, RowCountMatchesCoverAssertions) {
+  Fsm f = make_example_fsm("elevator");
+  StateAssignResult r = assigned("elevator");
+  std::string blif = write_blif(f, r.encoding, r.minimized);
+  // Total " 1" rows == total output-part assertions across the cover.
+  const CubeSpace& s = r.minimized.space();
+  int ov = s.output_var();
+  long assertions = 0;
+  for (const Cube& c : r.minimized.cubes())
+    assertions += c.var_popcount(s, ov);
+  std::istringstream is(blif);
+  std::string line;
+  long rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    char first = line[0];
+    if ((first == '0' || first == '1' || first == '-') &&
+        line.substr(line.size() - 2) == " 1")
+      ++rows;
+  }
+  EXPECT_EQ(rows, assertions);
+}
+
+TEST(Blif, ModelNameOverride) {
+  Fsm f = make_example_fsm("vending");
+  StateAssignResult r = assigned("vending");
+  std::string blif = write_blif(f, r.encoding, r.minimized, "mymodel");
+  EXPECT_NE(blif.find(".model mymodel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,81 @@
+#pragma once
+// Shared helpers for the test suites: terse cube/cover builders and a
+// deterministic random-function generator for property tests.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cube/cover.h"
+
+namespace picola::test {
+
+/// Build a cube over a binary space from a literal string like "01-1"
+/// ('0', '1', '-').
+inline Cube bcube(const CubeSpace& s, const std::string& lits) {
+  Cube c = Cube::full(s);
+  for (int v = 0; v < s.num_vars(); ++v) {
+    char ch = lits[static_cast<size_t>(v)];
+    if (ch == '0') c.set_binary(s, v, 0);
+    if (ch == '1') c.set_binary(s, v, 1);
+  }
+  return c;
+}
+
+/// Build a cover over a binary space from literal strings.
+inline Cover bcover(const CubeSpace& s, const std::vector<std::string>& rows) {
+  Cover f(s);
+  for (const auto& r : rows) f.add(bcube(s, r));
+  return f;
+}
+
+/// Deterministic random cover: `ncubes` cubes over `s`, each literal kept
+/// full with probability `dash_prob`, otherwise restricted to a random
+/// non-empty part subset (for binary vars: a single part).
+inline Cover random_cover(const CubeSpace& s, int ncubes, std::mt19937& rng,
+                          double dash_prob = 0.4) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Cover f(s);
+  for (int i = 0; i < ncubes; ++i) {
+    Cube c = Cube::full(s);
+    for (int v = 0; v < s.num_vars(); ++v) {
+      if (coin(rng) < dash_prob) continue;
+      c.clear_var(s, v);
+      int parts = s.parts(v);
+      // Pick a random non-empty strict subset (single part for binary).
+      if (parts == 2) {
+        c.set(s, v, static_cast<int>(rng() % 2));
+      } else {
+        int k = 1 + static_cast<int>(rng() % static_cast<uint32_t>(parts - 1));
+        std::vector<int> idx(static_cast<size_t>(parts));
+        for (int p = 0; p < parts; ++p) idx[static_cast<size_t>(p)] = p;
+        std::shuffle(idx.begin(), idx.end(), rng);
+        for (int j = 0; j < k; ++j) c.set(s, v, idx[static_cast<size_t>(j)]);
+      }
+    }
+    f.add(c);
+  }
+  return f;
+}
+
+/// Exhaustively compare two covers as minterm sets (small spaces only).
+inline bool same_function(const Cover& a, const Cover& b) {
+  bool same = true;
+  Cover::for_each_minterm(a.space(), [&](const std::vector<int>& m) {
+    if (a.covers_minterm(m) != b.covers_minterm(m)) same = false;
+  });
+  return same;
+}
+
+/// True when `f` covers every minterm that `g` covers (f ⊇ g), checked
+/// exhaustively.
+inline bool covers_all_of(const Cover& f, const Cover& g) {
+  bool ok = true;
+  Cover::for_each_minterm(f.space(), [&](const std::vector<int>& m) {
+    if (g.covers_minterm(m) && !f.covers_minterm(m)) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace picola::test

@@ -1,0 +1,5 @@
+// The `picola` command-line tool; see src/cli/cli.h for the subcommands.
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return picola::cli::main_entry(argc, argv); }
