@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_picola.dir/ablation_picola.cpp.o"
+  "CMakeFiles/ablation_picola.dir/ablation_picola.cpp.o.d"
+  "ablation_picola"
+  "ablation_picola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_picola.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

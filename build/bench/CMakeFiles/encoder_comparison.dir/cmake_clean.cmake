@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_comparison.dir/encoder_comparison.cpp.o"
+  "CMakeFiles/encoder_comparison.dir/encoder_comparison.cpp.o.d"
+  "encoder_comparison"
+  "encoder_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

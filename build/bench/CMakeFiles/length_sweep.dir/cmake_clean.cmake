@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/length_sweep.dir/length_sweep.cpp.o"
+  "CMakeFiles/length_sweep.dir/length_sweep.cpp.o.d"
+  "length_sweep"
+  "length_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/length_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

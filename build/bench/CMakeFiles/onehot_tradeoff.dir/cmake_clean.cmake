@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onehot_tradeoff.dir/onehot_tradeoff.cpp.o"
+  "CMakeFiles/onehot_tradeoff.dir/onehot_tradeoff.cpp.o.d"
+  "onehot_tradeoff"
+  "onehot_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onehot_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

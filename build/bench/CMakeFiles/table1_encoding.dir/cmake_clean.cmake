@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_encoding.dir/table1_encoding.cpp.o"
+  "CMakeFiles/table1_encoding.dir/table1_encoding.cpp.o.d"
+  "table1_encoding"
+  "table1_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

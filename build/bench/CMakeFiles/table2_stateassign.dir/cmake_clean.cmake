@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_stateassign.dir/table2_stateassign.cpp.o"
+  "CMakeFiles/table2_stateassign.dir/table2_stateassign.cpp.o.d"
+  "table2_stateassign"
+  "table2_stateassign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stateassign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

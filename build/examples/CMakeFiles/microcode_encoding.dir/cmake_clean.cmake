@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microcode_encoding.dir/microcode_encoding.cpp.o"
+  "CMakeFiles/microcode_encoding.dir/microcode_encoding.cpp.o.d"
+  "microcode_encoding"
+  "microcode_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microcode_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

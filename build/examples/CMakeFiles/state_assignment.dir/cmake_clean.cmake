@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_assignment.dir/state_assignment.cpp.o"
+  "CMakeFiles/state_assignment.dir/state_assignment.cpp.o.d"
+  "state_assignment"
+  "state_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

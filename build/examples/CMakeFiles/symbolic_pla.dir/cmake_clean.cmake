@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_pla.dir/symbolic_pla.cpp.o"
+  "CMakeFiles/symbolic_pla.dir/symbolic_pla.cpp.o.d"
+  "symbolic_pla"
+  "symbolic_pla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

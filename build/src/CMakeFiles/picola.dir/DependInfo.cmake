@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli.cpp" "src/CMakeFiles/picola.dir/cli/cli.cpp.o" "gcc" "src/CMakeFiles/picola.dir/cli/cli.cpp.o.d"
+  "/root/repo/src/constraints/constraint_io.cpp" "src/CMakeFiles/picola.dir/constraints/constraint_io.cpp.o" "gcc" "src/CMakeFiles/picola.dir/constraints/constraint_io.cpp.o.d"
+  "/root/repo/src/constraints/constraint_matrix.cpp" "src/CMakeFiles/picola.dir/constraints/constraint_matrix.cpp.o" "gcc" "src/CMakeFiles/picola.dir/constraints/constraint_matrix.cpp.o.d"
+  "/root/repo/src/constraints/derive.cpp" "src/CMakeFiles/picola.dir/constraints/derive.cpp.o" "gcc" "src/CMakeFiles/picola.dir/constraints/derive.cpp.o.d"
+  "/root/repo/src/constraints/dichotomy.cpp" "src/CMakeFiles/picola.dir/constraints/dichotomy.cpp.o" "gcc" "src/CMakeFiles/picola.dir/constraints/dichotomy.cpp.o.d"
+  "/root/repo/src/constraints/face_constraint.cpp" "src/CMakeFiles/picola.dir/constraints/face_constraint.cpp.o" "gcc" "src/CMakeFiles/picola.dir/constraints/face_constraint.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/CMakeFiles/picola.dir/core/feasibility.cpp.o" "gcc" "src/CMakeFiles/picola.dir/core/feasibility.cpp.o.d"
+  "/root/repo/src/core/guide.cpp" "src/CMakeFiles/picola.dir/core/guide.cpp.o" "gcc" "src/CMakeFiles/picola.dir/core/guide.cpp.o.d"
+  "/root/repo/src/core/input_encoding.cpp" "src/CMakeFiles/picola.dir/core/input_encoding.cpp.o" "gcc" "src/CMakeFiles/picola.dir/core/input_encoding.cpp.o.d"
+  "/root/repo/src/core/picola.cpp" "src/CMakeFiles/picola.dir/core/picola.cpp.o" "gcc" "src/CMakeFiles/picola.dir/core/picola.cpp.o.d"
+  "/root/repo/src/core/theorem1.cpp" "src/CMakeFiles/picola.dir/core/theorem1.cpp.o" "gcc" "src/CMakeFiles/picola.dir/core/theorem1.cpp.o.d"
+  "/root/repo/src/cube/algebra.cpp" "src/CMakeFiles/picola.dir/cube/algebra.cpp.o" "gcc" "src/CMakeFiles/picola.dir/cube/algebra.cpp.o.d"
+  "/root/repo/src/cube/cover.cpp" "src/CMakeFiles/picola.dir/cube/cover.cpp.o" "gcc" "src/CMakeFiles/picola.dir/cube/cover.cpp.o.d"
+  "/root/repo/src/cube/cube.cpp" "src/CMakeFiles/picola.dir/cube/cube.cpp.o" "gcc" "src/CMakeFiles/picola.dir/cube/cube.cpp.o.d"
+  "/root/repo/src/cube/space.cpp" "src/CMakeFiles/picola.dir/cube/space.cpp.o" "gcc" "src/CMakeFiles/picola.dir/cube/space.cpp.o.d"
+  "/root/repo/src/encoders/annealing.cpp" "src/CMakeFiles/picola.dir/encoders/annealing.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/annealing.cpp.o.d"
+  "/root/repo/src/encoders/enc_like.cpp" "src/CMakeFiles/picola.dir/encoders/enc_like.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/enc_like.cpp.o.d"
+  "/root/repo/src/encoders/encoding.cpp" "src/CMakeFiles/picola.dir/encoders/encoding.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/encoding.cpp.o.d"
+  "/root/repo/src/encoders/exact.cpp" "src/CMakeFiles/picola.dir/encoders/exact.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/exact.cpp.o.d"
+  "/root/repo/src/encoders/full_satisfaction.cpp" "src/CMakeFiles/picola.dir/encoders/full_satisfaction.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/full_satisfaction.cpp.o.d"
+  "/root/repo/src/encoders/nova_like.cpp" "src/CMakeFiles/picola.dir/encoders/nova_like.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/nova_like.cpp.o.d"
+  "/root/repo/src/encoders/trivial.cpp" "src/CMakeFiles/picola.dir/encoders/trivial.cpp.o" "gcc" "src/CMakeFiles/picola.dir/encoders/trivial.cpp.o.d"
+  "/root/repo/src/espresso/complement.cpp" "src/CMakeFiles/picola.dir/espresso/complement.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/complement.cpp.o.d"
+  "/root/repo/src/espresso/essential.cpp" "src/CMakeFiles/picola.dir/espresso/essential.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/essential.cpp.o.d"
+  "/root/repo/src/espresso/exact.cpp" "src/CMakeFiles/picola.dir/espresso/exact.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/exact.cpp.o.d"
+  "/root/repo/src/espresso/expand.cpp" "src/CMakeFiles/picola.dir/espresso/expand.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/expand.cpp.o.d"
+  "/root/repo/src/espresso/irredundant.cpp" "src/CMakeFiles/picola.dir/espresso/irredundant.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/irredundant.cpp.o.d"
+  "/root/repo/src/espresso/minimize.cpp" "src/CMakeFiles/picola.dir/espresso/minimize.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/minimize.cpp.o.d"
+  "/root/repo/src/espresso/reduce.cpp" "src/CMakeFiles/picola.dir/espresso/reduce.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/reduce.cpp.o.d"
+  "/root/repo/src/espresso/tautology.cpp" "src/CMakeFiles/picola.dir/espresso/tautology.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/tautology.cpp.o.d"
+  "/root/repo/src/espresso/unate.cpp" "src/CMakeFiles/picola.dir/espresso/unate.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/unate.cpp.o.d"
+  "/root/repo/src/espresso/verify.cpp" "src/CMakeFiles/picola.dir/espresso/verify.cpp.o" "gcc" "src/CMakeFiles/picola.dir/espresso/verify.cpp.o.d"
+  "/root/repo/src/eval/constraint_eval.cpp" "src/CMakeFiles/picola.dir/eval/constraint_eval.cpp.o" "gcc" "src/CMakeFiles/picola.dir/eval/constraint_eval.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/picola.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/picola.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/kiss/benchmarks.cpp" "src/CMakeFiles/picola.dir/kiss/benchmarks.cpp.o" "gcc" "src/CMakeFiles/picola.dir/kiss/benchmarks.cpp.o.d"
+  "/root/repo/src/kiss/fsm.cpp" "src/CMakeFiles/picola.dir/kiss/fsm.cpp.o" "gcc" "src/CMakeFiles/picola.dir/kiss/fsm.cpp.o.d"
+  "/root/repo/src/kiss/generator.cpp" "src/CMakeFiles/picola.dir/kiss/generator.cpp.o" "gcc" "src/CMakeFiles/picola.dir/kiss/generator.cpp.o.d"
+  "/root/repo/src/kiss/kiss_io.cpp" "src/CMakeFiles/picola.dir/kiss/kiss_io.cpp.o" "gcc" "src/CMakeFiles/picola.dir/kiss/kiss_io.cpp.o.d"
+  "/root/repo/src/kiss/minimize_states.cpp" "src/CMakeFiles/picola.dir/kiss/minimize_states.cpp.o" "gcc" "src/CMakeFiles/picola.dir/kiss/minimize_states.cpp.o.d"
+  "/root/repo/src/kiss/simulator.cpp" "src/CMakeFiles/picola.dir/kiss/simulator.cpp.o" "gcc" "src/CMakeFiles/picola.dir/kiss/simulator.cpp.o.d"
+  "/root/repo/src/pla/mv_pla.cpp" "src/CMakeFiles/picola.dir/pla/mv_pla.cpp.o" "gcc" "src/CMakeFiles/picola.dir/pla/mv_pla.cpp.o.d"
+  "/root/repo/src/pla/pla.cpp" "src/CMakeFiles/picola.dir/pla/pla.cpp.o" "gcc" "src/CMakeFiles/picola.dir/pla/pla.cpp.o.d"
+  "/root/repo/src/pla/pla_io.cpp" "src/CMakeFiles/picola.dir/pla/pla_io.cpp.o" "gcc" "src/CMakeFiles/picola.dir/pla/pla_io.cpp.o.d"
+  "/root/repo/src/stateassign/assemble.cpp" "src/CMakeFiles/picola.dir/stateassign/assemble.cpp.o" "gcc" "src/CMakeFiles/picola.dir/stateassign/assemble.cpp.o.d"
+  "/root/repo/src/stateassign/blif.cpp" "src/CMakeFiles/picola.dir/stateassign/blif.cpp.o" "gcc" "src/CMakeFiles/picola.dir/stateassign/blif.cpp.o.d"
+  "/root/repo/src/stateassign/state_assign.cpp" "src/CMakeFiles/picola.dir/stateassign/state_assign.cpp.o" "gcc" "src/CMakeFiles/picola.dir/stateassign/state_assign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/constraints/test_constraint_io.cpp" "tests/CMakeFiles/test_constraints.dir/constraints/test_constraint_io.cpp.o" "gcc" "tests/CMakeFiles/test_constraints.dir/constraints/test_constraint_io.cpp.o.d"
+  "/root/repo/tests/constraints/test_constraint_matrix.cpp" "tests/CMakeFiles/test_constraints.dir/constraints/test_constraint_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_constraints.dir/constraints/test_constraint_matrix.cpp.o.d"
+  "/root/repo/tests/constraints/test_constraints.cpp" "tests/CMakeFiles/test_constraints.dir/constraints/test_constraints.cpp.o" "gcc" "tests/CMakeFiles/test_constraints.dir/constraints/test_constraints.cpp.o.d"
+  "/root/repo/tests/constraints/test_derive.cpp" "tests/CMakeFiles/test_constraints.dir/constraints/test_derive.cpp.o" "gcc" "tests/CMakeFiles/test_constraints.dir/constraints/test_derive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/picola.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

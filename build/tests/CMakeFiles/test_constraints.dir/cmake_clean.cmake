@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraints.dir/constraints/test_constraint_io.cpp.o"
+  "CMakeFiles/test_constraints.dir/constraints/test_constraint_io.cpp.o.d"
+  "CMakeFiles/test_constraints.dir/constraints/test_constraint_matrix.cpp.o"
+  "CMakeFiles/test_constraints.dir/constraints/test_constraint_matrix.cpp.o.d"
+  "CMakeFiles/test_constraints.dir/constraints/test_constraints.cpp.o"
+  "CMakeFiles/test_constraints.dir/constraints/test_constraints.cpp.o.d"
+  "CMakeFiles/test_constraints.dir/constraints/test_derive.cpp.o"
+  "CMakeFiles/test_constraints.dir/constraints/test_derive.cpp.o.d"
+  "test_constraints"
+  "test_constraints.pdb"
+  "test_constraints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

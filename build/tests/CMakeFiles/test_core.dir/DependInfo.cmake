@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_feasibility.cpp" "tests/CMakeFiles/test_core.dir/core/test_feasibility.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_feasibility.cpp.o.d"
+  "/root/repo/tests/core/test_input_encoding.cpp" "tests/CMakeFiles/test_core.dir/core/test_input_encoding.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_input_encoding.cpp.o.d"
+  "/root/repo/tests/core/test_matrix_invariants.cpp" "tests/CMakeFiles/test_core.dir/core/test_matrix_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_matrix_invariants.cpp.o.d"
+  "/root/repo/tests/core/test_picola.cpp" "tests/CMakeFiles/test_core.dir/core/test_picola.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_picola.cpp.o.d"
+  "/root/repo/tests/core/test_theorem1.cpp" "tests/CMakeFiles/test_core.dir/core/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_theorem1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/picola.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_feasibility.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_feasibility.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_input_encoding.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_input_encoding.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_matrix_invariants.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_matrix_invariants.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_picola.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_picola.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_theorem1.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_theorem1.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube.dir/cube/test_algebra.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_algebra.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_cover.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_cover.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_cube.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_cube.cpp.o.d"
+  "CMakeFiles/test_cube.dir/cube/test_space.cpp.o"
+  "CMakeFiles/test_cube.dir/cube/test_space.cpp.o.d"
+  "test_cube"
+  "test_cube.pdb"
+  "test_cube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

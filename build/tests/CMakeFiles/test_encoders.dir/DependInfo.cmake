@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/encoders/test_annealing.cpp" "tests/CMakeFiles/test_encoders.dir/encoders/test_annealing.cpp.o" "gcc" "tests/CMakeFiles/test_encoders.dir/encoders/test_annealing.cpp.o.d"
+  "/root/repo/tests/encoders/test_encoders.cpp" "tests/CMakeFiles/test_encoders.dir/encoders/test_encoders.cpp.o" "gcc" "tests/CMakeFiles/test_encoders.dir/encoders/test_encoders.cpp.o.d"
+  "/root/repo/tests/encoders/test_full_satisfaction.cpp" "tests/CMakeFiles/test_encoders.dir/encoders/test_full_satisfaction.cpp.o" "gcc" "tests/CMakeFiles/test_encoders.dir/encoders/test_full_satisfaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/picola.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encoders.dir/encoders/test_annealing.cpp.o"
+  "CMakeFiles/test_encoders.dir/encoders/test_annealing.cpp.o.d"
+  "CMakeFiles/test_encoders.dir/encoders/test_encoders.cpp.o"
+  "CMakeFiles/test_encoders.dir/encoders/test_encoders.cpp.o.d"
+  "CMakeFiles/test_encoders.dir/encoders/test_full_satisfaction.cpp.o"
+  "CMakeFiles/test_encoders.dir/encoders/test_full_satisfaction.cpp.o.d"
+  "test_encoders"
+  "test_encoders.pdb"
+  "test_encoders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/espresso/test_complement.cpp" "tests/CMakeFiles/test_espresso.dir/espresso/test_complement.cpp.o" "gcc" "tests/CMakeFiles/test_espresso.dir/espresso/test_complement.cpp.o.d"
+  "/root/repo/tests/espresso/test_cross_check.cpp" "tests/CMakeFiles/test_espresso.dir/espresso/test_cross_check.cpp.o" "gcc" "tests/CMakeFiles/test_espresso.dir/espresso/test_cross_check.cpp.o.d"
+  "/root/repo/tests/espresso/test_exact.cpp" "tests/CMakeFiles/test_espresso.dir/espresso/test_exact.cpp.o" "gcc" "tests/CMakeFiles/test_espresso.dir/espresso/test_exact.cpp.o.d"
+  "/root/repo/tests/espresso/test_minimize.cpp" "tests/CMakeFiles/test_espresso.dir/espresso/test_minimize.cpp.o" "gcc" "tests/CMakeFiles/test_espresso.dir/espresso/test_minimize.cpp.o.d"
+  "/root/repo/tests/espresso/test_properties.cpp" "tests/CMakeFiles/test_espresso.dir/espresso/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_espresso.dir/espresso/test_properties.cpp.o.d"
+  "/root/repo/tests/espresso/test_tautology.cpp" "tests/CMakeFiles/test_espresso.dir/espresso/test_tautology.cpp.o" "gcc" "tests/CMakeFiles/test_espresso.dir/espresso/test_tautology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/picola.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

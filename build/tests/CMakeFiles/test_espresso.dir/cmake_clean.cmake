@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_espresso.dir/espresso/test_complement.cpp.o"
+  "CMakeFiles/test_espresso.dir/espresso/test_complement.cpp.o.d"
+  "CMakeFiles/test_espresso.dir/espresso/test_cross_check.cpp.o"
+  "CMakeFiles/test_espresso.dir/espresso/test_cross_check.cpp.o.d"
+  "CMakeFiles/test_espresso.dir/espresso/test_exact.cpp.o"
+  "CMakeFiles/test_espresso.dir/espresso/test_exact.cpp.o.d"
+  "CMakeFiles/test_espresso.dir/espresso/test_minimize.cpp.o"
+  "CMakeFiles/test_espresso.dir/espresso/test_minimize.cpp.o.d"
+  "CMakeFiles/test_espresso.dir/espresso/test_properties.cpp.o"
+  "CMakeFiles/test_espresso.dir/espresso/test_properties.cpp.o.d"
+  "CMakeFiles/test_espresso.dir/espresso/test_tautology.cpp.o"
+  "CMakeFiles/test_espresso.dir/espresso/test_tautology.cpp.o.d"
+  "test_espresso"
+  "test_espresso.pdb"
+  "test_espresso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_espresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stateassign.dir/stateassign/test_blif.cpp.o"
+  "CMakeFiles/test_stateassign.dir/stateassign/test_blif.cpp.o.d"
+  "CMakeFiles/test_stateassign.dir/stateassign/test_state_assign.cpp.o"
+  "CMakeFiles/test_stateassign.dir/stateassign/test_state_assign.cpp.o.d"
+  "test_stateassign"
+  "test_stateassign.pdb"
+  "test_stateassign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stateassign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picola_cli.dir/picola_cli.cpp.o"
+  "CMakeFiles/picola_cli.dir/picola_cli.cpp.o.d"
+  "picola"
+  "picola.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picola_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
