@@ -1,0 +1,139 @@
+// Batch-encoding throughput of the concurrent EncodingService.
+//
+// Workload: the Table I input-encoding problems (IWLS'93-profile
+// reconstructions), each submitted as a 4-restart job.  For 1, N/2 and N
+// worker threads the bench measures cold jobs/sec (empty cache), then
+// replays the identical batch against the warm cache to measure the
+// memoisation speedup.  Results are printed as a table and written to
+// BENCH_batch.json so the perf trajectory of the service layer is
+// tracked across PRs.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "constraints/derive.h"
+#include "eval/metrics.h"
+#include "kiss/benchmarks.h"
+#include "service/service.h"
+
+using namespace picola;
+
+namespace {
+
+constexpr int kRestarts = 4;
+constexpr int kRepeat = 3;  ///< duplicate submissions per problem
+
+std::vector<Job> make_workload() {
+  std::vector<Job> jobs;
+  for (const std::string& name : table1_benchmarks()) {
+    Fsm fsm = make_benchmark(name);
+    Job job;
+    job.set = derive_face_constraints(fsm).set;
+    if (job.set.num_symbols < 2 || job.set.size() == 0) continue;
+    job.restarts = kRestarts;
+    job.tag = name;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+struct Measurement {
+  int threads = 0;
+  double cold_ms = 0;
+  double cold_jobs_per_sec = 0;
+  double replay_ms = 0;
+  double replay_speedup = 0;
+  ServiceStats stats;
+};
+
+Measurement run_once(const std::vector<Job>& jobs, int threads) {
+  Measurement m;
+  m.threads = threads;
+  ServiceOptions so;
+  so.num_threads = threads;
+  so.cache_capacity = 4096;
+  EncodingService service(so);
+
+  // Cold pass: every submission (kRepeat per problem) computes or shares
+  // an in-flight duplicate.
+  Stopwatch sw;
+  for (int rep = 0; rep < kRepeat; ++rep)
+    for (const Job& j : jobs) service.submit(j);
+  service.wait_all();
+  m.cold_ms = sw.elapsed_ms();
+  size_t total = jobs.size() * static_cast<size_t>(kRepeat);
+  m.cold_jobs_per_sec =
+      m.cold_ms > 0 ? 1000.0 * static_cast<double>(total) / m.cold_ms : 0;
+
+  // Replay pass: identical batch, warm cache.
+  sw.restart();
+  for (int rep = 0; rep < kRepeat; ++rep)
+    for (const Job& j : jobs) service.submit(j);
+  service.wait_all();
+  m.replay_ms = sw.elapsed_ms();
+  m.replay_speedup = m.replay_ms > 0 ? m.cold_ms / m.replay_ms : 0;
+  m.stats = service.stats();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Job> jobs = make_workload();
+  unsigned hw = std::thread::hardware_concurrency();
+  int n = hw > 0 ? static_cast<int>(hw) : 4;
+  // 1, N/2 and N threads, plus a 4-thread point so runs on different
+  // machines share a comparable column.
+  std::vector<int> thread_counts = {1, std::max(2, n / 2), n, 4};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::printf("batch throughput: %zu problems x %d submissions, %d restarts "
+              "per job\n\n",
+              jobs.size(), kRepeat, kRestarts);
+  std::printf("%8s | %10s %10s | %10s %8s\n", "threads", "cold ms",
+              "jobs/sec", "replay ms", "speedup");
+  std::printf("%.*s\n", 56,
+              "--------------------------------------------------------");
+
+  std::vector<Measurement> results;
+  for (int t : thread_counts) results.push_back(run_once(jobs, t));
+
+  for (const Measurement& m : results)
+    std::printf("%8d | %10.1f %10.1f | %10.2f %8.1fx\n", m.threads, m.cold_ms,
+                m.cold_jobs_per_sec, m.replay_ms, m.replay_speedup);
+  if (results.size() > 1) {
+    const Measurement& base = results.front();
+    const Measurement& top = results.back();
+    std::printf("\nscaling %d -> %d threads: %.2fx throughput\n", base.threads,
+                top.threads, top.cold_jobs_per_sec / base.cold_jobs_per_sec);
+  }
+
+  FILE* f = std::fopen("BENCH_batch.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_batch.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\"problems\":%zu,\"submissions_per_problem\":%d,"
+               "\"restarts\":%d,\"runs\":[",
+               jobs.size(), kRepeat, kRestarts);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(f,
+                 "%s{\"threads\":%d,\"cold_ms\":%.3f,\"jobs_per_sec\":%.2f,"
+                 "\"replay_ms\":%.3f,\"cache_replay_speedup\":%.2f,"
+                 "\"stats\":%s}",
+                 i ? "," : "", m.threads, m.cold_ms, m.cold_jobs_per_sec,
+                 m.replay_ms, m.replay_speedup,
+                 service_stats_json(m.stats).c_str());
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_batch.json\n");
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "eval/metrics.h"
 #include "kiss/kiss_io.h"
 #include "pla/pla_io.h"
+#include "service/service.h"
 #include "stateassign/blif.h"
 #include "stateassign/state_assign.h"
 
@@ -41,8 +42,8 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                      std::ostream& err) {
   ParsedArgs p;
   if (args.empty()) {
-    err << "usage: picola <encode|encode-input|assign|minimize|info> "
-           "<file> [options]\n";
+    err << "usage: picola <encode|encode-input|batch|serve|assign|minimize"
+           "|info> [file] [options]\n";
     return std::nullopt;
   }
   p.command = args[0];
@@ -52,7 +53,8 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
       std::string key = a == "-o" ? "--output" : a;
       static const char* kValued[] = {"--algorithm", "--bits", "--seed",
                                       "--output", "--steps", "--var",
-                                      "--blif"};
+                                      "--blif", "--jobs", "--restarts",
+                                      "--cache"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -436,6 +438,245 @@ int cmd_encode_input(const ParsedArgs& a, std::ostream& out,
   return 0;
 }
 
+std::string trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string r;
+  for (char c : s) {
+    if (c == '"' || c == '\\') r += '\\';
+    r += c;
+  }
+  return r;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Shared option block of the service front-ends.
+struct ServiceArgs {
+  ServiceOptions service;
+  int restarts = 4;
+  int bits = 0;
+};
+
+std::optional<ServiceArgs> parse_service_args(const ParsedArgs& a,
+                                              std::ostream& err) {
+  ServiceArgs s;
+  if (a.options.count("--jobs")) {
+    auto v = parse_int(a.options.at("--jobs"));
+    if (!v || *v < 1) { err << "bad --jobs value\n"; return std::nullopt; }
+    s.service.num_threads = *v;
+  }
+  if (a.options.count("--restarts")) {
+    auto v = parse_int(a.options.at("--restarts"));
+    if (!v || *v < 1) { err << "bad --restarts value\n"; return std::nullopt; }
+    s.restarts = *v;
+  }
+  if (a.options.count("--cache")) {
+    auto v = parse_int(a.options.at("--cache"));
+    if (!v || *v < 0) { err << "bad --cache value\n"; return std::nullopt; }
+    s.service.cache_capacity = static_cast<size_t>(*v);
+  }
+  if (a.options.count("--bits")) {
+    auto v = parse_int(a.options.at("--bits"));
+    if (!v || *v < 0) { err << "bad --bits value\n"; return std::nullopt; }
+    s.bits = *v;
+  }
+  return s;
+}
+
+/// The deterministic per-file summary (identical for every --jobs value):
+/// encoding content hash, code length, implementation cubes, satisfied
+/// constraints.  Wall times and cache behaviour go to the '#' lines.
+std::string file_summary(const ConstraintSet& set, const JobResult& r) {
+  EncodingQuality q = encoding_quality(set, r.picola.encoding);
+  std::ostringstream os;
+  os << "n=" << set.num_symbols << " bits=" << r.picola.encoding.num_bits
+     << " cubes=" << r.total_cubes << " satisfied="
+     << q.satisfied_constraints << "/" << set.size() << " enc="
+     << hex64(encoding_fingerprint(r.picola.encoding));
+  return os.str();
+}
+
+int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "batch needs one list file\n";
+    return 2;
+  }
+  auto text = read_file(a.positional[0], err);
+  if (!text) return 1;
+  auto sa = parse_service_args(a, err);
+  if (!sa) return 2;
+  const bool json = a.options.count("--json") != 0;
+
+  struct Item {
+    std::string path;
+    std::optional<Problem> problem;
+    std::string error;
+    std::shared_future<JobResult> future;
+  };
+  std::vector<Item> items;
+  std::istringstream is(*text);
+  std::string line;
+  while (std::getline(is, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    Item item;
+    item.path = line;
+    std::ostringstream lerr;
+    auto p = load_problem(line, lerr);
+    if (p)
+      item.problem = std::move(*p);
+    else
+      item.error = trim(lerr.str());
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) {
+    err << a.positional[0] << ": no input files listed\n";
+    return 1;
+  }
+
+  EncodingService service(sa->service);
+  Stopwatch sw;
+  for (Item& item : items) {
+    if (!item.problem) continue;
+    Job job;
+    job.set = item.problem->set;
+    job.options.num_bits = sa->bits;
+    job.restarts = sa->restarts;
+    job.tag = item.path;
+    item.future = service.submit(std::move(job));
+  }
+
+  bool any_error = false;
+  long total_cubes = 0;
+  int solved = 0;
+  std::ostringstream files_json;
+  for (Item& item : items) {
+    if (!item.problem) {
+      any_error = true;
+      if (json)
+        files_json << "{\"path\":\"" << json_escape(item.path)
+                   << "\",\"error\":\"" << json_escape(item.error) << "\"},";
+      else
+        out << item.path << " error: " << item.error << "\n";
+      continue;
+    }
+    JobResult r;
+    try {
+      r = item.future.get();
+    } catch (const std::exception& e) {
+      any_error = true;
+      if (!json) out << item.path << " error: " << e.what() << "\n";
+      continue;
+    }
+    total_cubes += r.total_cubes;
+    ++solved;
+    const ConstraintSet& set = item.problem->set;
+    if (json) {
+      EncodingQuality q = encoding_quality(set, r.picola.encoding);
+      files_json << "{\"path\":\"" << json_escape(item.path) << "\",\"n\":"
+                 << set.num_symbols << ",\"bits\":"
+                 << r.picola.encoding.num_bits << ",\"cubes\":"
+                 << r.total_cubes << ",\"satisfied\":"
+                 << q.satisfied_constraints << ",\"constraints\":"
+                 << set.size() << ",\"enc\":\""
+                 << hex64(encoding_fingerprint(r.picola.encoding)) << "\"},";
+    } else {
+      out << item.path << " " << file_summary(set, r) << "\n";
+    }
+  }
+  service.wait_all();
+  double ms = sw.elapsed_ms();
+  ServiceStats stats = service.stats();
+
+  if (json) {
+    std::string files = files_json.str();
+    if (!files.empty()) files.pop_back();  // trailing comma
+    out << "{\"files\":[" << files << "],\"solved\":" << solved
+        << ",\"total_cubes\":" << total_cubes << ",\"threads\":"
+        << service.num_threads() << ",\"elapsed_ms\":" << ms
+        << ",\"stats\":" << service_stats_json(stats) << "}\n";
+  } else {
+    out << "# " << solved << "/" << items.size() << " files, "
+        << total_cubes << " total cubes, " << sa->restarts
+        << " restarts/job, " << service.num_threads() << " threads, "
+        << ms << " ms\n";
+    out << "# service: " << format_service_stats(stats) << "\n";
+  }
+  return any_error ? 1 : 0;
+}
+
+int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  if (!a.positional.empty()) {
+    err << "serve takes no positional arguments (requests come on stdin)\n";
+    return 2;
+  }
+  auto sa = parse_service_args(a, err);
+  if (!sa) return 2;
+  EncodingService service(sa->service);
+
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "stats") {
+      out << "stats " << format_service_stats(service.stats()) << "\n";
+      continue;
+    }
+
+    // Request: <path> [--restarts R]
+    std::istringstream ls(line);
+    std::string path, tok;
+    ls >> path;
+    int restarts = sa->restarts;
+    bool bad = false;
+    while (ls >> tok) {
+      if (tok == "--restarts" && (ls >> tok)) {
+        auto v = parse_int(tok);
+        if (v && *v >= 1) { restarts = *v; continue; }
+      }
+      bad = true;
+      break;
+    }
+    if (bad) {
+      out << "error " << path << ": bad request options\n";
+      continue;
+    }
+    std::ostringstream lerr;
+    auto problem = load_problem(path, lerr);
+    if (!problem) {
+      out << "error " << path << ": " << trim(lerr.str()) << "\n";
+      continue;
+    }
+    Job job;
+    job.set = problem->set;
+    job.options.num_bits = sa->bits;
+    job.restarts = restarts;
+    job.tag = path;
+    try {
+      JobResult r = service.submit(std::move(job)).get();
+      out << "ok " << path << " " << file_summary(problem->set, r)
+          << " cached=" << (r.cache_hit ? 1 : 0) << "\n";
+    } catch (const std::exception& e) {
+      out << "error " << path << ": " << e.what() << "\n";
+    }
+    out.flush();
+  }
+  return 0;
+}
+
 int cmd_info(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   if (a.positional.size() != 1) {
     err << "info needs one file\n";
@@ -492,25 +733,32 @@ int cmd_info(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
 
 }  // namespace
 
-int run(const std::vector<std::string>& args, std::ostream& out,
-        std::ostream& err) {
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
   auto parsed = parse_args(args, err);
   if (!parsed) return 2;
   if (parsed->command == "encode") return cmd_encode(*parsed, out, err);
   if (parsed->command == "encode-input")
     return cmd_encode_input(*parsed, out, err);
+  if (parsed->command == "batch") return cmd_batch(*parsed, out, err);
+  if (parsed->command == "serve") return cmd_serve(*parsed, in, out, err);
   if (parsed->command == "assign") return cmd_assign(*parsed, out, err);
   if (parsed->command == "minimize") return cmd_minimize(*parsed, out, err);
   if (parsed->command == "info") return cmd_info(*parsed, out, err);
   err << "unknown command " << parsed->command
-      << " (encode encode-input assign minimize info)\n";
+      << " (encode encode-input batch serve assign minimize info)\n";
   return 2;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  return run(args, std::cin, out, err);
 }
 
 int main_entry(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
-  return run(args, std::cout, std::cerr);
+  return run(args, std::cin, std::cout, std::cerr);
 }
 
 }  // namespace picola::cli

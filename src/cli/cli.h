@@ -7,6 +7,22 @@
 //       Solve the encoding problem; print codes and quality metrics.
 //       Algorithms: picola nova enc anneal sequential gray random exact.
 //
+//   picola batch   <list-file> [--jobs N] [--restarts R] [--bits N]
+//                  [--cache C] [--json]
+//       Run every file named in <list-file> (one .con/.kiss2 path per
+//       line, '#' comments allowed) through the concurrent
+//       EncodingService (src/service) and print one summary line per
+//       file — in list order, byte-identical for any --jobs value —
+//       followed by '#'-prefixed aggregate/service statistics (or one
+//       JSON object with --json).
+//
+//   picola serve   [--jobs N] [--restarts R] [--cache C]
+//       Read newline-delimited requests from stdin and stream one result
+//       line per request.  A request is a .con/.kiss2 path (optionally
+//       followed by "--restarts R"); the special requests "stats" and
+//       "quit" report service counters and end the session.  Repeated
+//       paths are answered from the sharded result cache.
+//
 //   picola assign  <file.kiss2> [--algorithm A] [-o out.pla] [--raw-table]
 //       Full state assignment; write the minimised PLA.
 //
@@ -24,11 +40,16 @@
 
 namespace picola::cli {
 
-/// Run a CLI invocation; `args` excludes the program name.
+/// Run a CLI invocation; `args` excludes the program name.  `in` feeds
+/// the commands that read requests from standard input (`serve`).
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
+
+/// Overload for commands that take no stdin; `serve` reads std::cin.
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 
-/// Convenience used by main(): converts argv and uses std::cout/cerr.
+/// Convenience used by main(): converts argv and uses std::cin/cout/cerr.
 int main_entry(int argc, char** argv);
 
 }  // namespace picola::cli

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/feasibility.h"
+#include "encoders/restart.h"
 #include "eval/constraint_eval.h"
 
 namespace picola {
@@ -248,20 +249,22 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
   return result;
 }
 
+PicolaOptions picola_restart_options(const PicolaOptions& opt, int restart) {
+  PicolaOptions o = opt;
+  o.tie_break_seed = restart_seed(opt.tie_break_seed, restart);
+  return o;
+}
+
 PicolaResult picola_encode_best(const ConstraintSet& cs, int restarts,
                                 const PicolaOptions& opt) {
   PicolaResult best = picola_encode(cs, opt);
   if (restarts <= 1) return best;
-  int best_cost = evaluate_constraints(cs, best.encoding).total_cubes;
+  RestartWinner winner;
+  winner.offer(evaluate_constraints(cs, best.encoding).total_cubes, 0);
   for (int r = 1; r < restarts; ++r) {
-    PicolaOptions o = opt;
-    o.tie_break_seed = static_cast<uint64_t>(r);
-    PicolaResult cand = picola_encode(cs, o);
-    int cost = evaluate_constraints(cs, cand.encoding).total_cubes;
-    if (cost < best_cost) {
-      best_cost = cost;
+    PicolaResult cand = picola_encode(cs, picola_restart_options(opt, r));
+    if (winner.offer(evaluate_constraints(cs, cand.encoding).total_cubes, r))
       best = std::move(cand);
-    }
   }
   return best;
 }

@@ -71,11 +71,21 @@ struct PicolaResult {
 PicolaResult picola_encode(const ConstraintSet& cs,
                            const PicolaOptions& opt = {});
 
-/// Quality mode: run PICOLA `restarts` times (the first with deterministic
-/// tie-breaking, the rest with seeded random tie-breaking) and return the
-/// run with the smallest espresso-evaluated total cube count.
+/// Quality mode: run PICOLA `restarts` times (the first with the caller's
+/// tie-breaking seed — by default deterministic — the rest with seeds
+/// derived from it; see encoders/restart.h) and return the run with the
+/// smallest espresso-evaluated total cube count, ties broken by lowest
+/// restart index.  The restarts are independent, so the concurrent
+/// EncodingService (src/service) fans them out as pool tasks and reduces
+/// with the same rule, producing bit-identical results.
 PicolaResult picola_encode_best(const ConstraintSet& cs, int restarts,
                                 const PicolaOptions& opt = {});
+
+/// Options of restart `restart` (0-based) of a multi-start plan based on
+/// `opt`: restart 0 keeps opt.tie_break_seed, restart r > 0 uses
+/// restart_seed(opt.tie_break_seed, r).  This is the per-restart entry
+/// point of the fan-out hook.
+PicolaOptions picola_restart_options(const PicolaOptions& opt, int restart);
 
 namespace detail {
 

@@ -1,0 +1,19 @@
+#include "encoders/restart.h"
+
+namespace picola {
+
+uint64_t restart_seed(uint64_t base_seed, int restart) {
+  if (restart <= 0) return base_seed;
+  return base_seed + static_cast<uint64_t>(restart);
+}
+
+bool RestartWinner::offer(long candidate_cost, int candidate_restart) {
+  if (restart >= 0 && (candidate_cost > cost ||
+                       (candidate_cost == cost && candidate_restart > restart)))
+    return false;
+  cost = candidate_cost;
+  restart = candidate_restart;
+  return true;
+}
+
+}  // namespace picola

@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic multi-start (restart) support shared by the sequential
+// picola_encode_best and the concurrent EncodingService (src/service).
+//
+// A multi-start run of R restarts is a *plan*: restart 0 keeps the
+// caller's tie-breaking seed (0 = the deterministic lowest-index rule),
+// restart r > 0 gets the seed `base + r`.  Each restart is an independent
+// computation, so the plan can be executed sequentially or fanned out to a
+// thread pool; the winner is reduced with `RestartWinner` — lowest cost
+// first, lowest restart index on ties — which makes the parallel and
+// sequential executions pick bit-identical results.
+
+#include <cstdint>
+
+namespace picola {
+
+/// Tie-breaking seed of restart `restart` (0-based) of a plan whose first
+/// restart uses `base_seed`.  restart 0 returns `base_seed` unchanged.
+uint64_t restart_seed(uint64_t base_seed, int restart);
+
+/// Running reduction over (cost, restart-index) pairs.  Feeding the
+/// restarts in any order yields the same winner as feeding them in
+/// sequential order, because the sequential loop keeps the first restart
+/// that *strictly* improves the cost — i.e. the minimum of
+/// (cost, restart).
+struct RestartWinner {
+  int restart = -1;
+  long cost = 0;
+
+  /// True when (cost, restart) beats the current winner; updates it.
+  bool offer(long candidate_cost, int candidate_restart);
+};
+
+}  // namespace picola

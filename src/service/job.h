@@ -1,0 +1,52 @@
+#pragma once
+// A batch-encoding job: one ConstraintSet + PicolaOptions + restart count,
+// reduced to a canonical form with a stable 64-bit fingerprint so the
+// ResultCache can recognise repeated (and permuted-but-equal) submissions.
+//
+// Canonical form: constraints are re-added through ConstraintSet::add
+// (members sorted and deduplicated, duplicate groups merged into one
+// weight) and then sorted lexicographically by member list, so any
+// permutation of the same groups — or of the members within a group —
+// canonicalises to the same set.  The fingerprint hashes the canonical
+// set together with every PicolaOptions field that affects the result;
+// the canonical job itself is kept beside each cache entry so a
+// fingerprint collision degrades to a cache miss, never a wrong result.
+
+#include <cstdint>
+#include <string>
+
+#include "core/picola.h"
+
+namespace picola {
+
+/// One service request, as submitted by a front-end.
+struct Job {
+  ConstraintSet set;
+  PicolaOptions options;
+  /// Multi-start restarts (>= 1); each fans out as an independent pool
+  /// task (see encoders/restart.h).
+  int restarts = 1;
+  /// Free-form label (e.g. the source file path); not part of the
+  /// fingerprint.
+  std::string tag;
+};
+
+/// A job in canonical form, with its fingerprint.
+struct CanonicalJob {
+  ConstraintSet set;
+  PicolaOptions options;
+  int restarts = 1;
+  uint64_t fingerprint = 0;
+
+  /// Deep equality of everything the fingerprint hashes (collision check).
+  bool equivalent(const CanonicalJob& other) const;
+};
+
+/// Canonicalise `job` and compute its fingerprint.
+CanonicalJob canonicalize(const Job& job);
+
+/// Stable 64-bit content hash of an encoding (code list), used by the
+/// CLI front-ends to compare results compactly.
+uint64_t encoding_fingerprint(const Encoding& enc);
+
+}  // namespace picola

@@ -1,0 +1,80 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace picola {
+
+ResultCache::ResultCache(size_t capacity, int num_shards) {
+  int n = std::max(1, num_shards);
+  // Never shard finer than one entry per shard.
+  n = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(n), std::max<size_t>(1, capacity)));
+  per_shard_capacity_ =
+      std::max<size_t>(1, (capacity + static_cast<size_t>(n) - 1) /
+                              static_cast<size_t>(n));
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<CachedResult> ResultCache::lookup(const CanonicalJob& job) {
+  Shard& s = shard_of(job.fingerprint);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(job.fingerprint);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  if (!it->second->job.equivalent(job)) {
+    ++s.collisions;
+    ++s.misses;
+    return std::nullopt;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  ++s.hits;
+  return it->second->result;
+}
+
+void ResultCache::insert(const CanonicalJob& job, CachedResult result) {
+  Shard& s = shard_of(job.fingerprint);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(job.fingerprint);
+  if (it != s.index.end()) {
+    // Refresh (or replace the victim of a fingerprint collision).
+    it->second->job = job;
+    it->second->result = std::move(result);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= per_shard_capacity_) {
+    s.index.erase(s.lru.back().job.fingerprint);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.push_front(Entry{job, std::move(result)});
+  s.index[job.fingerprint] = s.lru.begin();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats t;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    t.hits += s->hits;
+    t.misses += s->misses;
+    t.collisions += s->collisions;
+    t.evictions += s->evictions;
+    t.entries += s->lru.size();
+  }
+  return t;
+}
+
+size_t ResultCache::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->lru.size();
+  }
+  return n;
+}
+
+}  // namespace picola

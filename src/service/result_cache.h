@@ -1,0 +1,82 @@
+#pragma once
+// Sharded LRU cache of finished encoding jobs, keyed by the canonical
+// job fingerprint (see job.h).
+//
+// Shard = fingerprint % num_shards; each shard holds its own mutex, an
+// intrusive LRU list and a fingerprint -> list-iterator map, so lookups of
+// different jobs contend only 1/num_shards of the time.  Every entry keeps
+// the full CanonicalJob next to the result: a fingerprint collision
+// (same 64-bit key, different job) is detected by deep comparison and
+// treated as a miss — the colliding insert replaces the older entry.
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "service/job.h"
+
+namespace picola {
+
+/// The memoised outcome of one job.
+struct CachedResult {
+  PicolaResult picola;
+  long total_cubes = 0;  ///< espresso-evaluated implementation cubes
+};
+
+class ResultCache {
+ public:
+  /// `capacity` entries in total, split evenly over `num_shards` shards
+  /// (each shard holds at least one entry).
+  explicit ResultCache(size_t capacity, int num_shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Result of `job` if present (and genuinely equal — collisions miss);
+  /// refreshes the entry's LRU position.
+  std::optional<CachedResult> lookup(const CanonicalJob& job);
+
+  /// Memoise `result`; evicts the shard's least-recently-used entry when
+  /// the shard is full.  Re-inserting an existing key refreshes it.
+  void insert(const CanonicalJob& job, CachedResult result);
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long collisions = 0;  ///< fingerprint matched but the job differed
+    long evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  size_t size() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    CanonicalJob job;
+    CachedResult result;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    long hits = 0;
+    long misses = 0;
+    long collisions = 0;
+    long evictions = 0;
+  };
+
+  Shard& shard_of(uint64_t fingerprint) {
+    return *shards_[fingerprint % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t per_shard_capacity_;
+};
+
+}  // namespace picola

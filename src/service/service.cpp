@@ -1,0 +1,187 @@
+#include "service/service.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "encoders/restart.h"
+#include "eval/constraint_eval.h"
+
+namespace picola {
+
+namespace {
+
+int default_threads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 4;
+}
+
+}  // namespace
+
+/// Shared state of one computing job: each restart task writes its own
+/// slot, the last one to decrement `remaining` reduces and fulfils the
+/// promise.  Tasks never wait on each other, so a saturated pool cannot
+/// deadlock.
+struct EncodingService::InFlight {
+  CanonicalJob job;
+  std::promise<JobResult> promise;
+  std::shared_future<JobResult> future;
+  std::vector<PicolaResult> results;
+  std::vector<long> costs;
+  std::atomic<int> remaining{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::chrono::steady_clock::time_point start;
+};
+
+EncodingService::EncodingService(const ServiceOptions& options)
+    : pool_(default_threads(options.num_threads), options.max_queue),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+EncodingService::~EncodingService() {
+  // Drain and join before any other member is destroyed: restart tasks
+  // reference the cache and the service mutex.
+  pool_.shutdown();
+}
+
+std::shared_future<JobResult> EncodingService::submit(Job job) {
+  CanonicalJob cj = canonicalize(job);
+  const int restarts = cj.restarts;
+
+  std::shared_ptr<InFlight> fly;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++jobs_submitted_;
+
+    // An equal job already in flight: share its future.
+    auto it = pending_.find(cj.fingerprint);
+    if (it != pending_.end() && it->second->job.equivalent(cj)) {
+      ++cache_hits_;
+      return it->second->future;
+    }
+
+    // A finished equal job: answer from the cache.
+    if (auto hit = cache_.lookup(cj)) {
+      ++cache_hits_;
+      ++jobs_completed_;
+      std::promise<JobResult> ready;
+      JobResult r;
+      r.picola = std::move(hit->picola);
+      r.total_cubes = hit->total_cubes;
+      r.cache_hit = true;
+      ready.set_value(std::move(r));
+      return ready.get_future().share();
+    }
+
+    ++cache_misses_;
+    restart_tasks_ += restarts;
+    fly = std::make_shared<InFlight>();
+    fly->job = std::move(cj);
+    fly->future = fly->promise.get_future().share();
+    fly->results.resize(static_cast<size_t>(restarts));
+    fly->costs.assign(static_cast<size_t>(restarts), 0);
+    fly->remaining.store(restarts);
+    fly->start = std::chrono::steady_clock::now();
+    // emplace, not operator[]: when a different job collides on the
+    // fingerprint, the earlier entry stays (its finish erases by identity).
+    pending_.emplace(fly->job.fingerprint, fly);
+  }
+
+  for (int r = 0; r < restarts; ++r) {
+    auto run_restart = [this, fly, r]() {
+      try {
+        PicolaResult res = picola_encode(
+            fly->job.set, picola_restart_options(fly->job.options, r));
+        long cost =
+            evaluate_constraints(fly->job.set, res.encoding).total_cubes;
+        fly->results[static_cast<size_t>(r)] = std::move(res);
+        fly->costs[static_cast<size_t>(r)] = cost;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(fly->error_mu);
+        if (!fly->error) fly->error = std::current_exception();
+      }
+      if (fly->remaining.fetch_sub(1) == 1) finish_job(fly);
+    };
+    try {
+      pool_.post(run_restart);
+    } catch (...) {
+      // The pool is shutting down: account for every task not posted.
+      {
+        std::lock_guard<std::mutex> lock(fly->error_mu);
+        if (!fly->error) fly->error = std::current_exception();
+      }
+      if (fly->remaining.fetch_sub(restarts - r) == restarts - r)
+        finish_job(fly);
+      break;
+    }
+  }
+  return fly->future;
+}
+
+std::vector<std::shared_future<JobResult>> EncodingService::submit_batch(
+    std::vector<Job> jobs) {
+  std::vector<std::shared_future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (Job& j : jobs) futures.push_back(submit(std::move(j)));
+  return futures;
+}
+
+void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - fly->start)
+                  .count();
+  JobResult out;
+  if (!fly->error) {
+    // Deterministic reduction — identical to sequential picola_encode_best.
+    RestartWinner winner;
+    for (int r = 0; r < static_cast<int>(fly->costs.size()); ++r)
+      winner.offer(fly->costs[static_cast<size_t>(r)], r);
+    out.picola = std::move(fly->results[static_cast<size_t>(winner.restart)]);
+    out.total_cubes = winner.cost;
+    out.wall_ms = ms;
+    CachedResult memo;
+    memo.picola = out.picola;
+    memo.total_cubes = out.total_cubes;
+    cache_.insert(fly->job, std::move(memo));
+  }
+  // Bookkeeping strictly before fulfilling the promise: a client that has
+  // observed get() returning must find the result in the cache (not a
+  // stale pending entry) when it resubmits the same job.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(fly->job.fingerprint);
+    if (it != pending_.end() && it->second == fly) pending_.erase(it);
+    ++jobs_completed_;
+    total_job_ms_ += ms;
+    if (ms > max_job_ms_) max_job_ms_ = ms;
+  }
+  cv_done_.notify_all();
+  if (fly->error)
+    fly->promise.set_exception(fly->error);
+  else
+    fly->promise.set_value(std::move(out));
+}
+
+void EncodingService::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this]() { return pending_.empty(); });
+}
+
+ServiceStats EncodingService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.jobs_submitted = jobs_submitted_;
+    s.jobs_completed = jobs_completed_;
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
+    s.restart_tasks = restart_tasks_;
+    s.total_job_ms = total_job_ms_;
+    s.max_job_ms = max_job_ms_;
+  }
+  s.queue_high_water = pool_.queue_high_water();
+  return s;
+}
+
+}  // namespace picola

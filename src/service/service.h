@@ -1,0 +1,94 @@
+#pragma once
+// EncodingService — the concurrent batch-encoding façade shared by the
+// `picola batch` / `picola serve` front-ends and the throughput bench.
+//
+// A submitted Job is canonicalised (job.h) and answered from the sharded
+// ResultCache when an equal job was already solved; otherwise its R
+// restarts (encoders/restart.h) fan out as independent ThreadPool tasks.
+// The last restart to finish reduces the candidates by espresso cube
+// count with deterministic tie-breaking (lowest cost, then lowest restart
+// index) — exactly the rule of the sequential picola_encode_best — so a
+// parallel run is bit-identical to a sequential one.  Identical jobs
+// submitted while the first is still in flight share its future instead
+// of being recomputed.
+//
+// The service parallelises across jobs *and* within a job: a batch of B
+// jobs with R restarts each becomes B*R pool tasks, no task ever blocks
+// on another, and there is no nested-wait deadlock by construction.
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "service/job.h"
+#include "service/result_cache.h"
+#include "service/thread_pool.h"
+
+namespace picola {
+
+struct ServiceOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// Result-cache capacity (entries) and shard count.
+  size_t cache_capacity = 1024;
+  int cache_shards = 8;
+  /// Bound on the pool's work queue (0 = unbounded); submitters block
+  /// when it is full.
+  size_t max_queue = 0;
+};
+
+/// The outcome of one job, delivered through a shared_future.
+struct JobResult {
+  PicolaResult picola;
+  long total_cubes = 0;   ///< espresso-evaluated implementation cubes
+  bool cache_hit = false; ///< answered from cache / an in-flight duplicate
+  double wall_ms = 0;     ///< submit-to-completion wall time (0 on hits)
+};
+
+class EncodingService {
+ public:
+  explicit EncodingService(const ServiceOptions& options = {});
+  ~EncodingService();  ///< waits for in-flight jobs, then shuts the pool down
+
+  EncodingService(const EncodingService&) = delete;
+  EncodingService& operator=(const EncodingService&) = delete;
+
+  /// Submit one job.  The future is ready immediately on a cache hit; a
+  /// failure inside the encoder surfaces as an exception from get().
+  std::shared_future<JobResult> submit(Job job);
+
+  /// Submit many jobs; futures are returned in submission order.
+  std::vector<std::shared_future<JobResult>> submit_batch(
+      std::vector<Job> jobs);
+
+  /// Block until every submitted job has completed.
+  void wait_all();
+
+  /// Snapshot of the service counters (see eval/metrics.h).
+  ServiceStats stats() const;
+
+  int num_threads() const { return pool_.num_threads(); }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  struct InFlight;
+
+  void finish_job(const std::shared_ptr<InFlight>& fly);
+
+  ThreadPool pool_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> pending_;
+  long jobs_submitted_ = 0;
+  long jobs_completed_ = 0;
+  long cache_hits_ = 0;
+  long cache_misses_ = 0;
+  long restart_tasks_ = 0;
+  double total_job_ms_ = 0;
+  double max_job_ms_ = 0;
+};
+
+}  // namespace picola

@@ -1,0 +1,82 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace picola {
+
+ThreadPool::ThreadPool(int num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this]() { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this]() {
+      return shutting_down_ || max_queue_ == 0 || queue_.size() < max_queue_;
+    });
+    if (shutting_down_)
+      throw std::runtime_error("ThreadPool: post() after shutdown");
+    queue_.push_back(std::move(task));
+    queue_hwm_ = std::max(queue_hwm_, queue_.size());
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      // A second caller (e.g. the destructor after an explicit shutdown)
+      // must not try to join already-joined threads.
+      if (workers_.empty()) return;
+    }
+    shutting_down_ = true;
+  }
+  cv_task_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock,
+                [this]() { return queue_.empty() && executing_ == 0; });
+}
+
+size_t ThreadPool::queue_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_hwm_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock,
+                    [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    cv_space_.notify_one();
+    task();  // submit() routes exceptions into the task's future
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+      if (queue_.empty() && executing_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace picola

@@ -1,0 +1,81 @@
+#pragma once
+// Fixed-size thread pool with a bounded work queue and graceful shutdown.
+//
+// `post()` enqueues a task and blocks while the queue is full
+// (backpressure — a batch producer cannot outrun the workers without
+// bound); `submit()` wraps the task in a std::future so return values and
+// exceptions propagate to the caller.  `shutdown()` (and the destructor)
+// drains every queued task before joining the workers; tasks posted after
+// shutdown began are rejected with std::runtime_error.
+//
+// The pool records the queue-depth high-water mark for ServiceStats.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace picola {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).  `max_queue` bounds the
+  /// number of tasks waiting to run (not counting the ones executing);
+  /// 0 means unbounded.
+  explicit ThreadPool(int num_threads, size_t max_queue = 0);
+
+  /// Drains the queue and joins (graceful shutdown).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; blocks while the queue is at capacity.  Throws
+  /// std::runtime_error once shutdown has begun.
+  void post(std::function<void()> task);
+
+  /// Enqueue a callable and receive its result (or exception) through a
+  /// future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    post([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Finish every queued task, then join the workers.  Idempotent.
+  void shutdown();
+
+  /// Block until the queue is empty and no task is executing.  The pool
+  /// stays usable afterwards.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Largest queue depth observed since construction.
+  size_t queue_high_water() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;   ///< workers wait for work
+  std::condition_variable cv_space_;  ///< producers wait for queue space
+  std::condition_variable cv_idle_;   ///< wait_idle() waiters
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t max_queue_;
+  size_t queue_hwm_ = 0;
+  int executing_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace picola

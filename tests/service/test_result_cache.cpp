@@ -1,0 +1,130 @@
+// Job canonicalisation / fingerprints and the sharded LRU ResultCache.
+
+#include "service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace picola {
+namespace {
+
+Job make_job(std::vector<std::vector<int>> groups, int num_symbols = 8,
+             int restarts = 2) {
+  Job j;
+  j.set.num_symbols = num_symbols;
+  for (auto& g : groups) j.set.add(std::move(g));
+  j.restarts = restarts;
+  return j;
+}
+
+CachedResult make_result(int cubes) {
+  CachedResult r;
+  r.total_cubes = cubes;
+  r.picola.encoding.num_symbols = 4;
+  r.picola.encoding.num_bits = 2;
+  r.picola.encoding.codes = {0, 1, 2, 3};
+  return r;
+}
+
+TEST(CanonicalJobTest, PermutedGroupsAndMembersFingerprintEqual) {
+  Job a = make_job({{0, 1, 2}, {3, 4}, {2, 5, 6}});
+  Job b = make_job({{6, 2, 5}, {4, 3}, {2, 1, 0}});
+  CanonicalJob ca = canonicalize(a);
+  CanonicalJob cb = canonicalize(b);
+  EXPECT_EQ(ca.fingerprint, cb.fingerprint);
+  EXPECT_TRUE(ca.equivalent(cb));
+}
+
+TEST(CanonicalJobTest, DuplicateGroupsMergeIntoWeight) {
+  Job a = make_job({{0, 1}, {1, 0}, {0, 1}});
+  Job b;
+  b.set.num_symbols = 8;
+  b.set.add({0, 1}, 3.0);
+  b.restarts = 2;
+  EXPECT_EQ(canonicalize(a).fingerprint, canonicalize(b).fingerprint);
+}
+
+TEST(CanonicalJobTest, DifferentContentFingerprintsDiffer) {
+  CanonicalJob base = canonicalize(make_job({{0, 1, 2}, {3, 4}}));
+  EXPECT_NE(base.fingerprint,
+            canonicalize(make_job({{0, 1, 2}, {3, 5}})).fingerprint);
+  EXPECT_NE(base.fingerprint,
+            canonicalize(make_job({{0, 1, 2}, {3, 4}}, 9)).fingerprint);
+  EXPECT_NE(base.fingerprint,
+            canonicalize(make_job({{0, 1, 2}, {3, 4}}, 8, 3)).fingerprint);
+  Job opt = make_job({{0, 1, 2}, {3, 4}});
+  opt.options.num_bits = 4;
+  EXPECT_NE(base.fingerprint, canonicalize(opt).fingerprint);
+  opt = make_job({{0, 1, 2}, {3, 4}});
+  opt.options.use_guides = false;
+  EXPECT_NE(base.fingerprint, canonicalize(opt).fingerprint);
+  opt = make_job({{0, 1, 2}, {3, 4}});
+  opt.options.tie_break_seed = 17;
+  EXPECT_NE(base.fingerprint, canonicalize(opt).fingerprint);
+}
+
+TEST(ResultCacheTest, HitAfterInsert) {
+  ResultCache cache(16, 4);
+  CanonicalJob j = canonicalize(make_job({{0, 1, 2}}));
+  EXPECT_FALSE(cache.lookup(j).has_value());
+  cache.insert(j, make_result(5));
+  auto hit = cache.lookup(j);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->total_cubes, 5);
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ResultCacheTest, PermutedSubmissionHits) {
+  ResultCache cache(16);
+  cache.insert(canonicalize(make_job({{2, 1, 0}, {5, 3}})), make_result(7));
+  auto hit = cache.lookup(canonicalize(make_job({{3, 5}, {0, 1, 2}})));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->total_cubes, 7);
+}
+
+TEST(ResultCacheTest, LruEvictionPerShard) {
+  ResultCache cache(2, 1);  // single shard, two entries
+  CanonicalJob a = canonicalize(make_job({{0, 1}}));
+  CanonicalJob b = canonicalize(make_job({{1, 2}}));
+  CanonicalJob c = canonicalize(make_job({{2, 3}}));
+  cache.insert(a, make_result(1));
+  cache.insert(b, make_result(2));
+  ASSERT_TRUE(cache.lookup(a).has_value());  // refresh a; b becomes LRU
+  cache.insert(c, make_result(3));           // evicts b
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, FingerprintCollisionIsAMissNotAWrongResult) {
+  ResultCache cache(8, 1);
+  CanonicalJob a = canonicalize(make_job({{0, 1, 2}}));
+  CanonicalJob forged = canonicalize(make_job({{4, 5}}));
+  forged.fingerprint = a.fingerprint;  // simulate a 64-bit collision
+  cache.insert(a, make_result(3));
+  EXPECT_FALSE(cache.lookup(forged).has_value());
+  EXPECT_EQ(cache.stats().collisions, 1);
+  // The colliding insert replaces the entry; the original now misses.
+  cache.insert(forged, make_result(9));
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  auto hit = cache.lookup(forged);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->total_cubes, 9);
+}
+
+TEST(ResultCacheTest, ShardsSplitCapacity) {
+  ResultCache cache(8, 4);
+  EXPECT_EQ(cache.num_shards(), 4);
+  // 16 distinct jobs into capacity 8: stays bounded by ~2 per shard.
+  for (int i = 0; i < 16; ++i)
+    cache.insert(canonicalize(make_job({{i % 7, (i % 7) + 1}}, 32, i + 1)),
+                 make_result(i));
+  EXPECT_LE(cache.size(), 8u);
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,197 @@
+// EncodingService: concurrent restart fan-out must be bit-identical to the
+// sequential picola_encode_best, cache/in-flight dedup, stats counters.
+
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include "encoders/restart.h"
+#include "eval/constraint_eval.h"
+
+namespace picola {
+namespace {
+
+ConstraintSet paper_set() {
+  ConstraintSet cs;
+  cs.num_symbols = 15;
+  cs.add({1, 5, 7, 13});
+  cs.add({0, 1});
+  cs.add({8, 13});
+  cs.add({5, 6, 7, 8, 13});
+  return cs;
+}
+
+ConstraintSet crowded_set() {
+  ConstraintSet cs;
+  cs.num_symbols = 12;
+  cs.add({0, 1, 2, 3});
+  cs.add({2, 3, 4, 5});
+  cs.add({4, 5, 6, 7});
+  cs.add({6, 7, 8, 9});
+  cs.add({8, 9, 10, 11});
+  cs.add({1, 4, 7, 10});
+  cs.add({0, 11});
+  return cs;
+}
+
+TEST(RestartPlanTest, SeedsDeriveFromBasePlusIndex) {
+  EXPECT_EQ(restart_seed(0, 0), 0u);
+  EXPECT_EQ(restart_seed(0, 3), 3u);
+  EXPECT_EQ(restart_seed(100, 0), 100u);
+  EXPECT_EQ(restart_seed(100, 3), 103u);
+  PicolaOptions base;
+  base.tie_break_seed = 42;
+  EXPECT_EQ(picola_restart_options(base, 0).tie_break_seed, 42u);
+  EXPECT_EQ(picola_restart_options(base, 5).tie_break_seed, 47u);
+}
+
+TEST(RestartPlanTest, WinnerReductionIsOrderIndependent) {
+  // (cost, restart) pairs fed in any order must pick (4, restart 1).
+  std::vector<std::pair<long, int>> runs = {{5, 0}, {4, 1}, {4, 2}, {6, 3}};
+  for (int rot = 0; rot < 4; ++rot) {
+    RestartWinner w;
+    for (int i = 0; i < 4; ++i)
+      w.offer(runs[static_cast<size_t>((i + rot) % 4)].first,
+              runs[static_cast<size_t>((i + rot) % 4)].second);
+    EXPECT_EQ(w.cost, 4);
+    EXPECT_EQ(w.restart, 1);
+  }
+}
+
+TEST(EncodingServiceTest, ParallelRestartsMatchSequentialBest) {
+  // The satellite requirement: the concurrent fan-out and the sequential
+  // multi-start loop must pick the same winner, bit for bit.
+  const int kRestarts = 6;
+  for (const ConstraintSet& cs : {paper_set(), crowded_set()}) {
+    PicolaResult seq = picola_encode_best(cs, kRestarts);
+    long seq_cost = evaluate_constraints(cs, seq.encoding).total_cubes;
+
+    ServiceOptions so;
+    so.num_threads = 4;
+    EncodingService service(so);
+    Job job;
+    job.set = cs;
+    job.restarts = kRestarts;
+    JobResult r = service.submit(std::move(job)).get();
+
+    EXPECT_EQ(r.picola.encoding.codes, seq.encoding.codes);
+    EXPECT_EQ(r.total_cubes, seq_cost);
+    EXPECT_FALSE(r.cache_hit);
+  }
+}
+
+TEST(EncodingServiceTest, ParallelMatchesSequentialWithNonzeroBaseSeed) {
+  ConstraintSet cs = crowded_set();
+  PicolaOptions opt;
+  opt.tie_break_seed = 1234;
+  PicolaResult seq = picola_encode_best(cs, 5, opt);
+
+  ServiceOptions so;
+  so.num_threads = 3;
+  EncodingService service(so);
+  Job job;
+  job.set = cs;
+  job.options = opt;
+  job.restarts = 5;
+  JobResult r = service.submit(std::move(job)).get();
+  EXPECT_EQ(r.picola.encoding.codes, seq.encoding.codes);
+}
+
+TEST(EncodingServiceTest, ResubmissionHitsCache) {
+  EncodingService service(ServiceOptions{});
+  Job job;
+  job.set = paper_set();
+  job.restarts = 3;
+  JobResult first = service.submit(job).get();
+  EXPECT_FALSE(first.cache_hit);
+  JobResult second = service.submit(job).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.picola.encoding.codes, first.picola.encoding.codes);
+  EXPECT_EQ(second.total_cubes, first.total_cubes);
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.jobs_submitted, 2);
+  EXPECT_EQ(s.jobs_completed, 2);
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_EQ(s.restart_tasks, 3);
+}
+
+TEST(EncodingServiceTest, PermutedSubmissionHitsCache) {
+  EncodingService service(ServiceOptions{});
+  Job a;
+  a.set.num_symbols = 10;
+  a.set.add({0, 1, 2});
+  a.set.add({4, 5});
+  Job b;
+  b.set.num_symbols = 10;
+  b.set.add({5, 4});
+  b.set.add({2, 0, 1});
+  JobResult ra = service.submit(std::move(a)).get();
+  JobResult rb = service.submit(std::move(b)).get();
+  EXPECT_TRUE(rb.cache_hit);
+  EXPECT_EQ(rb.picola.encoding.codes, ra.picola.encoding.codes);
+}
+
+TEST(EncodingServiceTest, DuplicateInFlightJobsShareOneComputation) {
+  ServiceOptions so;
+  so.num_threads = 2;
+  EncodingService service(so);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    Job j;
+    j.set = crowded_set();
+    j.restarts = 4;
+    jobs.push_back(std::move(j));
+  }
+  auto futures = service.submit_batch(std::move(jobs));
+  ASSERT_EQ(futures.size(), 6u);
+  std::vector<uint32_t> codes = futures[0].get().picola.encoding.codes;
+  for (auto& f : futures) EXPECT_EQ(f.get().picola.encoding.codes, codes);
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.jobs_submitted, 6);
+  // At most one computation: everything else was a cache or in-flight hit.
+  EXPECT_EQ(s.cache_misses, 1);
+  EXPECT_EQ(s.cache_hits, 5);
+  EXPECT_EQ(s.restart_tasks, 4);
+}
+
+TEST(EncodingServiceTest, BatchOfDistinctJobsCompletesAll) {
+  ServiceOptions so;
+  so.num_threads = 4;
+  EncodingService service(so);
+  std::vector<Job> jobs;
+  for (int n = 4; n < 12; ++n) {
+    Job j;
+    j.set.num_symbols = n;
+    j.set.add({0, 1, 2});
+    j.set.add({1, n - 1});
+    j.restarts = 2;
+    jobs.push_back(std::move(j));
+  }
+  auto futures = service.submit_batch(std::move(jobs));
+  service.wait_all();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    JobResult r = futures[i].get();
+    EXPECT_EQ(r.picola.encoding.num_symbols, static_cast<int>(i) + 4);
+    EXPECT_TRUE(r.picola.encoding.validate().empty());
+  }
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.jobs_completed, 8);
+  EXPECT_EQ(s.cache_misses, 8);
+  EXPECT_GE(s.total_job_ms, s.max_job_ms);
+}
+
+TEST(EncodingServiceTest, SingleThreadServiceIsStillCorrect) {
+  ServiceOptions so;
+  so.num_threads = 1;
+  EncodingService service(so);
+  Job job;
+  job.set = paper_set();
+  job.restarts = 4;
+  JobResult r = service.submit(std::move(job)).get();
+  PicolaResult seq = picola_encode_best(paper_set(), 4);
+  EXPECT_EQ(r.picola.encoding.codes, seq.encoding.codes);
+}
+
+}  // namespace
+}  // namespace picola

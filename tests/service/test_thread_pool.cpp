@@ -1,0 +1,120 @@
+// ThreadPool: bounded queue, graceful shutdown, exception propagation.
+
+#include "service/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace picola {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 32; ++i)
+    futs.push_back(pool.submit([i]() { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i)
+      pool.post([&ran]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    pool.shutdown();  // must finish every queued task before joining
+    EXPECT_EQ(ran.load(), 64);
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.post([&ran]() { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, PostAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.post([]() {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int {
+    throw std::invalid_argument("boom");
+  });
+  EXPECT_THROW(
+      {
+        try {
+          fut.get();
+        } catch (const std::invalid_argument& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::invalid_argument);
+  // The worker survives the exception.
+  EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAppliesBackpressure) {
+  ThreadPool pool(1, /*max_queue=*/2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.post([gate]() { gate.wait(); });  // occupy the single worker
+  std::atomic<int> posted{0};
+  std::thread producer([&]() {
+    for (int i = 0; i < 8; ++i) {
+      pool.post([]() {});
+      ++posted;
+    }
+  });
+  // The producer must stall at the queue bound while the worker is blocked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(posted.load(), 3);  // 2 queued + 1 in post() about to count
+  release.set_value();
+  producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(posted.load(), 8);
+  EXPECT_LE(pool.queue_high_water(), 2u);
+}
+
+TEST(ThreadPoolTest, WaitIdleWaitsForExecutingTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 40; ++i)
+    pool.post([&ran]() {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++ran;
+    });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 40);
+  // Pool stays usable after wait_idle.
+  EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, TracksQueueHighWater) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.post([gate]() { gate.wait(); });
+  for (int i = 0; i < 5; ++i) pool.post([]() {});
+  release.set_value();
+  pool.wait_idle();
+  EXPECT_GE(pool.queue_high_water(), 5u);
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,4 +1,7 @@
-// The `picola` command-line tool; see src/cli/cli.h for the subcommands.
+// The `picola` command-line tool; see src/cli/cli.h for the subcommands
+// (encode, batch, serve, assign, minimize, encode-input, info).  The
+// batch/serve front-ends drive the concurrent encoding service
+// (src/service, docs/SERVICE.md); serve reads its requests from stdin.
 
 #include "cli/cli.h"
 
