@@ -23,6 +23,7 @@
 #include "eval/constraint_eval.h"
 #include "eval/metrics.h"
 #include "kiss/kiss_io.h"
+#include "obs/obs.h"
 #include "pla/pla_io.h"
 #include "service/service.h"
 #include "stateassign/blif.h"
@@ -54,7 +55,7 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
       static const char* kValued[] = {"--algorithm", "--bits", "--seed",
                                       "--output", "--steps", "--var",
                                       "--blif", "--jobs", "--restarts",
-                                      "--cache"};
+                                      "--cache", "--trace"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -95,6 +96,66 @@ bool write_file(const std::string& path, const std::string& text,
   out << text;
   return true;
 }
+
+/// Turns the process-wide instrumentation on for the duration of a
+/// command when any of --trace / --metrics / --stats-json was given, and
+/// restores the previous (off) state afterwards so in-process callers
+/// (tests, embedding) see independent runs.  Also owns writing the
+/// Chrome trace file and rendering the --metrics report.
+class ObsSession {
+ public:
+  explicit ObsSession(const ParsedArgs& a)
+      : want_trace_(a.options.count("--trace") != 0),
+        want_metrics_(a.options.count("--metrics") != 0),
+        active_(want_trace_ || want_metrics_ ||
+                a.options.count("--stats-json") != 0) {
+    if (!active_) return;
+    if (want_trace_) trace_path_ = a.options.at("--trace");
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().clear();
+    obs::set_enabled(true);
+    obs::Tracer::global().set_tracing(want_trace_);
+  }
+
+  ~ObsSession() {
+    if (!active_) return;
+    obs::Tracer::global().set_tracing(false);
+    obs::set_enabled(false);
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool metrics_wanted() const { return want_metrics_; }
+
+  /// Write the collected trace to the --trace path (no-op without the
+  /// flag).  Returns false on I/O failure.
+  bool write_trace(std::ostream& err) const {
+    if (!want_trace_) return true;
+    std::ofstream out(trace_path_);
+    if (!out) {
+      err << "cannot write " << trace_path_ << "\n";
+      return false;
+    }
+    out << obs::Tracer::global().chrome_trace_json() << "\n";
+    return true;
+  }
+
+  /// The global per-phase report, '#'-prefixed for the text front-ends.
+  static std::string report_lines() {
+    std::istringstream is(obs::MetricsRegistry::global().report_text());
+    std::ostringstream os;
+    std::string line;
+    while (std::getline(is, line)) os << "# " << line << "\n";
+    return os.str();
+  }
+
+ private:
+  bool want_trace_ = false;
+  bool want_metrics_ = false;
+  bool active_ = false;
+  std::string trace_path_;
+};
 
 enum class FileKind { kKiss, kPla, kCon, kUnknown };
 
@@ -155,16 +216,21 @@ std::optional<Problem> load_problem(const std::string& path, std::ostream& err) 
 
 std::optional<Encoding> run_algorithm(const std::string& algo,
                                       const ConstraintSet& set, int bits,
-                                      uint64_t seed, std::ostream& err) {
+                                      uint64_t seed, std::ostream& err,
+                                      PicolaStats* stats_out = nullptr) {
   if (algo == "picola") {
     PicolaOptions o;
     o.num_bits = bits;
-    return picola_encode(set, o).encoding;
+    PicolaResult r = picola_encode(set, o);
+    if (stats_out) *stats_out = r.stats;
+    return r.encoding;
   }
   if (algo == "picola-best") {
     PicolaOptions o;
     o.num_bits = bits;
-    return picola_encode_best(set, 8, o).encoding;
+    PicolaResult r = picola_encode_best(set, 8, o);
+    if (stats_out) *stats_out = r.stats;
+    return r.encoding;
   }
   if (algo == "nova") {
     NovaLikeOptions o;
@@ -237,9 +303,17 @@ int cmd_encode(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     if (!v || *v < 0) { err << "bad --seed value\n"; return 2; }
     seed = static_cast<uint64_t>(*v);
   }
+  const bool stats_json = a.options.count("--stats-json") != 0;
+  if (stats_json && algo != "picola" && algo != "picola-best") {
+    err << "--stats-json needs --algorithm picola or picola-best\n";
+    return 2;
+  }
 
+  ObsSession obs_session(a);
   Stopwatch sw;
-  auto enc = run_algorithm(algo, problem->set, bits, seed, err);
+  PicolaStats stats;
+  auto enc = run_algorithm(algo, problem->set, bits, seed, err,
+                           stats_json ? &stats : nullptr);
   if (!enc) return 1;
   double ms = sw.elapsed_ms();
 
@@ -257,6 +331,9 @@ int cmd_encode(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
       << " constraints, " << q.satisfied_dichotomies << "/"
       << q.total_dichotomies << " dichotomies, " << ev.total_cubes
       << " implementation cubes\n";
+  if (stats_json) out << picola_stats_json(stats) << "\n";
+  if (obs_session.metrics_wanted()) out << ObsSession::report_lines();
+  if (!obs_session.write_trace(err)) return 1;
   return 0;
 }
 
@@ -545,6 +622,7 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     return 1;
   }
 
+  ObsSession obs_session(a);
   EncodingService service(sa->service);
   Stopwatch sw;
   for (Item& item : items) {
@@ -605,14 +683,27 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     out << "{\"files\":[" << files << "],\"solved\":" << solved
         << ",\"total_cubes\":" << total_cubes << ",\"threads\":"
         << service.num_threads() << ",\"elapsed_ms\":" << ms
-        << ",\"stats\":" << service_stats_json(stats) << "}\n";
+        << ",\"stats\":" << service_stats_json(stats);
+    if (obs_session.metrics_wanted())
+      out << ",\"metrics\":" << obs::MetricsRegistry::global().report_json()
+          << ",\"service_metrics\":" << service.metrics().report_json();
+    out << "}\n";
   } else {
     out << "# " << solved << "/" << items.size() << " files, "
         << total_cubes << " total cubes, " << sa->restarts
         << " restarts/job, " << service.num_threads() << " threads, "
         << ms << " ms\n";
     out << "# service: " << format_service_stats(stats) << "\n";
+    if (obs_session.metrics_wanted()) {
+      out << "# metrics (per-phase, process-wide):\n"
+          << ObsSession::report_lines();
+      std::istringstream is(service.metrics().report_text());
+      std::string line;
+      out << "# metrics (this service):\n";
+      while (std::getline(is, line)) out << "# " << line << "\n";
+    }
   }
+  if (!obs_session.write_trace(err)) return 1;
   return any_error ? 1 : 0;
 }
 
@@ -624,6 +715,7 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
   }
   auto sa = parse_service_args(a, err);
   if (!sa) return 2;
+  ObsSession obs_session(a);
   EncodingService service(sa->service);
 
   std::string line;
@@ -633,6 +725,16 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
     if (line == "quit" || line == "exit") break;
     if (line == "stats") {
       out << "stats " << format_service_stats(service.stats()) << "\n";
+      continue;
+    }
+    if (line == "metrics") {
+      // One JSON line: the service's own registry plus the process-wide
+      // per-phase histograms (populated when serve ran with --metrics or
+      // --trace).
+      out << "metrics {\"service\":" << service.metrics().report_json()
+          << ",\"process\":" << obs::MetricsRegistry::global().report_json()
+          << "}\n";
+      out.flush();
       continue;
     }
 
@@ -674,6 +776,7 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
     }
     out.flush();
   }
+  if (!obs_session.write_trace(err)) return 1;
   return 0;
 }
 

@@ -8,6 +8,7 @@
 #include "core/feasibility.h"
 #include "encoders/restart.h"
 #include "eval/constraint_eval.h"
+#include "obs/obs.h"
 
 namespace picola {
 namespace detail {
@@ -188,20 +189,28 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
   std::vector<std::vector<int>> columns;
   std::vector<uint32_t> prefixes(static_cast<size_t>(n), 0);
 
+  PICOLA_OBS_SPAN(span_encode, "picola/encode");
   for (int col = 0; col < nv; ++col) {
+    PICOLA_OBS_SPAN(span_column, "picola/column");
     // Update_constraints(): classify, then attach/refresh guides.
     std::vector<int> infeasible;
-    if (opt.use_classify) {
-      infeasible = classify_infeasible(m);
-    } else {
-      // Static budget check only.
-      for (int k = 0; k < m.num_constraints(); ++k) {
-        if (!m.active(k) || m.infeasible(k) || m.satisfied(k)) continue;
-        if (m.constraint(k).is_guide) continue;
-        long dim = m.min_super_dim(k);
-        if ((1L << dim) - m.constraint(k).size() > (1L << nv) - n)
-          infeasible.push_back(k);
+    {
+      PICOLA_OBS_SPAN(span_classify, "picola/classify");
+      if (opt.use_classify) {
+        infeasible = classify_infeasible(m);
+      } else {
+        // Static budget check only.
+        for (int k = 0; k < m.num_constraints(); ++k) {
+          if (!m.active(k) || m.infeasible(k) || m.satisfied(k)) continue;
+          if (m.constraint(k).is_guide) continue;
+          long dim = m.min_super_dim(k);
+          if ((1L << dim) - m.constraint(k).size() > (1L << nv) - n)
+            infeasible.push_back(k);
+        }
       }
+      ++result.stats.classify_calls;
+      result.stats.classify_ms +=
+          static_cast<double>(span_classify.elapsed_ns()) / 1e6;
     }
     result.stats.infeasible_per_column.push_back(
         static_cast<int>(infeasible.size()));
@@ -214,6 +223,7 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
       ++result.stats.constraints_deactivated;
     }
     if (opt.use_guides) {
+      PICOLA_OBS_SPAN(span_guide, "guide/generate");
       // Refresh the guide of every infeasible original whose potential
       // intruder set shrank since the last column.
       const int original_rows = m.num_constraints();
@@ -228,15 +238,26 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
         m.set_guide_of(k, idx);
         if (old < 0) ++result.stats.guides_added;
       }
+      result.stats.guide_ms +=
+          static_cast<double>(span_guide.elapsed_ns()) / 1e6;
     }
 
     // Solve(): one column.
-    std::vector<int> bits = detail::solve_column(m, prefixes, col, opt);
+    std::vector<int> bits;
+    {
+      PICOLA_OBS_SPAN(span_solve, "picola/column_select");
+      bits = detail::solve_column(m, prefixes, col, opt);
+      result.stats.solve_ms +=
+          static_cast<double>(span_solve.elapsed_ns()) / 1e6;
+    }
     m.record_column(bits);
     for (int j = 0; j < n; ++j)
       prefixes[static_cast<size_t>(j)] |=
           static_cast<uint32_t>(bits[static_cast<size_t>(j)]) << col;
     columns.push_back(std::move(bits));
+    if (span_column.elapsed_ns() > 0)
+      result.stats.column_ms.push_back(
+          static_cast<double>(span_column.elapsed_ns()) / 1e6);
   }
 
   result.encoding.num_symbols = n;
@@ -257,6 +278,7 @@ PicolaOptions picola_restart_options(const PicolaOptions& opt, int restart) {
 
 PicolaResult picola_encode_best(const ConstraintSet& cs, int restarts,
                                 const PicolaOptions& opt) {
+  PICOLA_OBS_SPAN(span_best, "picola/encode_best");
   PicolaResult best = picola_encode(cs, opt);
   if (restarts <= 1) return best;
   RestartWinner winner;

@@ -51,6 +51,11 @@ struct PicolaOptions {
 };
 
 /// Diagnostics of one run.
+///
+/// The *_ms timing fields are fed from the obs tracer spans
+/// (src/obs/obs.h) and stay 0 unless obs::set_enabled(true) was called
+/// before the run (the CLI's --stats-json / --trace / --metrics flags do
+/// that); the counts are always filled.
 struct PicolaStats {
   int guides_added = 0;
   int constraints_deactivated = 0;
@@ -58,6 +63,14 @@ struct PicolaStats {
   std::vector<int> infeasible_per_column;
   /// Satisfied original constraints at the end.
   int satisfied_constraints = 0;
+  /// Update_constraints() classification passes (one per column).
+  long classify_calls = 0;
+  /// Wall time of each column (classify + guides + solve), obs on only.
+  std::vector<double> column_ms;
+  /// Per-phase totals across all columns, obs on only.
+  double classify_ms = 0;
+  double guide_ms = 0;
+  double solve_ms = 0;
 };
 
 /// Result of a run.

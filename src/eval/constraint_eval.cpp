@@ -1,5 +1,7 @@
 #include "eval/constraint_eval.h"
 
+#include "obs/obs.h"
+
 namespace picola {
 
 namespace {
@@ -30,6 +32,7 @@ int constraint_cube_count(const FaceConstraint& c, const Encoding& enc) {
 
 ConstraintEvalResult evaluate_constraints(const ConstraintSet& cs,
                                           const Encoding& enc) {
+  PICOLA_OBS_SPAN(span_eval, "espresso/eval");
   ConstraintEvalResult r;
   r.per_constraint.reserve(static_cast<size_t>(cs.size()));
   for (const auto& c : cs.constraints) {

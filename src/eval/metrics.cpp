@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <cstdio>
+#include <sstream>
 
 namespace picola {
 
@@ -19,26 +20,47 @@ std::string format_ratio(double x) {
 }
 
 std::string format_service_stats(const ServiceStats& s) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
-                "jobs %ld/%ld, cache %ld hit / %ld miss, %ld restart tasks, "
+                "jobs %ld/%ld, cache %ld hit / %ld miss / %ld joined "
+                "/ %ld evicted, %ld restart tasks, "
                 "queue hwm %zu, %.1f ms total (max %.1f)",
                 s.jobs_completed, s.jobs_submitted, s.cache_hits,
-                s.cache_misses, s.restart_tasks, s.queue_high_water,
-                s.total_job_ms, s.max_job_ms);
+                s.cache_misses, s.inflight_joins, s.cache_evictions,
+                s.restart_tasks, s.queue_high_water, s.total_job_ms,
+                s.max_job_ms);
   return buf;
 }
 
 std::string service_stats_json(const ServiceStats& s) {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof buf,
       "{\"jobs_submitted\":%ld,\"jobs_completed\":%ld,\"cache_hits\":%ld,"
-      "\"cache_misses\":%ld,\"restart_tasks\":%ld,\"queue_high_water\":%zu,"
+      "\"inflight_joins\":%ld,\"cache_misses\":%ld,\"cache_evictions\":%ld,"
+      "\"restart_tasks\":%ld,\"queue_high_water\":%zu,"
       "\"total_job_ms\":%.3f,\"max_job_ms\":%.3f}",
-      s.jobs_submitted, s.jobs_completed, s.cache_hits, s.cache_misses,
-      s.restart_tasks, s.queue_high_water, s.total_job_ms, s.max_job_ms);
+      s.jobs_submitted, s.jobs_completed, s.cache_hits, s.inflight_joins,
+      s.cache_misses, s.cache_evictions, s.restart_tasks, s.queue_high_water,
+      s.total_job_ms, s.max_job_ms);
   return buf;
+}
+
+std::string picola_stats_json(const PicolaStats& s) {
+  std::ostringstream os;
+  os << "{\"guides_added\":" << s.guides_added
+     << ",\"constraints_deactivated\":" << s.constraints_deactivated
+     << ",\"satisfied_constraints\":" << s.satisfied_constraints
+     << ",\"classify_calls\":" << s.classify_calls
+     << ",\"classify_ms\":" << s.classify_ms << ",\"guide_ms\":" << s.guide_ms
+     << ",\"solve_ms\":" << s.solve_ms << ",\"infeasible_per_column\":[";
+  for (size_t i = 0; i < s.infeasible_per_column.size(); ++i)
+    os << (i ? "," : "") << s.infeasible_per_column[i];
+  os << "],\"column_ms\":[";
+  for (size_t i = 0; i < s.column_ms.size(); ++i)
+    os << (i ? "," : "") << s.column_ms[i];
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace picola

@@ -1,11 +1,11 @@
 #include "service/service.h"
 
 #include <atomic>
-#include <chrono>
 #include <thread>
 
 #include "encoders/restart.h"
 #include "eval/constraint_eval.h"
+#include "obs/obs.h"
 
 namespace picola {
 
@@ -32,12 +32,20 @@ struct EncodingService::InFlight {
   std::atomic<int> remaining{0};
   std::mutex error_mu;
   std::exception_ptr error;
-  std::chrono::steady_clock::time_point start;
+  uint64_t start_ns = 0;  ///< obs::now_ns() at submission
 };
 
 EncodingService::EncodingService(const ServiceOptions& options)
-    : pool_(default_threads(options.num_threads), options.max_queue),
-      cache_(options.cache_capacity, options.cache_shards) {}
+    : pool_(default_threads(options.num_threads), options.max_queue,
+            &registry_),
+      cache_(options.cache_capacity, options.cache_shards),
+      jobs_submitted_(registry_.counter("service/jobs_submitted")),
+      jobs_completed_(registry_.counter("service/jobs_completed")),
+      cache_hits_(registry_.counter("service/cache_hits")),
+      inflight_joins_(registry_.counter("service/inflight_joins")),
+      cache_misses_(registry_.counter("service/cache_misses")),
+      restart_tasks_(registry_.counter("service/restart_tasks")),
+      job_wall_ns_(registry_.histogram("service/job")) {}
 
 EncodingService::~EncodingService() {
   // Drain and join before any other member is destroyed: restart tasks
@@ -48,23 +56,28 @@ EncodingService::~EncodingService() {
 std::shared_future<JobResult> EncodingService::submit(Job job) {
   CanonicalJob cj = canonicalize(job);
   const int restarts = cj.restarts;
+  jobs_submitted_.add(1);
 
   std::shared_ptr<InFlight> fly;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    ++jobs_submitted_;
 
     // An equal job already in flight: share its future.
     auto it = pending_.find(cj.fingerprint);
     if (it != pending_.end() && it->second->job.equivalent(cj)) {
-      ++cache_hits_;
+      inflight_joins_.add(1);
       return it->second->future;
     }
 
     // A finished equal job: answer from the cache.
-    if (auto hit = cache_.lookup(cj)) {
-      ++cache_hits_;
-      ++jobs_completed_;
+    std::optional<CachedResult> hit;
+    {
+      PICOLA_OBS_SPAN(span_lookup, "cache/lookup");
+      hit = cache_.lookup(cj);
+    }
+    if (hit) {
+      cache_hits_.add(1);
+      jobs_completed_.add(1);
       std::promise<JobResult> ready;
       JobResult r;
       r.picola = std::move(hit->picola);
@@ -74,15 +87,15 @@ std::shared_future<JobResult> EncodingService::submit(Job job) {
       return ready.get_future().share();
     }
 
-    ++cache_misses_;
-    restart_tasks_ += restarts;
+    cache_misses_.add(1);
+    restart_tasks_.add(static_cast<uint64_t>(restarts));
     fly = std::make_shared<InFlight>();
     fly->job = std::move(cj);
     fly->future = fly->promise.get_future().share();
     fly->results.resize(static_cast<size_t>(restarts));
     fly->costs.assign(static_cast<size_t>(restarts), 0);
     fly->remaining.store(restarts);
-    fly->start = std::chrono::steady_clock::now();
+    fly->start_ns = obs::now_ns();
     // emplace, not operator[]: when a different job collides on the
     // fingerprint, the earlier entry stays (its finish erases by identity).
     pending_.emplace(fly->job.fingerprint, fly);
@@ -91,6 +104,7 @@ std::shared_future<JobResult> EncodingService::submit(Job job) {
   for (int r = 0; r < restarts; ++r) {
     auto run_restart = [this, fly, r]() {
       try {
+        PICOLA_OBS_SPAN(span_task, "service/restart_task");
         PicolaResult res = picola_encode(
             fly->job.set, picola_restart_options(fly->job.options, r));
         long cost =
@@ -128,9 +142,7 @@ std::vector<std::shared_future<JobResult>> EncodingService::submit_batch(
 }
 
 void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
-  double ms = std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - fly->start)
-                  .count();
+  const uint64_t dur_ns = obs::now_ns() - fly->start_ns;
   JobResult out;
   if (!fly->error) {
     // Deterministic reduction — identical to sequential picola_encode_best.
@@ -139,7 +151,7 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
       winner.offer(fly->costs[static_cast<size_t>(r)], r);
     out.picola = std::move(fly->results[static_cast<size_t>(winner.restart)]);
     out.total_cubes = winner.cost;
-    out.wall_ms = ms;
+    out.wall_ms = static_cast<double>(dur_ns) / 1e6;
     CachedResult memo;
     memo.picola = out.picola;
     memo.total_cubes = out.total_cubes;
@@ -152,10 +164,10 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(fly->job.fingerprint);
     if (it != pending_.end() && it->second == fly) pending_.erase(it);
-    ++jobs_completed_;
-    total_job_ms_ += ms;
-    if (ms > max_job_ms_) max_job_ms_ = ms;
   }
+  jobs_completed_.add(1);
+  job_wall_ns_.record(dur_ns);
+  PICOLA_OBS_RECORD_SPAN("service/job", fly->start_ns, dur_ns);
   cv_done_.notify_all();
   if (fly->error)
     fly->promise.set_exception(fly->error);
@@ -170,16 +182,16 @@ void EncodingService::wait_all() {
 
 ServiceStats EncodingService::stats() const {
   ServiceStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.jobs_submitted = jobs_submitted_;
-    s.jobs_completed = jobs_completed_;
-    s.cache_hits = cache_hits_;
-    s.cache_misses = cache_misses_;
-    s.restart_tasks = restart_tasks_;
-    s.total_job_ms = total_job_ms_;
-    s.max_job_ms = max_job_ms_;
-  }
+  s.jobs_submitted = static_cast<long>(jobs_submitted_.value());
+  s.jobs_completed = static_cast<long>(jobs_completed_.value());
+  s.cache_hits = static_cast<long>(cache_hits_.value());
+  s.inflight_joins = static_cast<long>(inflight_joins_.value());
+  s.cache_misses = static_cast<long>(cache_misses_.value());
+  s.restart_tasks = static_cast<long>(restart_tasks_.value());
+  s.cache_evictions = cache_.stats().evictions;
+  obs::Histogram::Snapshot jobs = job_wall_ns_.snapshot();
+  s.total_job_ms = static_cast<double>(jobs.sum) / 1e6;
+  s.max_job_ms = static_cast<double>(jobs.max) / 1e6;
   s.queue_high_water = pool_.queue_high_water();
   return s;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "service/job.h"
 #include "service/result_cache.h"
 #include "service/thread_pool.h"
@@ -42,7 +43,9 @@ struct ServiceOptions {
 struct JobResult {
   PicolaResult picola;
   long total_cubes = 0;   ///< espresso-evaluated implementation cubes
-  bool cache_hit = false; ///< answered from cache / an in-flight duplicate
+  /// Answered without computing: either a completed-result cache hit or
+  /// an in-flight join (ServiceStats tells the two apart).
+  bool cache_hit = false;
   double wall_ms = 0;     ///< submit-to-completion wall time (0 on hits)
 };
 
@@ -65,8 +68,13 @@ class EncodingService {
   /// Block until every submitted job has completed.
   void wait_all();
 
-  /// Snapshot of the service counters (see eval/metrics.h).
+  /// Snapshot of the service counters (see eval/metrics.h).  Rendered
+  /// from the per-instance metrics registry — the struct is a view.
   ServiceStats stats() const;
+
+  /// The live per-instance registry behind stats(): service/* counters,
+  /// pool/* counters, and the service/job wall-time histogram (ns).
+  const obs::MetricsRegistry& metrics() const { return registry_; }
 
   int num_threads() const { return pool_.num_threads(); }
   const ResultCache& cache() const { return cache_; }
@@ -76,19 +84,23 @@ class EncodingService {
 
   void finish_job(const std::shared_ptr<InFlight>& fly);
 
+  // The registry must outlive (so precede) the pool and the counter
+  // references below.
+  obs::MetricsRegistry registry_;
   ThreadPool pool_;
   ResultCache cache_;
+
+  obs::Counter& jobs_submitted_;
+  obs::Counter& jobs_completed_;
+  obs::Counter& cache_hits_;
+  obs::Counter& inflight_joins_;
+  obs::Counter& cache_misses_;
+  obs::Counter& restart_tasks_;
+  obs::Histogram& job_wall_ns_;  ///< "service/job" wall time, nanoseconds
 
   mutable std::mutex mu_;
   std::condition_variable cv_done_;
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> pending_;
-  long jobs_submitted_ = 0;
-  long jobs_completed_ = 0;
-  long cache_hits_ = 0;
-  long cache_misses_ = 0;
-  long restart_tasks_ = 0;
-  double total_job_ms_ = 0;
-  double max_job_ms_ = 0;
 };
 
 }  // namespace picola

@@ -5,8 +5,14 @@
 
 namespace picola {
 
-ThreadPool::ThreadPool(int num_threads, size_t max_queue)
+ThreadPool::ThreadPool(int num_threads, size_t max_queue,
+                       obs::MetricsRegistry* metrics)
     : max_queue_(max_queue) {
+  if (metrics) {
+    tasks_posted_ = &metrics->counter("pool/tasks_posted");
+    tasks_executed_ = &metrics->counter("pool/tasks_executed");
+    queue_depth_hwm_ = &metrics->gauge("pool/queue_depth");
+  }
   int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i)
@@ -25,7 +31,10 @@ void ThreadPool::post(std::function<void()> task) {
       throw std::runtime_error("ThreadPool: post() after shutdown");
     queue_.push_back(std::move(task));
     queue_hwm_ = std::max(queue_hwm_, queue_.size());
+    if (queue_depth_hwm_)
+      queue_depth_hwm_->max_of(static_cast<int64_t>(queue_.size()));
   }
+  if (tasks_posted_) tasks_posted_->add(1);
   cv_task_.notify_one();
 }
 
@@ -71,6 +80,7 @@ void ThreadPool::worker_loop() {
     }
     cv_space_.notify_one();
     task();  // submit() routes exceptions into the task's future
+    if (tasks_executed_) tasks_executed_->add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --executing_;

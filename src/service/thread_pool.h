@@ -21,14 +21,20 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace picola {
 
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).  `max_queue` bounds the
   /// number of tasks waiting to run (not counting the ones executing);
-  /// 0 means unbounded.
-  explicit ThreadPool(int num_threads, size_t max_queue = 0);
+  /// 0 means unbounded.  When `metrics` is given, the pool keeps
+  /// pool/tasks_posted and pool/tasks_executed counters and the
+  /// pool/queue_depth high-water gauge in it (the registry must outlive
+  /// the pool).
+  explicit ThreadPool(int num_threads, size_t max_queue = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Drains the queue and joins (graceful shutdown).
   ~ThreadPool();
@@ -76,6 +82,9 @@ class ThreadPool {
   size_t queue_hwm_ = 0;
   int executing_ = 0;
   bool shutting_down_ = false;
+  obs::Counter* tasks_posted_ = nullptr;    ///< optional, see constructor
+  obs::Counter* tasks_executed_ = nullptr;
+  obs::Gauge* queue_depth_hwm_ = nullptr;
 };
 
 }  // namespace picola

@@ -1,0 +1,66 @@
+// Compiled with -DPICOLA_OBS_DISABLED (see tests/CMakeLists.txt): the
+// instrumentation macros must expand to nothing, compile cleanly, and
+// leave the global registry/tracer untouched even with the runtime
+// switch forced on.  Direct registry use (the service's bookkeeping
+// path) must keep working.
+
+#ifndef PICOLA_OBS_DISABLED
+#error "this test must be built with PICOLA_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace picola::obs {
+namespace {
+
+TEST(ObsDisabledTest, MacrosCompileAndAreInert) {
+  set_enabled(true);  // even forced on, the macros must do nothing
+  MetricsRegistry::global().reset();
+  Tracer::global().clear();
+  Tracer::global().set_tracing(true);
+
+  {
+    PICOLA_OBS_SPAN(span, "disabled/span");
+    PICOLA_OBS_COUNT("disabled/count", 3);
+    PICOLA_OBS_RECORD_SPAN("disabled/manual", 0, 100);
+    EXPECT_EQ(span.elapsed_ns(), 0u);
+    EXPECT_EQ(PICOLA_OBS_NOW(), 0u);
+  }
+
+  EXPECT_EQ(MetricsRegistry::global().counter_value("disabled/count"), 0u);
+  EXPECT_EQ(
+      MetricsRegistry::global().histogram("disabled/span").snapshot().count,
+      0u);
+  EXPECT_TRUE(Tracer::global().events().empty());
+
+  Tracer::global().set_tracing(false);
+  set_enabled(false);
+}
+
+TEST(ObsDisabledTest, DirectRegistryUseStillWorks) {
+  // Subsystem bookkeeping (EncodingService counters) bypasses the macros
+  // and must survive the compile-out.
+  MetricsRegistry r;
+  r.counter("service/jobs_submitted").add(2);
+  r.histogram("service/job").record(1000);
+  EXPECT_EQ(r.counter_value("service/jobs_submitted"), 2u);
+  EXPECT_EQ(r.histogram("service/job").snapshot().sum, 1000u);
+  EXPECT_GT(now_ns(), 0u);  // the clock is not compiled out either
+}
+
+TEST(ObsDisabledTest, SpanInExpressionPositionCompiles) {
+  // The macro must be usable wherever the enabled expansion is.
+  for (int i = 0; i < 2; ++i) {
+    PICOLA_OBS_SPAN(outer, "a/b");
+    {
+      PICOLA_OBS_SPAN(inner, "a/c");
+      (void)inner.elapsed_ns();
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace picola::obs

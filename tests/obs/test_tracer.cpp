@@ -1,0 +1,202 @@
+// Tracer: span nesting, deterministic export under a fake clock,
+// sampling, runtime disable, cross-thread merge.
+
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace picola::obs {
+namespace {
+
+uint64_t g_fake_now = 0;
+uint64_t fake_clock() { return g_fake_now; }
+
+/// Every test in this file drives the process-wide tracer/registry, so
+/// save and restore the global obs state around each one.
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fake_now = 0;
+    set_clock_for_testing(&fake_clock);
+    set_enabled(true);
+    Tracer::global().set_tracing(true);
+    Tracer::global().set_sample_every(1);
+    Tracer::global().clear();
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    Tracer::global().set_tracing(false);
+    Tracer::global().set_sample_every(1);
+    Tracer::global().clear();
+    MetricsRegistry::global().reset();
+    set_enabled(false);
+    set_clock_for_testing(nullptr);
+  }
+};
+
+TEST_F(TracerTest, NestedSpansRecordStartDurationAndDepth) {
+  g_fake_now = 1000;
+  {
+    ScopedSpan outer("phase/outer");
+    g_fake_now = 2000;
+    {
+      ScopedSpan inner("phase/inner");
+      g_fake_now = 2500;
+    }
+    g_fake_now = 4000;
+  }
+  std::vector<TraceEvent> evs = Tracer::global().events();
+  ASSERT_EQ(evs.size(), 2u);
+  // Sorted by start time: outer first.
+  EXPECT_STREQ(evs[0].name, "phase/outer");
+  EXPECT_EQ(evs[0].start_ns, 1000u);
+  EXPECT_EQ(evs[0].dur_ns, 3000u);
+  EXPECT_EQ(evs[0].depth, 0);
+  EXPECT_STREQ(evs[1].name, "phase/inner");
+  EXPECT_EQ(evs[1].start_ns, 2000u);
+  EXPECT_EQ(evs[1].dur_ns, 500u);
+  EXPECT_EQ(evs[1].depth, 1);
+  EXPECT_EQ(evs[0].tid, evs[1].tid);
+}
+
+TEST_F(TracerTest, SpansFeedGlobalHistograms) {
+  g_fake_now = 0;
+  {
+    ScopedSpan s("phase/hist");
+    g_fake_now = 700;
+  }
+  Histogram::Snapshot snap =
+      MetricsRegistry::global().histogram("phase/hist").snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 700u);
+}
+
+TEST_F(TracerTest, ChromeTraceJsonIsDeterministicUnderFakeClock) {
+  g_fake_now = 1000;
+  {
+    ScopedSpan a("picola/classify");
+    g_fake_now = 3500;
+  }
+  std::vector<TraceEvent> evs = Tracer::global().events();
+  ASSERT_EQ(evs.size(), 1u);
+  std::string expected =
+      "{\"traceEvents\":[{\"name\":\"picola/classify\",\"cat\":\"picola\","
+      "\"ph\":\"X\",\"ts\":1.000,\"dur\":2.500,\"pid\":1,\"tid\":" +
+      std::to_string(evs[0].tid) +
+      "}],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(Tracer::global().chrome_trace_json(), expected);
+  // A second export is byte-identical.
+  EXPECT_EQ(Tracer::global().chrome_trace_json(), expected);
+}
+
+TEST_F(TracerTest, SummaryAggregatesPerName) {
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan s("phase/rep");
+    g_fake_now += 100;
+  }
+  std::string text = Tracer::global().summary_text();
+  EXPECT_NE(text.find("phase/rep count=3 total_ms=0.000"), std::string::npos)
+      << text;
+  std::string json = Tracer::global().summary_json();
+  EXPECT_NE(json.find(
+                "\"phase/rep\":{\"count\":3,\"total_ns\":300,\"min_ns\":100,"
+                "\"max_ns\":100}"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(TracerTest, SampleEveryRecordsEveryNthTopLevelTree) {
+  Tracer::global().set_sample_every(2);
+  for (int i = 0; i < 6; ++i) {
+    ScopedSpan top("phase/top");
+    ScopedSpan nested("phase/nested");
+    g_fake_now += 10;
+  }
+  // Half the trees sampled, and each sampled tree is complete (top +
+  // nested), never a torn one.
+  std::vector<TraceEvent> evs = Tracer::global().events();
+  int tops = 0, nesteds = 0;
+  for (const TraceEvent& e : evs) {
+    if (std::string(e.name) == "phase/top") ++tops;
+    else ++nesteds;
+  }
+  EXPECT_EQ(tops, 3);
+  EXPECT_EQ(nesteds, 3);
+}
+
+TEST_F(TracerTest, DisabledSpansCostNothingAndRecordNothing) {
+  set_enabled(false);
+  {
+    ScopedSpan s("phase/off");
+    g_fake_now += 100;
+    EXPECT_EQ(s.elapsed_ns(), 0u);
+  }
+  EXPECT_TRUE(Tracer::global().events().empty());
+  EXPECT_EQ(MetricsRegistry::global().histogram("phase/off").snapshot().count,
+            0u);
+}
+
+TEST_F(TracerTest, TracingOffStillFeedsHistograms) {
+  Tracer::global().set_tracing(false);
+  {
+    ScopedSpan s("phase/metrics_only");
+    g_fake_now += 50;
+  }
+  EXPECT_TRUE(Tracer::global().events().empty());
+  EXPECT_EQ(MetricsRegistry::global()
+                .histogram("phase/metrics_only")
+                .snapshot()
+                .count,
+            1u);
+}
+
+TEST_F(TracerTest, EventsFromMultipleThreadsMergeWithDistinctTids) {
+  {
+    ScopedSpan s("phase/main");
+    g_fake_now += 10;
+  }
+  std::thread worker([]() {
+    ScopedSpan s("phase/worker");
+    g_fake_now += 10;
+  });
+  worker.join();
+  std::vector<TraceEvent> evs = Tracer::global().events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_NE(evs[0].tid, evs[1].tid);
+}
+
+TEST_F(TracerTest, RecordSpanBypassesSamplingButHonoursMasterSwitch) {
+  Tracer::global().set_sample_every(1000000);
+  record_span("service/job", 100, 900);
+  std::vector<TraceEvent> evs = Tracer::global().events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_STREQ(evs[0].name, "service/job");
+  EXPECT_EQ(evs[0].dur_ns, 900u);
+
+  Tracer::global().clear();
+  set_enabled(false);
+  record_span("service/job", 100, 900);
+  EXPECT_TRUE(Tracer::global().events().empty());
+}
+
+TEST_F(TracerTest, ClearDropsEventsButKeepsRecording) {
+  {
+    ScopedSpan s("phase/one");
+    g_fake_now += 10;
+  }
+  EXPECT_EQ(Tracer::global().events().size(), 1u);
+  Tracer::global().clear();
+  EXPECT_TRUE(Tracer::global().events().empty());
+  {
+    ScopedSpan s("phase/two");
+    g_fake_now += 10;
+  }
+  EXPECT_EQ(Tracer::global().events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace picola::obs

@@ -149,9 +149,10 @@ TEST(EncodingServiceTest, DuplicateInFlightJobsShareOneComputation) {
   for (auto& f : futures) EXPECT_EQ(f.get().picola.encoding.codes, codes);
   ServiceStats s = service.stats();
   EXPECT_EQ(s.jobs_submitted, 6);
-  // At most one computation: everything else was a cache or in-flight hit.
+  // At most one computation: everything else joined the in-flight job or
+  // hit the completed-result cache, depending on scheduling.
   EXPECT_EQ(s.cache_misses, 1);
-  EXPECT_EQ(s.cache_hits, 5);
+  EXPECT_EQ(s.cache_hits + s.inflight_joins, 5);
   EXPECT_EQ(s.restart_tasks, 4);
 }
 
@@ -179,6 +180,29 @@ TEST(EncodingServiceTest, BatchOfDistinctJobsCompletesAll) {
   EXPECT_EQ(s.jobs_completed, 8);
   EXPECT_EQ(s.cache_misses, 8);
   EXPECT_GE(s.total_job_ms, s.max_job_ms);
+}
+
+TEST(EncodingServiceTest, StatsCountCacheEvictions) {
+  ServiceOptions so;
+  so.num_threads = 1;
+  so.cache_capacity = 1;
+  so.cache_shards = 1;
+  EncodingService service(so);
+  Job a;
+  a.set = paper_set();
+  a.restarts = 2;
+  Job b;
+  b.set = crowded_set();
+  b.restarts = 2;
+  service.submit(a).get();   // miss, fills the single slot
+  service.submit(b).get();   // miss, evicts a
+  JobResult r = service.submit(a).get();  // miss again: a was evicted
+  EXPECT_FALSE(r.cache_hit);
+  ServiceStats s = service.stats();
+  EXPECT_EQ(s.cache_misses, 3);
+  EXPECT_EQ(s.cache_hits, 0);
+  EXPECT_EQ(s.inflight_joins, 0);
+  EXPECT_EQ(s.cache_evictions, 2);
 }
 
 TEST(EncodingServiceTest, SingleThreadServiceIsStillCorrect) {
