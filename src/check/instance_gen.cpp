@@ -1,0 +1,136 @@
+#include "check/instance_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "encoders/encoding.h"
+
+namespace picola::check {
+
+InstanceGenerator::InstanceGenerator(uint64_t seed, GeneratorOptions opt)
+    : rng_(seed), opt_(opt) {}
+
+int InstanceGenerator::draw(int lo, int hi) {
+  // Explicit modulo draw instead of uniform_int_distribution: the
+  // distribution's algorithm is implementation-defined, and the stream
+  // must replay identically across standard libraries.
+  return lo + static_cast<int>(rng_() % static_cast<uint64_t>(hi - lo + 1));
+}
+
+std::vector<int> InstanceGenerator::draw_subset(int n, int size) {
+  std::vector<int> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < size; ++i)
+    std::swap(pool[static_cast<size_t>(i)],
+              pool[static_cast<size_t>(draw(i, n - 1))]);
+  pool.resize(static_cast<size_t>(size));
+  return pool;
+}
+
+ConstraintSet InstanceGenerator::gen_random(int n) {
+  ConstraintSet cs;
+  cs.num_symbols = n;
+  int count = draw(1, opt_.max_constraints);
+  for (int k = 0; k < count; ++k) {
+    int size = draw(2, std::max(2, n - 1));
+    double weight = draw(0, 3) == 0 ? 0.5 * draw(1, 6) : 1.0;
+    cs.add(draw_subset(n, size), weight);
+  }
+  return cs;
+}
+
+ConstraintSet InstanceGenerator::gen_nested(int n) {
+  // A chain L0 subset L1 subset ... growing one or two symbols per step.
+  ConstraintSet cs;
+  cs.num_symbols = n;
+  std::vector<int> order = draw_subset(n, n);
+  int size = 2;
+  while (size <= n - 1 && cs.size() < opt_.max_constraints) {
+    cs.add(std::vector<int>(order.begin(), order.begin() + size));
+    size += draw(1, 2);
+  }
+  if (cs.size() == 0) cs.add(draw_subset(n, 2));
+  return cs;
+}
+
+ConstraintSet InstanceGenerator::gen_packing(int n, int nv) {
+  // Disjoint groups whose unused-code demand sits at or just over the
+  // global 2^nv - n budget: group of size s in its own subcube of
+  // dimension ceil(log2 s) wastes 2^dim - s codes.
+  ConstraintSet cs;
+  cs.num_symbols = n;
+  std::vector<int> order = draw_subset(n, n);
+  long budget = (1L << nv) - n;
+  size_t at = 0;
+  while (cs.size() < opt_.max_constraints) {
+    int size = draw(2, 3) == 3 && n >= 6 ? 3 : 2;
+    if (at + static_cast<size_t>(size) > order.size()) break;
+    cs.add(std::vector<int>(order.begin() + static_cast<long>(at),
+                            order.begin() + static_cast<long>(at) + size));
+    at += static_cast<size_t>(size);
+    int dim = 0;
+    while ((1L << dim) < size) ++dim;
+    budget -= (1L << dim) - size;
+    // Stop one group past exhaustion so roughly half the packings are
+    // right at the boundary and half just beyond it.
+    if (budget < 0 && draw(0, 1) == 0) break;
+  }
+  if (cs.size() == 0) cs.add({order[0], order[1]});
+  return cs;
+}
+
+ConstraintSet InstanceGenerator::gen_overlap(int n) {
+  // Every constraint contains a shared core, so their pairwise
+  // son-constraints are all non-void and guides pile onto the same
+  // symbols.
+  ConstraintSet cs;
+  cs.num_symbols = n;
+  int core_size = draw(1, std::max(1, n / 3));
+  std::vector<int> core = draw_subset(n, core_size);
+  int count = draw(2, opt_.max_constraints);
+  for (int k = 0; k < count; ++k) {
+    std::vector<int> members = core;
+    int extra = draw(1, std::max(1, (n - core_size) / 2));
+    for (int id : draw_subset(n, n)) {
+      if (extra == 0) break;
+      if (std::find(members.begin(), members.end(), id) == members.end()) {
+        members.push_back(id);
+        --extra;
+      }
+    }
+    if (static_cast<int>(members.size()) >= n || members.size() < 2) continue;
+    cs.add(std::move(members));
+  }
+  if (cs.size() == 0) cs.add(draw_subset(n, 2));
+  return cs;
+}
+
+InstanceGenerator::Instance InstanceGenerator::next() {
+  Instance inst;
+  inst.index = index_++;
+  int n = draw(opt_.min_symbols, opt_.max_symbols);
+  int min_bits = Encoding::min_bits(n);
+  int nv = min_bits + draw(0, opt_.max_extra_bits);
+  switch (inst.index % 4) {
+    case 0:
+      inst.family = "random";
+      inst.set = gen_random(n);
+      break;
+    case 1:
+      inst.family = "nested";
+      inst.set = gen_nested(n);
+      break;
+    case 2:
+      inst.family = "packing";
+      inst.set = gen_packing(n, nv);
+      break;
+    default:
+      inst.family = "overlap";
+      inst.set = gen_overlap(n);
+      break;
+  }
+  inst.num_bits = nv == min_bits ? 0 : nv;
+  return inst;
+}
+
+}  // namespace picola::check

@@ -1,0 +1,214 @@
+#include "check/verifier.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "constraints/dichotomy.h"
+#include "obs/metrics.h"
+
+namespace picola::check {
+
+void VerifyReport::merge(VerifyReport other) {
+  for (auto& v : other.violations) violations.push_back(std::move(v));
+}
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i) os << '\n';
+    os << violations[i];
+  }
+  return os.str();
+}
+
+namespace {
+
+/// The uniform member value of constraint `c` in column `col` of `enc`,
+/// or -1 when the members differ there.
+int uniform_value(const FaceConstraint& c, const Encoding& enc, int col) {
+  int v = enc.bit(c.members[0], col);
+  for (int m : c.members)
+    if (enc.bit(m, col) != v) return -1;
+  return v;
+}
+
+}  // namespace
+
+VerifyReport verify_encoding(const ConstraintSet& cs, const Encoding& enc) {
+  VerifyReport r;
+  if (std::string e = cs.validate(); !e.empty()) {
+    r.add("constraint set: " + e);
+    return r;
+  }
+  if (enc.num_symbols != cs.num_symbols) {
+    r.add("encoding covers " + std::to_string(enc.num_symbols) +
+          " symbols, constraint set has " + std::to_string(cs.num_symbols));
+    return r;
+  }
+  if (std::string e = enc.validate(); !e.empty()) {
+    r.add("encoding: " + e);
+    return r;
+  }
+  // The two definitions of satisfaction (paper §2) must agree: every seed
+  // dichotomy satisfied by some column <=> no non-member code inside the
+  // members' supercube.  They are computed along independent paths.
+  for (int k = 0; k < cs.size(); ++k) {
+    const FaceConstraint& c = cs.constraints[static_cast<size_t>(k)];
+    bool by_cube = constraint_satisfied(c, enc);
+    bool by_columns = true;
+    for (int j = 0; j < cs.num_symbols && by_columns; ++j)
+      if (!c.contains(j) && !dichotomy_satisfied(c, j, enc))
+        by_columns = false;
+    if (by_cube != by_columns)
+      r.add("constraint " + std::to_string(k) +
+            ": satisfaction predicates disagree (supercube says " +
+            (by_cube ? "satisfied" : "unsatisfied") + ", columns say " +
+            (by_columns ? "satisfied" : "unsatisfied") + ")");
+  }
+  return r;
+}
+
+VerifyReport verify_column(const std::vector<int>& bits,
+                           const std::vector<uint32_t>& prefixes,
+                           int column_index, int nv) {
+  VerifyReport r;
+  const int n = static_cast<int>(bits.size());
+  if (prefixes.size() != bits.size()) {
+    r.add("column " + std::to_string(column_index) + ": " +
+          std::to_string(bits.size()) + " bits for " +
+          std::to_string(prefixes.size()) + " prefixes");
+    return r;
+  }
+  const long cap = 1L << (nv - column_index - 1);
+  std::unordered_map<uint32_t, std::pair<long, long>> group;  // zeros, ones
+  for (int j = 0; j < n; ++j) {
+    int b = bits[static_cast<size_t>(j)];
+    if (b != 0 && b != 1) {
+      r.add("column " + std::to_string(column_index) + ": symbol " +
+            std::to_string(j) + " has non-binary bit " + std::to_string(b));
+      return r;
+    }
+    auto& g = group[prefixes[static_cast<size_t>(j)]];
+    (b == 0 ? g.first : g.second) += 1;
+  }
+  for (const auto& [prefix, counts] : group) {
+    if (counts.first > cap || counts.second > cap)
+      r.add("column " + std::to_string(column_index) + ": prefix group " +
+            std::to_string(prefix) + " splits " + std::to_string(counts.first) +
+            "/" + std::to_string(counts.second) +
+            " against remaining capacity " + std::to_string(cap));
+  }
+  return r;
+}
+
+VerifyReport verify_run(const ConstraintSet& cs, const ConstraintMatrix& m,
+                        const Encoding& enc) {
+  VerifyReport r = verify_encoding(cs, enc);
+  if (!r.ok()) return r;
+  const int n = enc.num_symbols;
+  const int nv = enc.num_bits;
+  if (m.num_symbols() != n || m.nv() != nv ||
+      m.columns_generated() != nv) {
+    r.add("matrix shape (" + std::to_string(m.num_symbols()) + " symbols, " +
+          std::to_string(m.columns_generated()) + "/" +
+          std::to_string(m.nv()) + " columns) does not match encoding (" +
+          std::to_string(n) + " symbols, " + std::to_string(nv) + " bits)");
+    return r;
+  }
+  if (m.num_constraints() < cs.size()) {
+    r.add("matrix lost rows: " + std::to_string(m.num_constraints()) +
+          " < " + std::to_string(cs.size()));
+    return r;
+  }
+
+  // From-scratch replay: a fresh matrix over the same rows (guides
+  // included — bypassing ConstraintSet::add so duplicates survive), fed
+  // every column in order, must agree with the incremental bookkeeping.
+  std::vector<std::vector<int>> columns(
+      static_cast<size_t>(nv), std::vector<int>(static_cast<size_t>(n)));
+  for (int col = 0; col < nv; ++col)
+    for (int j = 0; j < n; ++j)
+      columns[static_cast<size_t>(col)][static_cast<size_t>(j)] =
+          enc.bit(j, col);
+  ConstraintSet raw;
+  raw.num_symbols = n;
+  for (int k = 0; k < m.num_constraints(); ++k)
+    raw.constraints.push_back(m.constraint(k));
+  ConstraintMatrix fresh(raw, nv);
+  for (const auto& col : columns) fresh.record_column(col);
+
+  for (int k = 0; k < m.num_constraints(); ++k) {
+    const FaceConstraint& c = m.constraint(k);
+    const std::string row = "row " + std::to_string(k);
+
+    // Re-derive pinned/free and first-satisfying columns directly from
+    // the encoding (independent of ConstraintMatrix::apply_column).
+    std::vector<int> uniform(static_cast<size_t>(nv));
+    int pinned = 0, free_cols = 0;
+    for (int col = 0; col < nv; ++col) {
+      uniform[static_cast<size_t>(col)] = uniform_value(c, enc, col);
+      if (uniform[static_cast<size_t>(col)] >= 0)
+        ++pinned;
+      else
+        ++free_cols;
+    }
+    if (m.pinned_columns(k) != pinned)
+      r.add(row + ": pinned " + std::to_string(m.pinned_columns(k)) +
+            ", re-derived " + std::to_string(pinned));
+    if (m.free_columns(k) != free_cols)
+      r.add(row + ": free " + std::to_string(m.free_columns(k)) +
+            ", re-derived " + std::to_string(free_cols));
+    if (m.min_super_dim(k) != fresh.min_super_dim(k))
+      r.add(row + ": min_super_dim " + std::to_string(m.min_super_dim(k)) +
+            ", replay " + std::to_string(fresh.min_super_dim(k)));
+    if (m.max_super_dim(k) != nv - pinned)
+      r.add(row + ": max_super_dim " + std::to_string(m.max_super_dim(k)) +
+            ", re-derived " + std::to_string(nv - pinned));
+
+    for (int j = 0; j < n; ++j) {
+      int e = m.entry(k, j);
+      if (fresh.entry(k, j) != e)
+        r.add(row + ": entry for symbol " + std::to_string(j) + " is " +
+              std::to_string(e) + ", replay got " +
+              std::to_string(fresh.entry(k, j)));
+      if (c.contains(j)) {
+        if (e != ConstraintMatrix::kMember)
+          r.add(row + ": member " + std::to_string(j) + " marked " +
+                std::to_string(e));
+        continue;
+      }
+      // Entry semantics: i+1 names the *first* column separating the
+      // (uniform) members from symbol j; 0 means no column does.
+      int first = 0;
+      for (int col = 0; col < nv && first == 0; ++col) {
+        int v = uniform[static_cast<size_t>(col)];
+        if (v >= 0 && enc.bit(j, col) == 1 - v) first = col + 1;
+      }
+      if (e != first)
+        r.add(row + ": entry for symbol " + std::to_string(j) + " is " +
+              std::to_string(e) + ", first separating column gives " +
+              std::to_string(first));
+    }
+
+    // Satisfaction equivalence for every row, guides included: all
+    // dichotomies satisfied <=> the members' face holds no intruder.
+    bool face_clean = intruders(c, enc).empty();
+    if (m.satisfied(k) != face_clean)
+      r.add(row + ": matrix says " +
+            (m.satisfied(k) ? "satisfied" : "unsatisfied") +
+            " but the supercube is " +
+            (face_clean ? "intruder-free" : "intruded"));
+  }
+  return r;
+}
+
+void enforce(const VerifyReport& report, const std::string& phase) {
+  if (report.ok()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("check/violations").add(report.violations.size());
+  reg.counter("check/" + phase + "_violations")
+      .add(report.violations.size());
+  throw SelfCheckError(phase + ": " + report.to_string());
+}
+
+}  // namespace picola::check

@@ -1,0 +1,76 @@
+#pragma once
+// Correctness tooling (docs/ALGORITHM.md "Invariants & self-checking"):
+// an EncodingVerifier that independently re-derives everything the
+// encoder claims, instead of trusting the incremental bookkeeping:
+//
+//  * structural validity — codes distinct and within nv bits;
+//  * the satisfaction equivalence (paper §2) — a constraint's matrix
+//    entries are all satisfied iff the supercube of its members' codes
+//    contains no intruder, re-checked along both the column path
+//    (dichotomy_satisfied) and the cube path (intruders);
+//  * the constraint-matrix bookkeeping (paper §3.1) — every generated
+//    column replayed through a fresh ConstraintMatrix must agree
+//    entry-for-entry with the incrementally maintained one (entries,
+//    pinned/free counts, min/max supercube dimensions), and each entry
+//    value i+1 must name the *first* column i that actually separates the
+//    members uniformly from the outsider;
+//  * per-column validity — Solve()'s output keeps every prefix group
+//    within the capacity of the remaining columns.
+//
+// Violations are recorded under check/* in the global MetricsRegistry
+// and raised as SelfCheckError.  picola_encode runs these checks when
+// PicolaOptions::self_check is set (a single branch when off); the fuzz
+// driver (tools/picola_fuzz) runs them over thousands of generated
+// instances together with the exact small-instance oracle (check/oracle.h).
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint_matrix.h"
+#include "encoders/encoding.h"
+
+namespace picola::check {
+
+/// Thrown by enforce() on the first violated invariant; the message is
+/// the phase name plus every violation, newline-separated.
+struct SelfCheckError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Outcome of one verification pass: one line per violated invariant.
+struct VerifyReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  void add(std::string v) { violations.push_back(std::move(v)); }
+  void merge(VerifyReport other);
+  std::string to_string() const;  ///< newline-joined violations
+};
+
+/// Encoding-only invariants: structural validity plus, per constraint,
+/// agreement of the two independent satisfaction predicates (all seed
+/// dichotomies satisfied by some column vs. supercube intruder-free).
+VerifyReport verify_encoding(const ConstraintSet& cs, const Encoding& enc);
+
+/// One Solve() column against the partial encoding that preceded it:
+/// bits are 0/1, and both halves of every prefix group fit in the
+/// capacity 2^(nv - column_index - 1) of the remaining columns.
+VerifyReport verify_column(const std::vector<int>& bits,
+                           const std::vector<uint32_t>& prefixes,
+                           int column_index, int nv);
+
+/// Full end-of-run verification of a finished picola run: the encoding
+/// invariants above, the from-scratch matrix replay, the first-column
+/// semantics of every entry, pinned/free/min_super_dim re-derivations,
+/// and satisfied(k) == intruder-free-face for every row (guides
+/// included).  `m` must have all `enc.num_bits` columns recorded.
+VerifyReport verify_run(const ConstraintSet& cs, const ConstraintMatrix& m,
+                        const Encoding& enc);
+
+/// Record `report`'s violations in the global MetricsRegistry
+/// ("check/violations" plus "check/<phase>_violations") and throw
+/// SelfCheckError when the report is non-empty.  No-op on an ok report.
+void enforce(const VerifyReport& report, const std::string& phase);
+
+}  // namespace picola::check

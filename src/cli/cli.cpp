@@ -216,21 +216,22 @@ std::optional<Problem> load_problem(const std::string& path, std::ostream& err) 
 
 std::optional<Encoding> run_algorithm(const std::string& algo,
                                       const ConstraintSet& set, int bits,
-                                      uint64_t seed, std::ostream& err,
+                                      uint64_t seed, bool self_check,
+                                      std::ostream& err,
                                       PicolaStats* stats_out = nullptr) {
-  if (algo == "picola") {
+  if (algo == "picola" || algo == "picola-best") {
     PicolaOptions o;
     o.num_bits = bits;
-    PicolaResult r = picola_encode(set, o);
-    if (stats_out) *stats_out = r.stats;
-    return r.encoding;
-  }
-  if (algo == "picola-best") {
-    PicolaOptions o;
-    o.num_bits = bits;
-    PicolaResult r = picola_encode_best(set, 8, o);
-    if (stats_out) *stats_out = r.stats;
-    return r.encoding;
+    o.self_check = self_check;
+    try {
+      PicolaResult r = algo == "picola" ? picola_encode(set, o)
+                                        : picola_encode_best(set, 8, o);
+      if (stats_out) *stats_out = r.stats;
+      return r.encoding;
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return std::nullopt;
+    }
   }
   if (algo == "nova") {
     NovaLikeOptions o;
@@ -312,7 +313,8 @@ int cmd_encode(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   ObsSession obs_session(a);
   Stopwatch sw;
   PicolaStats stats;
-  auto enc = run_algorithm(algo, problem->set, bits, seed, err,
+  auto enc = run_algorithm(algo, problem->set, bits, seed,
+                           a.options.count("--self-check") != 0, err,
                            stats_json ? &stats : nullptr);
   if (!enc) return 1;
   double ms = sw.elapsed_ms();
@@ -543,6 +545,7 @@ struct ServiceArgs {
   ServiceOptions service;
   int restarts = 4;
   int bits = 0;
+  bool self_check = false;
 };
 
 std::optional<ServiceArgs> parse_service_args(const ParsedArgs& a,
@@ -568,6 +571,7 @@ std::optional<ServiceArgs> parse_service_args(const ParsedArgs& a,
     if (!v || *v < 0) { err << "bad --bits value\n"; return std::nullopt; }
     s.bits = *v;
   }
+  s.self_check = a.options.count("--self-check") != 0;
   return s;
 }
 
@@ -630,6 +634,7 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     Job job;
     job.set = item.problem->set;
     job.options.num_bits = sa->bits;
+    job.options.self_check = sa->self_check;
     job.restarts = sa->restarts;
     job.tag = item.path;
     item.future = service.submit(std::move(job));
@@ -765,6 +770,7 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
     Job job;
     job.set = problem->set;
     job.options.num_bits = sa->bits;
+    job.options.self_check = sa->self_check;
     job.restarts = restarts;
     job.tag = path;
     try {

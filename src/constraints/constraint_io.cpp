@@ -1,6 +1,7 @@
 #include "constraints/constraint_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "base/parse_util.h"
@@ -60,6 +61,10 @@ ConstraintParseResult parse_constraints(std::istream& in) {
           fail("bad weight");
           return res;
         }
+        if (!(*w > 0) || !std::isfinite(*w)) {
+          fail("weight must be positive and finite");
+          return res;
+        }
         weight = *w;
         end -= 2;
       }
@@ -84,7 +89,18 @@ ConstraintParseResult parse_constraints(std::istream& in) {
           fail("symbol out of range: " + toks[i]);
           return res;
         }
+        if (std::find(members.begin(), members.end(), id) != members.end()) {
+          fail("duplicate member " + toks[i]);
+          return res;
+        }
         members.push_back(id);
+      }
+      // A group of fewer than 2 distinct symbols imposes nothing and is
+      // almost certainly a typo; add() would drop it silently, so reject
+      // with a line diagnostic here instead.
+      if (members.size() < 2) {
+        fail("constraint needs at least 2 distinct symbols");
+        return res;
       }
       res.set.add(std::move(members), weight);
     }

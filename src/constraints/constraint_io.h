@@ -10,6 +10,13 @@
 //
 // Used by the CLI driver and the examples so encoding problems can be
 // shipped independently of an FSM.
+//
+// The parser rejects malformed constraint lines with a line diagnostic:
+// out-of-range or duplicate members, fewer than 2 distinct symbols, and
+// non-positive weights.  Well-formed lines are canonicalised by
+// ConstraintSet::add (members sorted, repeated groups merged into one
+// weight), so every consumer — encoder, service fingerprint, verifier —
+// sees the same normalised set (see ConstraintSet::validate()).
 
 #include <iosfwd>
 #include <string>

@@ -7,7 +7,7 @@ namespace picola {
 namespace {
 int clog2(int n) {
   int d = 0;
-  while ((1 << d) < n) ++d;
+  while ((1L << d) < n) ++d;  // long: no UB when n > 2^30
   return d;
 }
 }  // namespace

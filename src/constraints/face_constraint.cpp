@@ -1,6 +1,7 @@
 #include "constraints/face_constraint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace picola {
@@ -43,6 +44,30 @@ void ConstraintSet::add(std::vector<int> members, double weight) {
   c.members = std::move(members);
   c.weight = weight;
   constraints.push_back(std::move(c));
+}
+
+std::string ConstraintSet::validate() const {
+  if (num_symbols < 2) return "need at least 2 symbols";
+  for (size_t k = 0; k < constraints.size(); ++k) {
+    const FaceConstraint& c = constraints[k];
+    std::string label = "constraint " + std::to_string(k);
+    if (c.size() < 2) return label + ": fewer than 2 members";
+    if (c.size() >= num_symbols)
+      return label + ": covers every symbol (imposes nothing)";
+    for (size_t i = 0; i < c.members.size(); ++i) {
+      if (c.members[i] < 0 || c.members[i] >= num_symbols)
+        return label + ": member " + std::to_string(c.members[i]) +
+               " out of range [0, " + std::to_string(num_symbols) + ")";
+      if (i > 0 && c.members[i] <= c.members[i - 1])
+        return label + ": members not sorted and unique";
+    }
+    if (!std::isfinite(c.weight) || c.weight <= 0)
+      return label + ": weight must be positive and finite";
+    for (size_t j = 0; j < k; ++j)
+      if (constraints[j].members == c.members)
+        return label + ": duplicate of constraint " + std::to_string(j);
+  }
+  return "";
 }
 
 long ConstraintSet::num_seed_dichotomies() const {

@@ -46,6 +46,15 @@ struct ConstraintSet {
   /// (num_symbols - |members|).
   long num_seed_dichotomies() const;
 
+  /// "" when the set is well-formed: num_symbols >= 2 and every constraint
+  /// has sorted, unique, in-range members, size in [2, num_symbols - 1],
+  /// a positive finite weight, and a member list no other constraint
+  /// shares.  Sets built through add() always pass; the check exists for
+  /// directly-assembled sets, and is enforced by picola_encode(), the
+  /// batch service (via canonicalize) and the src/check verifier so all
+  /// three see the same normalised input.
+  std::string validate() const;
+
   std::string to_string() const;
 };
 

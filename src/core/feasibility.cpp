@@ -4,19 +4,25 @@ namespace picola {
 
 int ceil_log2(int n) {
   int d = 0;
-  while ((1 << d) < n) ++d;
+  while ((1L << d) < n) ++d;  // long: no UB once d reaches 31 (n > 2^30)
   return d;
 }
 
 namespace {
 
-/// Unused codes in a dim-dimensional cube holding `size` codes.
+/// Unused codes in a dim-dimensional cube holding `size` codes.  Callers
+/// clamp `dim` at the code length (plus one for the strict-containment
+/// bump), so the shift stays well-defined.
 long dc_of(int dim, int size) { return (1L << dim) - size; }
 
 /// Raise `dim_father` until the son cube (dim_son, son_size) fits inside:
 /// Conditions I (strict containment needs a strictly larger cube) and
 /// Conditions II (the father must have at least as many unused codes).
-int adjust_father(int dim_father, int size_father, int dim_son, int son_size) {
+/// The growth stops at `max_dim + 1`: a father past the code length is
+/// already incompatible, and the early exit keeps dc_of()'s shift away
+/// from UB on adversarial sizes.
+int adjust_father(int dim_father, int size_father, int dim_son, int son_size,
+                  int max_dim) {
   if (son_size < size_father) {
     // proper son: father strictly bigger
     if (dim_father <= dim_son) dim_father = dim_son + 1;
@@ -24,7 +30,8 @@ int adjust_father(int dim_father, int size_father, int dim_son, int son_size) {
     // son == father as a set: same cube
     if (dim_father < dim_son) dim_father = dim_son;
   }
-  while (dc_of(dim_father, size_father) < dc_of(dim_son, son_size))
+  while (dim_father <= max_dim &&
+         dc_of(dim_father, size_father) < dc_of(dim_son, son_size))
     ++dim_father;
   return dim_father;
 }
@@ -33,10 +40,15 @@ int adjust_father(int dim_father, int size_father, int dim_son, int son_size) {
 
 bool nv_compatible(int size_a, int dim_a, int size_b, int dim_b, int son_size,
                    int nv, int num_symbols) {
+  // A supercube dimension beyond the code length can never embed; catching
+  // it here also bounds every dimension below before it reaches a shift.
+  if (dim_a > nv || dim_b > nv) return false;
   if (son_size > 0) {
     int dim_son = ceil_log2(son_size);
-    dim_a = adjust_father(dim_a, size_a, dim_son, son_size);
-    dim_b = adjust_father(dim_b, size_b, dim_son, son_size);
+    if (dim_son > nv) return false;  // the shared son alone overflows B^nv
+    dim_a = adjust_father(dim_a, size_a, dim_son, son_size, nv);
+    dim_b = adjust_father(dim_b, size_b, dim_son, son_size, nv);
+    if (dim_a > nv || dim_b > nv) return false;
     // dim(super(A,B)) = dim(A) + dim(B) - dim(A∩B) must fit in B^nv.
     return dim_a + dim_b - dim_son <= nv;
   }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <random>
+#include <stdexcept>
 #include <unordered_map>
 
+#include "check/verifier.h"
 #include "core/feasibility.h"
 #include "encoders/restart.h"
 #include "eval/constraint_eval.h"
@@ -180,9 +182,23 @@ std::vector<int> solve_column(const ConstraintMatrix& m,
 
 PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
   const int n = cs.num_symbols;
-  assert(n >= 2);
+  if (n < 2)
+    throw std::invalid_argument("picola_encode: need at least 2 symbols");
+  if (std::string e = cs.validate(); !e.empty())
+    throw std::invalid_argument("picola_encode: " + e);
+  if (opt.num_bits < 0)
+    throw std::invalid_argument("picola_encode: negative code length");
+  // Codes are uint32_t, so 31 is the longest representable code; anything
+  // above used to silently truncate the accumulated prefix.
+  if (opt.num_bits > 31)
+    throw std::invalid_argument("picola_encode: code length " +
+                                std::to_string(opt.num_bits) +
+                                " exceeds 31 bits");
   const int nv = opt.num_bits > 0 ? opt.num_bits : Encoding::min_bits(n);
-  assert((1L << nv) >= n && "code length too small");
+  if ((1L << nv) < n)
+    throw std::invalid_argument(
+        "picola_encode: code length " + std::to_string(nv) +
+        " too small for " + std::to_string(n) + " symbols");
 
   ConstraintMatrix m(cs, nv);
   PicolaResult result;
@@ -215,6 +231,7 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
     result.stats.infeasible_per_column.push_back(
         static_cast<int>(infeasible.size()));
     for (int k : infeasible) {
+      result.stats.infeasible_events.emplace_back(col, k);
       // The original stays in the cost function with reduced weight: its
       // remaining dichotomies still shrink the intruder set, which is what
       // makes the (dynamic) guide constraint meaningful.
@@ -250,6 +267,8 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
       result.stats.solve_ms +=
           static_cast<double>(span_solve.elapsed_ns()) / 1e6;
     }
+    if (opt.self_check)
+      check::enforce(check::verify_column(bits, prefixes, col, nv), "column");
     m.record_column(bits);
     for (int j = 0; j < n; ++j)
       prefixes[static_cast<size_t>(j)] |=
@@ -264,6 +283,8 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
   result.encoding.num_bits = nv;
   result.encoding.codes = prefixes;
   assert(result.encoding.validate().empty());
+  if (opt.self_check)
+    check::enforce(check::verify_run(cs, m, result.encoding), "run");
 
   for (int k = 0; k < static_cast<int>(cs.constraints.size()); ++k)
     if (m.satisfied(k)) ++result.stats.satisfied_constraints;

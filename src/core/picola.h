@@ -9,6 +9,7 @@
 // while keeping the partial encoding valid (every group of symbols sharing
 // a code prefix still fits in the codes the remaining columns can provide).
 
+#include <utility>
 #include <vector>
 
 #include "constraints/constraint_matrix.h"
@@ -48,6 +49,13 @@ struct PicolaOptions {
   /// Random tie-breaking seed for multi-start runs; 0 keeps the
   /// deterministic lowest-index rule.
   uint64_t tie_break_seed = 0;
+  /// Run the src/check verifier during the encode: each Solve() column is
+  /// checked against the prefix-capacity invariant and the finished run
+  /// against the full from-scratch replay (check::verify_run).  Violations
+  /// bump the check/* counters in the global MetricsRegistry and raise
+  /// check::SelfCheckError.  Off by default; when off the cost is a single
+  /// branch per column.
+  bool self_check = false;
 };
 
 /// Diagnostics of one run.
@@ -61,6 +69,12 @@ struct PicolaStats {
   int constraints_deactivated = 0;
   /// Infeasible constraints detected before each column.
   std::vector<int> infeasible_per_column;
+  /// Every infeasibility flag as (column, row): row was classified
+  /// infeasible just before generating `column`.  Rows < the input set's
+  /// size are original constraints; later rows are guides.  Always filled
+  /// (the fuzz harness differential-tests these against the exact
+  /// small-instance oracle).
+  std::vector<std::pair<int, int>> infeasible_events;
   /// Satisfied original constraints at the end.
   int satisfied_constraints = 0;
   /// Update_constraints() classification passes (one per column).
@@ -81,6 +95,12 @@ struct PicolaResult {
 
 /// Encode `cs.num_symbols` symbols (>= 2) with minimum code length,
 /// maximising cheap implementation of the face constraints.
+///
+/// Throws std::invalid_argument on malformed input instead of asserting:
+/// fewer than 2 symbols, a set rejected by ConstraintSet::validate(), or
+/// an opt.num_bits that is negative, below Encoding::min_bits(n), or
+/// above 31 (codes are uint32_t).  Throws check::SelfCheckError when
+/// opt.self_check is set and an internal invariant fails.
 PicolaResult picola_encode(const ConstraintSet& cs,
                            const PicolaOptions& opt = {});
 

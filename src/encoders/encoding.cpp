@@ -12,7 +12,7 @@ int CodeCube::dim(int num_bits) const {
 
 int Encoding::min_bits(int num_symbols) {
   int bits = 1;
-  while ((1 << bits) < num_symbols) ++bits;
+  while ((1L << bits) < num_symbols) ++bits;  // long: no UB at bits == 31
   return bits;
 }
 
@@ -20,7 +20,7 @@ std::string Encoding::validate() const {
   if (static_cast<int>(codes.size()) != num_symbols)
     return "wrong number of codes";
   if (num_bits < 1 || num_bits > 31) return "bad code length";
-  if ((1 << num_bits) < num_symbols) return "code length too small";
+  if ((1L << num_bits) < num_symbols) return "code length too small";
   std::vector<uint32_t> sorted = codes;
   std::sort(sorted.begin(), sorted.end());
   if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())

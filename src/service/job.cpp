@@ -39,7 +39,8 @@ bool options_equal(const PicolaOptions& a, const PicolaOptions& b) {
          a.num_bits == b.num_bits &&
          a.guide.weight_factor == b.guide.weight_factor &&
          a.guide.recursive == b.guide.recursive &&
-         a.tie_break_seed == b.tie_break_seed;
+         a.tie_break_seed == b.tie_break_seed &&
+         a.self_check == b.self_check;
 }
 
 }  // namespace
@@ -79,7 +80,8 @@ CanonicalJob canonicalize(const Job& job) {
   const PicolaOptions& o = c.options;
   h.mix(static_cast<uint64_t>(o.use_guides) | (uint64_t{o.use_classify} << 1) |
         (uint64_t{o.greedy_continue} << 2) | (uint64_t{o.unweighted} << 3) |
-        (uint64_t{o.guide.recursive} << 4));
+        (uint64_t{o.guide.recursive} << 4) |
+        (uint64_t{o.self_check} << 5));
   h.mix_double(o.progress_weight);
   h.mix_double(o.size_weight);
   h.mix_double(o.infeasible_weight_factor);

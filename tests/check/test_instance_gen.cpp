@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/instance_gen.h"
+
+namespace picola {
+namespace {
+
+TEST(InstanceGen, DeterministicStream) {
+  check::InstanceGenerator a(42);
+  check::InstanceGenerator b(42);
+  for (int i = 0; i < 64; ++i) {
+    auto x = a.next();
+    auto y = b.next();
+    EXPECT_EQ(x.family, y.family) << "iteration " << i;
+    EXPECT_EQ(x.num_bits, y.num_bits) << "iteration " << i;
+    EXPECT_EQ(x.set.to_string(), y.set.to_string()) << "iteration " << i;
+  }
+}
+
+TEST(InstanceGen, SeedsDiverge) {
+  check::InstanceGenerator a(1);
+  check::InstanceGenerator b(2);
+  bool differ = false;
+  for (int i = 0; i < 16 && !differ; ++i)
+    differ = a.next().set.to_string() != b.next().set.to_string();
+  EXPECT_TRUE(differ);
+}
+
+TEST(InstanceGen, EveryInstanceIsWellFormed) {
+  check::GeneratorOptions opt;
+  check::InstanceGenerator gen(7, opt);
+  for (int i = 0; i < 400; ++i) {
+    auto inst = gen.next();
+    EXPECT_EQ(inst.set.validate(), "")
+        << inst.family << " instance " << i << ":\n" << inst.set.to_string();
+    EXPECT_GE(inst.set.size(), 1);
+    EXPECT_GE(inst.set.num_symbols, opt.min_symbols);
+    EXPECT_LE(inst.set.num_symbols, opt.max_symbols);
+    EXPECT_LE(inst.set.size(), opt.max_constraints);
+  }
+}
+
+TEST(InstanceGen, CyclesThroughAllFamilies) {
+  check::InstanceGenerator gen(3);
+  std::set<std::string> families;
+  for (int i = 0; i < 8; ++i) families.insert(gen.next().family);
+  EXPECT_EQ(families,
+            (std::set<std::string>{"random", "nested", "packing", "overlap"}));
+}
+
+TEST(InstanceGen, RespectsSymbolBounds) {
+  check::GeneratorOptions opt;
+  opt.min_symbols = 4;
+  opt.max_symbols = 8;
+  opt.max_extra_bits = 0;
+  check::InstanceGenerator gen(11, opt);
+  for (int i = 0; i < 100; ++i) {
+    auto inst = gen.next();
+    EXPECT_GE(inst.set.num_symbols, 4);
+    EXPECT_LE(inst.set.num_symbols, 8);
+    EXPECT_EQ(inst.num_bits, 0) << "no extra bits requested";
+  }
+}
+
+}  // namespace
+}  // namespace picola

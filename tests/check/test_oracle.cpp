@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/oracle.h"
+#include "constraints/dichotomy.h"
+#include "core/picola.h"
+
+namespace picola {
+namespace {
+
+TEST(Oracle, PinnedEnumerationCountsCandidates) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  check::OracleResult r = check::oracle_solve(cs, 2);
+  // Symbol 0 pinned to code 0: 3! placements of the rest.
+  EXPECT_EQ(r.candidates, 6);
+  EXPECT_EQ(r.satisfiable_mask, 1u);
+  EXPECT_EQ(r.max_satisfied, 1);
+}
+
+TEST(Oracle, FullCoverConstraintUnsatisfiable) {
+  // {0,1,2} among 4 symbols in B^2: the members' supercube is the whole
+  // space and symbol 3 always intrudes.
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1, 2});
+  check::OracleResult r = check::oracle_solve(cs, 2);
+  EXPECT_EQ(r.satisfiable_mask, 0u);
+  EXPECT_EQ(r.max_satisfied, 0);
+}
+
+TEST(Oracle, CornerDegreeLimitsSimultaneousPairs) {
+  // In B^2 symbol 0 has only two neighbours, so of the three pair
+  // constraints through 0 any two — but never all three — can hold.
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  cs.add({0, 2});
+  cs.add({0, 3});
+  check::OracleResult r = check::oracle_solve(cs, 2);
+  EXPECT_EQ(r.satisfiable_mask, 7u);
+  EXPECT_EQ(r.max_satisfied, 2);
+}
+
+TEST(Oracle, MinCubesOnSatisfiablePair) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  check::OracleOptions opt;
+  opt.min_cubes = true;
+  check::OracleResult r = check::oracle_solve(cs, 2, opt);
+  EXPECT_EQ(r.min_total_cubes, 1);
+}
+
+TEST(Oracle, RefusesOversizedSearchSpace) {
+  ConstraintSet cs;
+  cs.num_symbols = 20;
+  cs.add({0, 1});
+  EXPECT_THROW(check::oracle_solve(cs), std::invalid_argument);
+}
+
+TEST(Oracle, EncoderNeverBeatsOracleOnPaperFamilies) {
+  // picola is a heuristic: on every small instance its satisfied count
+  // is bounded by the oracle optimum and everything it satisfies is
+  // individually satisfiable.
+  ConstraintSet cs;
+  cs.num_symbols = 7;
+  cs.add({0, 1, 2});
+  cs.add({2, 3});
+  cs.add({4, 5, 6});
+  check::OracleResult oracle = check::oracle_solve(cs);
+  PicolaResult r = picola_encode(cs);
+  int satisfied = 0;
+  for (int k = 0; k < cs.size(); ++k)
+    if (constraint_satisfied(cs.constraints[static_cast<size_t>(k)],
+                             r.encoding)) {
+      ++satisfied;
+      EXPECT_TRUE(oracle.satisfiable_mask >> k & 1) << "constraint " << k;
+    }
+  EXPECT_LE(satisfied, oracle.max_satisfied);
+}
+
+TEST(SatisfiableWithPrefix, NoFixedColumnsMatchesOracle) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1, 2});
+  cs.add({0, 1});
+  check::OracleResult oracle = check::oracle_solve(cs, 2);
+  std::vector<uint32_t> prefixes(4, 0);
+  for (int k = 0; k < cs.size(); ++k)
+    EXPECT_EQ(check::satisfiable_with_prefix(
+                  cs.constraints[static_cast<size_t>(k)], 4, 2, prefixes, 0),
+              (oracle.satisfiable_mask >> k & 1) != 0)
+        << "constraint " << k;
+}
+
+TEST(SatisfiableWithPrefix, PrefixDecidesPairInB2) {
+  FaceConstraint c;
+  c.members = {0, 1};
+  // Members share column 0 with the outsider: the only care column a
+  // dim-1 face could use cannot exclude symbol 2.
+  EXPECT_FALSE(check::satisfiable_with_prefix(c, 3, 2, {0, 0, 0}, 1));
+  // Outsider differs in column 0: the face pins column 0 and is clean.
+  EXPECT_TRUE(check::satisfiable_with_prefix(c, 3, 2, {0, 0, 1}, 1));
+}
+
+TEST(SatisfiableWithPrefix, MembersForcedApartAreStillPlaceable) {
+  FaceConstraint c;
+  c.members = {0, 1};
+  // Members already differ in column 0, so column 0 is free; a dim-1
+  // face along column 0 works when the outsiders can sit outside it.
+  EXPECT_TRUE(check::satisfiable_with_prefix(c, 3, 2, {0, 1, 0}, 1));
+  // With 4 symbols every cell of B^2 is used: the face {col1 = v}
+  // contains exactly the two members iff both outsiders take col1 = 1-v,
+  // which their two distinct codes allow.
+  EXPECT_TRUE(check::satisfiable_with_prefix(c, 4, 2, {0, 1, 0, 1}, 1));
+}
+
+}  // namespace
+}  // namespace picola

@@ -1,0 +1,74 @@
+// The self_check option across the concurrent service: parallel restart
+// fan-out with the verifier on must restart-for-restart reproduce the
+// sequential picola_encode_best result, and the option participates in
+// job canonicalisation.
+
+#include <gtest/gtest.h>
+
+#include "service/job.h"
+#include "service/service.h"
+
+namespace picola {
+namespace {
+
+ConstraintSet paper_constraints() {
+  ConstraintSet cs;
+  cs.num_symbols = 15;
+  cs.add({1, 5, 7, 13});
+  cs.add({0, 1});
+  cs.add({8, 13});
+  cs.add({5, 6, 7, 8, 13});
+  return cs;
+}
+
+TEST(ServiceSelfCheck, ParallelRestartsBitIdenticalToSequential) {
+  ConstraintSet cs = paper_constraints();
+  PicolaOptions opt;
+  opt.self_check = true;
+  const int restarts = 8;
+  PicolaResult sequential = picola_encode_best(cs, restarts, opt);
+
+  ServiceOptions so;
+  so.num_threads = 4;
+  EncodingService service(so);
+  Job job;
+  job.set = cs;
+  job.options = opt;
+  job.restarts = restarts;
+  JobResult r = service.submit(std::move(job)).get();
+  EXPECT_EQ(r.picola.encoding.codes, sequential.encoding.codes);
+}
+
+TEST(ServiceSelfCheck, OptionChangesFingerprint) {
+  Job plain;
+  plain.set = paper_constraints();
+  Job checked = plain;
+  checked.options.self_check = true;
+  EXPECT_NE(canonicalize(plain).fingerprint,
+            canonicalize(checked).fingerprint);
+  EXPECT_FALSE(canonicalize(plain).equivalent(canonicalize(checked)));
+}
+
+TEST(ServiceSelfCheck, BatchOfGeneratedJobsSurvivesVerifier) {
+  // A handful of differently-shaped jobs with self_check on: none may
+  // trip the verifier, across threads.
+  ServiceOptions so;
+  so.num_threads = 4;
+  EncodingService service(so);
+  std::vector<Job> jobs;
+  for (int n = 4; n <= 12; ++n) {
+    Job job;
+    job.set.num_symbols = n;
+    job.set.add({0, 1});
+    job.set.add({1, 2, 3});
+    if (n >= 6) job.set.add({n - 2, n - 1});
+    job.options.self_check = true;
+    job.restarts = 3;
+    jobs.push_back(std::move(job));
+  }
+  auto futures = service.submit_batch(std::move(jobs));
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+}  // namespace
+}  // namespace picola

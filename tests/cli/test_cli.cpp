@@ -150,5 +150,42 @@ TEST_F(CliTest, ErrorsAreGraceful) {
   EXPECT_NE(run({"info", junk}), 0);
 }
 
+TEST_F(CliTest, EncodeReportsBadBitsInsteadOfCrashing) {
+  // Regression: --bits beyond 31 used to truncate codes silently, and a
+  // too-short length tripped an assert.  Both must exit with a message.
+  std::string in = temp_path("badbits.con");
+  write(in, kCon);
+  EXPECT_EQ(run({"encode", in, "--bits", "2"}), 1);
+  EXPECT_NE(err_.str().find("too small"), std::string::npos) << err_.str();
+  EXPECT_EQ(run({"encode", in, "--bits", "40"}), 1);
+  EXPECT_NE(err_.str().find("31"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, EncodeRejectsMalformedConstraintLines) {
+  std::string in = temp_path("dup.con");
+  write(in, ".n 4\n0 1 0\n.e\n");
+  EXPECT_NE(run({"encode", in}), 0);
+  EXPECT_NE(err_.str().find("duplicate member"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, EncodeSelfCheckFlag) {
+  std::string in = temp_path("selfcheck.con");
+  write(in, kCon);
+  EXPECT_EQ(run({"encode", in, "--self-check", "--quiet"}), 0);
+  EXPECT_NE(out_.str().find("satisfied 3/4"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, BatchSelfCheckFlag) {
+  std::string in = temp_path("batch_sc.con");
+  write(in, kCon);
+  std::string list = temp_path("batch_sc.list");
+  write(list, in + "\n");
+  EXPECT_EQ(run({"batch", list, "--self-check", "--restarts", "2"}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("1/1 files"), std::string::npos) << out_.str();
+}
+
 }  // namespace
 }  // namespace picola

@@ -60,10 +60,36 @@ TEST(ConstraintIo, Errors) {
   EXPECT_FALSE(parse_constraints("").ok());                   // empty
 }
 
-TEST(ConstraintIo, SingletonConstraintsAreDropped) {
+TEST(ConstraintIo, SingletonConstraintsAreRejected) {
+  // A one-symbol group imposes nothing; instead of silently dropping it
+  // (pre-validation behaviour) the parser now reports the line.
   ConstraintParseResult r = parse_constraints(".n 4\n2\n0 1\n.e\n");
-  ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.set.size(), 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("at least 2"), std::string::npos) << r.error;
+}
+
+TEST(ConstraintIo, DuplicateMembersAreRejected) {
+  ConstraintParseResult r = parse_constraints(".n 4\n0 1 0\n.e\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("duplicate member"), std::string::npos) << r.error;
+}
+
+TEST(ConstraintIo, NonPositiveOrNonFiniteWeightsAreRejected) {
+  EXPECT_FALSE(parse_constraints(".n 4\n0 1 * 0\n.e\n").ok());
+  EXPECT_FALSE(parse_constraints(".n 4\n0 1 * -2.5\n.e\n").ok());
+  EXPECT_FALSE(parse_constraints(".n 4\n0 1 * inf\n.e\n").ok());
+  EXPECT_FALSE(parse_constraints(".n 4\n0 1 * nan\n.e\n").ok());
+  EXPECT_TRUE(parse_constraints(".n 4\n0 1 * 0.25\n.e\n").ok());
+}
+
+TEST(ConstraintIo, ParsedSetsAlwaysValidate) {
+  ConstraintParseResult r =
+      parse_constraints(".n 6\n0 1\n1 0\n2 3 4 * 2\n.e\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.set.validate(), "");
+  // The repeated {0,1} group canonicalised into one constraint.
+  EXPECT_EQ(r.set.size(), 2);
+  EXPECT_DOUBLE_EQ(r.set.constraints[0].weight, 2.0);
 }
 
 }  // namespace

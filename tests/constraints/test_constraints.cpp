@@ -93,5 +93,74 @@ TEST(Encoding, MinBits) {
   EXPECT_EQ(Encoding::min_bits(17), 5);
 }
 
+TEST(Encoding, MinBitsLargeCountsDoNotOverflowTheShift) {
+  // Regression (UBSan): the loop compared 1 << bits in int arithmetic,
+  // UB once bits reached 31 (any count above 2^30).
+  EXPECT_EQ(Encoding::min_bits(1 << 30), 30);
+  EXPECT_EQ(Encoding::min_bits((1 << 30) + 1), 31);
+  EXPECT_EQ(Encoding::min_bits(0x7FFFFFFF), 31);
+}
+
+TEST(Encoding, ValidateRejectsTooShortCodeLength) {
+  // Regression: the codes-fit check shifted in int arithmetic; the
+  // too-short case must be reported, not wrapped around.
+  Encoding e;
+  e.num_symbols = 5;
+  e.num_bits = 2;
+  e.codes = {0, 1, 2, 3, 3};
+  EXPECT_NE(e.validate(), "");
+}
+
+TEST(ConstraintSetValidate, AcceptsCanonicalSets) {
+  ConstraintSet cs;
+  cs.num_symbols = 6;
+  cs.add({0, 1});
+  cs.add({2, 3, 4}, 2.5);
+  EXPECT_EQ(cs.validate(), "");
+}
+
+TEST(ConstraintSetValidate, RejectsDirectlyAssembledBadSets) {
+  auto with = [](int n, FaceConstraint c) {
+    ConstraintSet cs;
+    cs.num_symbols = n;
+    cs.constraints.push_back(std::move(c));
+    return cs;
+  };
+  FaceConstraint c;
+  c.members = {0, 4};
+  EXPECT_NE(with(4, c).validate().find("out of range"), std::string::npos);
+  c.members = {1, 0};
+  EXPECT_NE(with(4, c).validate().find("not sorted"), std::string::npos);
+  c.members = {0, 0, 1};
+  EXPECT_NE(with(4, c).validate().find("not sorted"), std::string::npos);
+  c.members = {2};
+  EXPECT_NE(with(4, c).validate().find("fewer than 2"), std::string::npos);
+  c.members = {0, 1, 2, 3};
+  EXPECT_NE(with(4, c).validate().find("covers every"), std::string::npos);
+  c.members = {0, 1};
+  c.weight = 0;
+  EXPECT_NE(with(4, c).validate().find("weight"), std::string::npos);
+  c.weight = -1;
+  EXPECT_NE(with(4, c).validate().find("weight"), std::string::npos);
+}
+
+TEST(ConstraintSetValidate, RejectsDuplicateMemberLists) {
+  ConstraintSet cs;
+  cs.num_symbols = 5;
+  FaceConstraint a;
+  a.members = {0, 1};
+  cs.constraints.push_back(a);
+  cs.constraints.push_back(a);
+  EXPECT_NE(cs.validate().find("duplicate of constraint 0"),
+            std::string::npos);
+  // add() merges instead, so built-through-add sets always validate.
+  ConstraintSet via_add;
+  via_add.num_symbols = 5;
+  via_add.add({0, 1});
+  via_add.add({1, 0}, 3.0);
+  EXPECT_EQ(via_add.validate(), "");
+  EXPECT_EQ(via_add.size(), 1);
+}
+
 }  // namespace
 }  // namespace picola

@@ -15,6 +15,27 @@ TEST(CeilLog2, Values) {
   EXPECT_EQ(ceil_log2(9), 4);
 }
 
+TEST(CeilLog2, LargeValuesDoNotOverflowTheShift) {
+  // Regression (UBSan): with an int accumulator 1 << 31 is UB, reached
+  // for any n > 2^30.
+  EXPECT_EQ(ceil_log2(1 << 30), 30);
+  EXPECT_EQ(ceil_log2((1 << 30) + 1), 31);
+  EXPECT_EQ(ceil_log2(0x7FFFFFFF), 31);
+}
+
+TEST(NvCompatible, AdversarialDimensionsReturnFalseWithoutOverflow) {
+  // Regression (UBSan): adjust_father used to raise the father dimension
+  // past 62 on pathological (size, dim) pairs, hitting 1L << 63.  Out-of-
+  // range dimensions are incompatible by definition and must exit early.
+  EXPECT_FALSE(nv_compatible(2, 100, 2, 1, 1, 4, 16));
+  EXPECT_FALSE(nv_compatible(2, 1, 2, 100, 1, 4, 16));
+  // A father far too populous for any cube up to nv: the Conditions II
+  // growth loop must stop at nv + 1 instead of chasing dc parity.
+  EXPECT_FALSE(nv_compatible(1 << 20, 1, 2, 1, 2, 4, 16));
+  // Son alone larger than the space.
+  EXPECT_FALSE(nv_compatible(1 << 20, 20, 1 << 20, 20, 1 << 20, 4, 16));
+}
+
 TEST(NvCompatible, DimensionTheoremRejectsOversizedUnion) {
   // |A| = 4 (dim 2), |B| = 4 (dim 2), disjoint son of size 2 (dim 1):
   // dim(super(A,B)) = 2 + 2 - 1 = 3 <= 3 -> compatible in B^3.

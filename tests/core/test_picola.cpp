@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 
+#include "check/verifier.h"
 #include "constraints/dichotomy.h"
 #include "core/picola.h"
 #include "eval/constraint_eval.h"
@@ -169,6 +171,123 @@ TEST_P(PicolaRandomSets, AlwaysValidAndNoWorseThanUnguided) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PicolaRandomSets, ::testing::Range(100u, 140u));
+
+TEST(PicolaValidation, RejectsTooShortCodeLength) {
+  // Regression: 15 symbols do not fit in 2 bits; this used to trip an
+  // assert (or silently truncate in release builds).
+  ConstraintSet cs = paper_constraints();
+  PicolaOptions opt;
+  opt.num_bits = 2;
+  EXPECT_THROW(picola_encode(cs, opt), std::invalid_argument);
+}
+
+TEST(PicolaValidation, RejectsCodeLengthsBeyond32BitCodes) {
+  // Regression: codes accumulate in uint32_t, so num_bits > 31 used to
+  // shift bits off the end and emit truncated (colliding) codes.
+  ConstraintSet cs = paper_constraints();
+  for (int bits : {32, 40, 64}) {
+    PicolaOptions opt;
+    opt.num_bits = bits;
+    EXPECT_THROW(picola_encode(cs, opt), std::invalid_argument) << bits;
+  }
+}
+
+TEST(PicolaValidation, ThirtyOneBitsIsTheLegalBoundary) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  cs.add({0, 1});
+  PicolaOptions opt;
+  opt.num_bits = 31;
+  PicolaResult r = picola_encode(cs, opt);
+  EXPECT_EQ(r.encoding.num_bits, 31);
+  EXPECT_EQ(r.encoding.validate(), "");
+}
+
+TEST(PicolaValidation, RejectsMalformedConstraintSets) {
+  ConstraintSet cs;
+  cs.num_symbols = 4;
+  FaceConstraint c;
+  c.members = {0, 0};  // duplicate member, bypassing add()
+  cs.constraints.push_back(c);
+  EXPECT_THROW(picola_encode(cs), std::invalid_argument);
+  ConstraintSet tiny;
+  tiny.num_symbols = 1;
+  EXPECT_THROW(picola_encode(tiny), std::invalid_argument);
+}
+
+TEST(PicolaSolveColumn, RescuePathFlipsWithoutPositiveGain) {
+  // 6 symbols in B^3, no constraints: every flip has gain 0, yet the
+  // all-ones start leaves one prefix group with 6 > cap = 4 symbols, so
+  // Solve() must take zero-gain flips until the column is valid.
+  ConstraintSet cs;
+  cs.num_symbols = 6;
+  ConstraintMatrix m(cs, 3);
+  std::vector<uint32_t> prefixes(6, 0);
+  PicolaOptions opt;
+  std::vector<int> bits = detail::solve_column(m, prefixes, 0, opt);
+  int zeros = 0;
+  for (int b : bits) zeros += b == 0;
+  EXPECT_EQ(zeros, 2) << "exactly enough rescue flips, no more";
+}
+
+TEST(PicolaSolveColumn, RescueRestrictsFlipsToOversizedGroups) {
+  // Column 1 of B^3 (cap = 2): symbols 0-1 share prefix 1 (fits), 2-5
+  // share prefix 0 (four on the 1-side, oversized).  With no constraints
+  // every flip ties at gain 0, and the deterministic tie-break prefers
+  // the lowest index — so without the oversized-group filter the rescue
+  // would uselessly flip symbols 0 and 1 first.  It must go straight to
+  // the oversized group and leave the small one alone.
+  ConstraintSet cs;
+  cs.num_symbols = 6;
+  ConstraintMatrix m(cs, 3);
+  m.record_column({1, 1, 0, 0, 0, 0});
+  std::vector<uint32_t> prefixes = {1, 1, 0, 0, 0, 0};
+  PicolaOptions opt;
+  std::vector<int> bits = detail::solve_column(m, prefixes, 1, opt);
+  EXPECT_EQ(bits[0], 1) << "small group must not be touched";
+  EXPECT_EQ(bits[1], 1) << "small group must not be touched";
+  long group0_zeros = 0;
+  for (int j = 2; j < 6; ++j)
+    group0_zeros += bits[static_cast<size_t>(j)] == 0;
+  EXPECT_EQ(group0_zeros, 2) << "exactly enough rescue flips";
+  check::VerifyReport rep = check::verify_column(bits, prefixes, 1, 3);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+TEST(PicolaDeterminism, RandomTieBreakingIsReproducible) {
+  ConstraintSet cs = paper_constraints();
+  PicolaOptions opt;
+  opt.tie_break_seed = 42;
+  Encoding a = picola_encode(cs, opt).encoding;
+  Encoding b = picola_encode(cs, opt).encoding;
+  EXPECT_EQ(a.codes, b.codes);
+  PicolaOptions other;
+  other.tie_break_seed = 43;
+  // Different seeds are allowed to differ (not asserted), but must stay
+  // valid and self-check clean.
+  other.self_check = true;
+  EXPECT_EQ(picola_encode(cs, other).encoding.validate(), "");
+}
+
+TEST(PicolaStatsEvents, InfeasibleEventsMatchPerColumnCounts) {
+  // 8 symbols in B^3 with two size-4 constraints that cannot both hold:
+  // at least one infeasibility event must be recorded, and the events
+  // must tally with infeasible_per_column.
+  ConstraintSet cs;
+  cs.num_symbols = 8;
+  cs.add({0, 1, 2, 3});
+  cs.add({2, 3, 4, 5});
+  PicolaResult r = picola_encode(cs);
+  size_t total = 0;
+  for (int c : r.stats.infeasible_per_column)
+    total += static_cast<size_t>(c);
+  EXPECT_EQ(r.stats.infeasible_events.size(), total);
+  for (auto [col, row] : r.stats.infeasible_events) {
+    EXPECT_GE(col, 0);
+    EXPECT_LT(col, r.encoding.num_bits);
+    EXPECT_GE(row, 0);
+  }
+}
 
 }  // namespace
 }  // namespace picola
