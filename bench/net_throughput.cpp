@@ -1,0 +1,218 @@
+// TCP serving throughput and latency of the src/net server.
+//
+// A loopback server (ephemeral port) is driven by 1, 8 and 64 concurrent
+// client connections, each running a closed request loop over a pool of
+// deterministic generated instances.  Two passes per connection count:
+// cold (fresh server, every job computed) and replay (same instances
+// again — answered by the result cache).  A final overload pass pins
+// max_inflight low and fires pipelined requests at roughly twice the
+// sustainable rate to measure the shed fraction.  Results print as a
+// table and land in BENCH_net.json: req/sec and client-observed p50/p95/
+// p99 latency per configuration, shed-rate for the overload pass.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/instance_gen.h"
+#include "constraints/constraint_io.h"
+#include "eval/metrics.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+
+using namespace picola;
+using namespace picola::net;
+
+namespace {
+
+constexpr int kInstances = 24;       ///< distinct problems in the pool
+constexpr int kRequestsPerConn = 30; ///< closed-loop requests per client
+constexpr int kRestarts = 2;
+
+std::vector<std::string> make_instance_pool() {
+  check::GeneratorOptions g;
+  g.min_symbols = 10;
+  g.max_symbols = 18;
+  g.max_constraints = 6;
+  check::InstanceGenerator gen(42, g);
+  std::vector<std::string> pool;
+  for (int i = 0; i < kInstances; ++i)
+    pool.push_back(write_constraints(gen.next().set));
+  return pool;
+}
+
+struct PassResult {
+  double elapsed_ms = 0;
+  long ok = 0;
+  long errors = 0;
+  long sheds = 0;
+  std::vector<double> latencies_ms;  // per completed request
+
+  double req_per_sec() const {
+    return elapsed_ms > 0 ? 1000.0 * static_cast<double>(ok + errors) /
+                                elapsed_ms
+                          : 0;
+  }
+  double percentile(double p) const {
+    if (latencies_ms.empty()) return 0;
+    std::vector<double> v = latencies_ms;
+    std::sort(v.begin(), v.end());
+    size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+    return v[idx];
+  }
+};
+
+/// One closed-loop pass: `conns` clients, each sending kRequestsPerConn
+/// requests drawn round-robin from the pool, waiting for each answer.
+PassResult run_pass(uint16_t port, const std::vector<std::string>& pool,
+                    int conns) {
+  PassResult total;
+  std::vector<PassResult> per_thread(static_cast<size_t>(conns));
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t] {
+      PassResult& mine = per_thread[static_cast<size_t>(t)];
+      Client client;
+      if (!client.connect("127.0.0.1", port)) return;
+      for (int i = 0; i < kRequestsPerConn; ++i) {
+        const std::string& con =
+            pool[static_cast<size_t>(t * kRequestsPerConn + i) % pool.size()];
+        JsonValue req = JsonValue::make_object();
+        req.set("con", JsonValue::make_string(con));
+        req.set("restarts", JsonValue::make_int(kRestarts));
+        Stopwatch rt;
+        auto resp = client.call(req);
+        if (!resp) return;  // connection died; drop the rest
+        mine.latencies_ms.push_back(rt.elapsed_ms());
+        if (resp->find("ok")) {
+          ++mine.ok;
+        } else {
+          ++mine.errors;
+          const JsonValue* e = resp->find("error");
+          if (e && e->is_string() && e->as_string() == "overloaded")
+            ++mine.sheds;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  total.elapsed_ms = sw.elapsed_ms();
+  for (const PassResult& r : per_thread) {
+    total.ok += r.ok;
+    total.errors += r.errors;
+    total.sheds += r.sheds;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  return total;
+}
+
+/// Overload pass: one connection pipelines `burst` requests at once
+/// against a max_inflight-1 server, measuring the shed fraction at ~2x
+/// saturation.
+PassResult run_overload_pass(uint16_t port,
+                             const std::vector<std::string>& pool) {
+  PassResult r;
+  Client client;
+  if (!client.connect("127.0.0.1", port)) return r;
+  const int burst = 2 * static_cast<int>(pool.size());
+  Stopwatch sw;
+  for (int i = 0; i < burst; ++i) {
+    JsonValue req = JsonValue::make_object();
+    req.set("con", JsonValue::make_string(pool[static_cast<size_t>(i) %
+                                               pool.size()]));
+    req.set("restarts", JsonValue::make_int(kRestarts));
+    if (!client.send(req.dump())) return r;
+  }
+  for (int i = 0; i < burst; ++i) {
+    auto payload = client.recv();
+    if (!payload) break;
+    auto resp = JsonValue::parse(*payload);
+    if (!resp) break;
+    if (resp->find("ok")) {
+      ++r.ok;
+    } else {
+      ++r.errors;
+      const JsonValue* e = resp->find("error");
+      if (e && e->is_string() && e->as_string() == "overloaded") ++r.sheds;
+    }
+  }
+  r.elapsed_ms = sw.elapsed_ms();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> pool = make_instance_pool();
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("# net_throughput: %d instances, %d restarts/job, %d worker "
+              "threads\n",
+              kInstances, kRestarts, hw > 0 ? hw : 1);
+  std::printf("%-8s %-8s %10s %10s %10s %10s %8s\n", "conns", "pass",
+              "req/s", "p50_ms", "p95_ms", "p99_ms", "sheds");
+
+  std::string json = "{\"passes\":[";
+  for (int conns : {1, 8, 64}) {
+    ServerOptions o;
+    o.max_inflight = 256;
+    o.service.cache_capacity = 4096;
+    Server server(o);
+    server.start();
+    for (const char* pass : {"cold", "replay"}) {
+      PassResult r = run_pass(server.port(), pool, conns);
+      std::printf("%-8d %-8s %10.1f %10.3f %10.3f %10.3f %8ld\n", conns,
+                  pass, r.req_per_sec(), r.percentile(0.50),
+                  r.percentile(0.95), r.percentile(0.99), r.sheds);
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "{\"conns\":%d,\"pass\":\"%s\",\"req_per_sec\":%.1f,"
+                    "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,"
+                    "\"ok\":%ld,\"errors\":%ld,\"sheds\":%ld},",
+                    conns, pass, r.req_per_sec(), r.percentile(0.50),
+                    r.percentile(0.95), r.percentile(0.99), r.ok, r.errors,
+                    r.sheds);
+      json += buf;
+    }
+    server.stop();
+  }
+
+  // Overload: max_inflight=1, a burst of 2x the pool pipelined at once.
+  {
+    ServerOptions o;
+    o.max_inflight = 1;
+    o.service.num_threads = 1;
+    Server server(o);
+    server.start();
+    PassResult r = run_overload_pass(server.port(), pool);
+    double shed_rate = (r.ok + r.errors) > 0
+                           ? static_cast<double>(r.sheds) /
+                                 static_cast<double>(r.ok + r.errors)
+                           : 0;
+    std::printf("%-8d %-8s %10.1f %10s %10s %10s %8ld  (shed rate %.2f)\n",
+                1, "overload", r.req_per_sec(), "-", "-", "-", r.sheds,
+                shed_rate);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"conns\":1,\"pass\":\"overload\",\"req_per_sec\":%.1f,"
+                  "\"ok\":%ld,\"errors\":%ld,\"sheds\":%ld,"
+                  "\"shed_rate\":%.4f}",
+                  r.req_per_sec(), r.ok, r.errors, r.sheds, shed_rate);
+    json += buf;
+  }
+  json += "]}";
+
+  std::FILE* f = std::fopen("BENCH_net.json", "w");
+  if (f) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("# wrote BENCH_net.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+// Shared encoding-problem ingestion: turn a `.con` / `.kiss2` file (or
+// in-memory text) into a ConstraintSet plus symbol names.  Factored out
+// of the CLI driver so every request front-end — `picola encode/batch`,
+// the stdin `serve` loop, and the TCP server (src/net) — resolves
+// requests through one code path and stays byte-identical.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/face_constraint.h"
+
+namespace picola {
+
+enum class FileKind { kKiss, kPla, kCon, kUnknown };
+
+/// Guess the format of a problem file from its directives / row shape.
+FileKind sniff_file_kind(const std::string& text);
+
+/// One loaded encoding problem.
+struct Problem {
+  ConstraintSet set;
+  std::vector<std::string> names;  ///< symbol names; empty = anonymous
+};
+
+/// Parse in-memory problem text (`.con` constraint list or `.kiss2` FSM,
+/// auto-detected; an FSM is reduced to its face constraints).  On failure
+/// returns nullopt and fills `*error`.
+std::optional<Problem> parse_problem_text(const std::string& text,
+                                          std::string* error);
+
+/// Read and parse a problem file.  On failure returns nullopt and fills
+/// `*error` with a "<path>: <reason>" diagnostic.
+std::optional<Problem> load_problem_file(const std::string& path,
+                                         std::string* error);
+
+}  // namespace picola

@@ -1,13 +1,16 @@
 #include "cli/cli.h"
 
+#include <csignal>
 #include <fstream>
 
 #include "base/parse_util.h"
+#include <atomic>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 
+#include "base/problem_io.h"
 #include "constraints/constraint_io.h"
 #include "constraints/derive.h"
 #include "constraints/dichotomy.h"
@@ -25,6 +28,8 @@
 #include "kiss/kiss_io.h"
 #include "obs/obs.h"
 #include "pla/pla_io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/service.h"
 #include "stateassign/blif.h"
 #include "stateassign/state_assign.h"
@@ -43,8 +48,8 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                      std::ostream& err) {
   ParsedArgs p;
   if (args.empty()) {
-    err << "usage: picola <encode|encode-input|batch|serve|assign|minimize"
-           "|info> [file] [options]\n";
+    err << "usage: picola <encode|encode-input|batch|serve|client|assign"
+           "|minimize|info> [file] [options]\n";
     return std::nullopt;
   }
   p.command = args[0];
@@ -55,7 +60,10 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
       static const char* kValued[] = {"--algorithm", "--bits", "--seed",
                                       "--output", "--steps", "--var",
                                       "--blif", "--jobs", "--restarts",
-                                      "--cache", "--trace"};
+                                      "--cache", "--trace",
+                                      "--tcp", "--bind", "--max-inflight",
+                                      "--idle-timeout-ms", "--max-frame-bytes",
+                                      "--retry-after-ms", "--deadline-ms"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -157,60 +165,12 @@ class ObsSession {
   std::string trace_path_;
 };
 
-enum class FileKind { kKiss, kPla, kCon, kUnknown };
-
-FileKind sniff(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  while (std::getline(is, line)) {
-    std::istringstream ls(line);
-    std::string head;
-    if (!(ls >> head)) continue;
-    if (head == ".n" || head == ".names") return FileKind::kCon;
-    if (head == ".s" || head == ".r") return FileKind::kKiss;
-    if (head == ".type" || head == ".ilb" || head == ".ob")
-      return FileKind::kPla;
-    if (head[0] != '.' && head[0] != '#') {
-      // A data row: KISS2 rows have 4 fields, PLA rows 1-2.
-      std::string rest;
-      int fields = 1;
-      while (ls >> rest) ++fields;
-      return fields == 4 ? FileKind::kKiss : FileKind::kPla;
-    }
-  }
-  return FileKind::kUnknown;
-}
-
-struct Problem {
-  ConstraintSet set;
-  std::vector<std::string> names;
-};
-
-std::optional<Problem> load_problem(const std::string& path, std::ostream& err) {
-  auto text = read_file(path, err);
-  if (!text) return std::nullopt;
-  FileKind kind = sniff(*text);
-  Problem p;
-  if (kind == FileKind::kCon) {
-    ConstraintParseResult r = parse_constraints(*text);
-    if (!r.ok()) {
-      err << path << ": " << r.error << "\n";
-      return std::nullopt;
-    }
-    p.set = r.set;
-    p.names = r.symbol_names;
-  } else if (kind == FileKind::kKiss) {
-    KissParseResult r = parse_kiss(*text);
-    if (!r.ok()) {
-      err << path << ": " << r.error << "\n";
-      return std::nullopt;
-    }
-    p.set = derive_face_constraints(r.fsm).set;
-    p.names = r.fsm.state_names;
-  } else {
-    err << path << ": cannot determine file type (.con or .kiss2 expected)\n";
-    return std::nullopt;
-  }
+/// base/problem_io with this file's ostream error convention.
+std::optional<Problem> load_problem(const std::string& path,
+                                    std::ostream& err) {
+  std::string error;
+  auto p = load_problem_file(path, &error);
+  if (!p) err << error << "\n";
   return p;
 }
 
@@ -712,6 +672,228 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   return any_error ? 1 : 0;
 }
 
+/// The server whose drain SIGTERM/SIGINT should trigger (TCP serve only).
+std::atomic<net::Server*> g_signal_server{nullptr};
+
+extern "C" void picola_serve_signal_handler(int) {
+  net::Server* s = g_signal_server.load(std::memory_order_relaxed);
+  if (s) s->request_shutdown();  // async-signal-safe by contract
+}
+
+std::optional<int> parse_int_option(const ParsedArgs& a, const char* key,
+                                    long min, long max, std::ostream& err) {
+  auto v = parse_int(a.options.at(key));
+  if (!v || *v < min || *v > max) {
+    err << "bad " << key << " value\n";
+    return std::nullopt;
+  }
+  return static_cast<int>(*v);
+}
+
+int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
+                  std::ostream& out, std::ostream& err) {
+  net::ServerOptions o;
+  o.service = sa.service;
+  o.default_restarts = sa.restarts;
+  o.default_bits = sa.bits;
+  o.self_check = sa.self_check;
+  {
+    auto v = parse_int_option(a, "--tcp", 0, 65535, err);
+    if (!v) return 2;
+    o.port = static_cast<uint16_t>(*v);
+  }
+  if (a.options.count("--bind")) o.bind_address = a.options.at("--bind");
+  if (a.options.count("--max-inflight")) {
+    auto v = parse_int_option(a, "--max-inflight", 1, 1 << 20, err);
+    if (!v) return 2;
+    o.max_inflight = *v;
+  }
+  if (a.options.count("--idle-timeout-ms")) {
+    auto v = parse_int_option(a, "--idle-timeout-ms", 0, 86'400'000, err);
+    if (!v) return 2;
+    o.idle_timeout_ms = *v;
+  }
+  if (a.options.count("--max-frame-bytes")) {
+    auto v = parse_int_option(a, "--max-frame-bytes", 64,
+                              static_cast<long>(net::kFrameAbsoluteMax), err);
+    if (!v) return 2;
+    o.max_frame_bytes = static_cast<size_t>(*v);
+  }
+  if (a.options.count("--retry-after-ms")) {
+    auto v = parse_int_option(a, "--retry-after-ms", 0, 60'000, err);
+    if (!v) return 2;
+    o.retry_after_ms = *v;
+  }
+  o.use_poll = a.options.count("--poll") != 0;
+  o.allow_paths = a.options.count("--no-paths") == 0;
+
+  ObsSession obs_session(a);
+  std::unique_ptr<net::Server> server;
+  try {
+    server = std::make_unique<net::Server>(o);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+
+  // Graceful drain on SIGTERM/SIGINT; previous dispositions restored so
+  // in-process callers (tests) leave no trace.
+  g_signal_server.store(server.get(), std::memory_order_relaxed);
+  struct sigaction sa_new {}, sa_old_term {}, sa_old_int {};
+  sa_new.sa_handler = picola_serve_signal_handler;
+  sigemptyset(&sa_new.sa_mask);
+  sigaction(SIGTERM, &sa_new, &sa_old_term);
+  sigaction(SIGINT, &sa_new, &sa_old_int);
+
+  out << "listening " << o.bind_address << ":" << server->port() << "\n";
+  out.flush();
+  server->run();
+
+  sigaction(SIGTERM, &sa_old_term, nullptr);
+  sigaction(SIGINT, &sa_old_int, nullptr);
+  g_signal_server.store(nullptr, std::memory_order_relaxed);
+
+  net::NetStats s = server->stats();
+  out << "# net: accepted=" << s.connections_accepted << " frames_in="
+      << s.frames_in << " frames_out=" << s.frames_out << " ok="
+      << s.responses_ok << " errors=" << s.responses_error << " sheds="
+      << s.sheds << " deadline_misses=" << s.deadline_misses
+      << " idle_closed=" << s.idle_closed << "\n";
+  out << "# service: " << format_service_stats(server->service().stats())
+      << "\n";
+  if (obs_session.metrics_wanted()) {
+    std::istringstream is(server->metrics().report_text());
+    std::string line;
+    out << "# metrics (net):\n";
+    while (std::getline(is, line)) out << "# " << line << "\n";
+    std::istringstream is2(server->service().metrics().report_text());
+    out << "# metrics (service):\n";
+    while (std::getline(is2, line)) out << "# " << line << "\n";
+  }
+  if (!obs_session.write_trace(err)) return 1;
+  return 0;
+}
+
+/// `picola client host:port` — interactive/scripted front-end to the TCP
+/// server.  Stdin lines mirror the stdin `serve` protocol: a path (plus
+/// optional `--restarts R`), or `stats` / `metrics` / `ping` /
+/// `shutdown` / `quit`.  Output for encode requests is byte-compatible
+/// with stdin serve's `ok <path> ...` lines.
+int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "client needs one host:port argument\n";
+    return 2;
+  }
+  const std::string& hp = a.positional[0];
+  size_t colon = hp.rfind(':');
+  if (colon == std::string::npos) {
+    err << "client needs host:port, got " << hp << "\n";
+    return 2;
+  }
+  auto port = parse_int(hp.substr(colon + 1));
+  if (!port || *port < 1 || *port > 65535) {
+    err << "bad port in " << hp << "\n";
+    return 2;
+  }
+  int deadline_ms = 0;
+  if (a.options.count("--deadline-ms")) {
+    auto v = parse_int_option(a, "--deadline-ms", 1, 86'400'000, err);
+    if (!v) return 2;
+    deadline_ms = *v;
+  }
+  const bool send_inline = a.options.count("--inline") != 0;
+
+  net::Client client;
+  std::string error;
+  if (!client.connect(hp.substr(0, colon), static_cast<uint16_t>(*port),
+                      &error)) {
+    err << error << "\n";
+    return 1;
+  }
+
+  int failures = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+
+    net::JsonValue req = net::JsonValue::make_object();
+    bool is_cmd = false;
+    std::string path;
+    if (line == "stats" || line == "metrics" || line == "ping" ||
+        line == "shutdown") {
+      req.set("cmd", net::JsonValue::make_string(line));
+      is_cmd = true;
+    } else {
+      std::istringstream ls(line);
+      std::string tok;
+      ls >> path;
+      int restarts = 0;
+      bool bad = false;
+      while (ls >> tok) {
+        if (tok == "--restarts" && (ls >> tok)) {
+          auto v = parse_int(tok);
+          if (v && *v >= 1) { restarts = static_cast<int>(*v); continue; }
+        }
+        bad = true;
+        break;
+      }
+      if (bad) {
+        out << "error " << path << ": bad request options\n";
+        ++failures;
+        continue;
+      }
+      if (send_inline) {
+        auto text = read_file(path, err);
+        if (!text) { ++failures; continue; }
+        req.set("con", net::JsonValue::make_string(*text));
+      } else {
+        req.set("path", net::JsonValue::make_string(path));
+      }
+      req.set("id", net::JsonValue::make_string(path));
+      if (restarts > 0)
+        req.set("restarts", net::JsonValue::make_int(restarts));
+      if (deadline_ms > 0)
+        req.set("deadline_ms", net::JsonValue::make_int(deadline_ms));
+    }
+
+    auto resp = client.call(req, &error);
+    if (!resp) {
+      err << error << "\n";
+      return 1;
+    }
+    if (is_cmd) {
+      out << resp->dump() << "\n";
+      out.flush();
+      if (line == "shutdown") break;
+      continue;
+    }
+    if (const net::JsonValue* e = resp->find("error")) {
+      const net::JsonValue* detail = resp->find("detail");
+      out << "error " << path << ": "
+          << (detail && detail->is_string() ? detail->as_string()
+                                            : e->as_string())
+          << "\n";
+      ++failures;
+    } else {
+      auto num = [&resp](const char* k) -> int64_t {
+        const net::JsonValue* v = resp->find(k);
+        return v && v->is_number() ? v->as_int() : 0;
+      };
+      const net::JsonValue* enc = resp->find("enc");
+      out << "ok " << path << " n=" << num("n") << " bits=" << num("bits")
+          << " cubes=" << num("cubes") << " satisfied=" << num("satisfied")
+          << "/" << num("constraints") << " enc="
+          << (enc && enc->is_string() ? enc->as_string() : "?")
+          << " cached=" << num("cached") << "\n";
+    }
+    out.flush();
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
               std::ostream& err) {
   if (!a.positional.empty()) {
@@ -720,6 +902,7 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
   }
   auto sa = parse_service_args(a, err);
   if (!sa) return 2;
+  if (a.options.count("--tcp")) return cmd_serve_tcp(a, *sa, out, err);
   ObsSession obs_session(a);
   EncodingService service(sa->service);
 
@@ -793,7 +976,7 @@ int cmd_info(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   }
   auto text = read_file(a.positional[0], err);
   if (!text) return 1;
-  switch (sniff(*text)) {
+  switch (sniff_file_kind(*text)) {
     case FileKind::kKiss: {
       KissParseResult r = parse_kiss(*text);
       if (!r.ok()) {
@@ -851,11 +1034,12 @@ int run(const std::vector<std::string>& args, std::istream& in,
     return cmd_encode_input(*parsed, out, err);
   if (parsed->command == "batch") return cmd_batch(*parsed, out, err);
   if (parsed->command == "serve") return cmd_serve(*parsed, in, out, err);
+  if (parsed->command == "client") return cmd_client(*parsed, in, out, err);
   if (parsed->command == "assign") return cmd_assign(*parsed, out, err);
   if (parsed->command == "minimize") return cmd_minimize(*parsed, out, err);
   if (parsed->command == "info") return cmd_info(*parsed, out, err);
   err << "unknown command " << parsed->command
-      << " (encode encode-input batch serve assign minimize info)\n";
+      << " (encode encode-input batch serve client assign minimize info)\n";
   return 2;
 }
 

@@ -207,6 +207,9 @@ PicolaResult picola_encode(const ConstraintSet& cs, const PicolaOptions& opt) {
 
   PICOLA_OBS_SPAN(span_encode, "picola/encode");
   for (int col = 0; col < nv; ++col) {
+    // Deadline/cancellation seam (encoders/restart.h): a fired token
+    // abandons the run at the next column boundary.
+    throw_if_cancelled(opt.cancel.get());
     PICOLA_OBS_SPAN(span_column, "picola/column");
     // Update_constraints(): classify, then attach/refresh guides.
     std::vector<int> infeasible;
@@ -305,6 +308,7 @@ PicolaResult picola_encode_best(const ConstraintSet& cs, int restarts,
   RestartWinner winner;
   winner.offer(evaluate_constraints(cs, best.encoding).total_cubes, 0);
   for (int r = 1; r < restarts; ++r) {
+    throw_if_cancelled(opt.cancel.get());
     PicolaResult cand = picola_encode(cs, picola_restart_options(opt, r));
     if (winner.offer(evaluate_constraints(cs, cand.encoding).total_cubes, r))
       best = std::move(cand);

@@ -9,12 +9,14 @@
 // while keeping the partial encoding valid (every group of symbols sharing
 // a code prefix still fits in the codes the remaining columns can provide).
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "constraints/constraint_matrix.h"
 #include "core/guide.h"
 #include "encoders/encoding.h"
+#include "encoders/restart.h"
 
 namespace picola {
 
@@ -56,6 +58,12 @@ struct PicolaOptions {
   /// check::SelfCheckError.  Off by default; when off the cost is a single
   /// branch per column.
   bool self_check = false;
+  /// Cooperative cancellation (encoders/restart.h): checked before every
+  /// Solve() column and before every restart of picola_encode_best; a
+  /// fired token aborts the run with CancelledError.  Never affects the
+  /// result of a run that completes, so it is excluded from the service
+  /// fingerprint and stripped by canonicalize() (service/job.h).
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// Diagnostics of one run.

@@ -9,8 +9,17 @@
 // thread pool; the winner is reduced with `RestartWinner` — lowest cost
 // first, lowest restart index on ties — which makes the parallel and
 // sequential executions pick bit-identical results.
+//
+// A plan can be abandoned early through a CancelToken: the network
+// server's per-request deadlines (src/net) cancel the token, every
+// restart — sequential (picola_encode_best) or fanned out (the service's
+// restart tasks) — observes it at the next column boundary and aborts
+// with CancelledError.  Cancellation is cooperative and monotone: once
+// cancelled, a token stays cancelled.
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 
 namespace picola {
 
@@ -30,5 +39,32 @@ struct RestartWinner {
   /// True when (cost, restart) beats the current winner; updates it.
   bool offer(long candidate_cost, int candidate_restart);
 };
+
+/// Cooperative cancellation flag shared by every restart of one plan.
+/// cancel() may be called from any thread (it is async-signal-safe);
+/// readers poll cancelled() at column boundaries.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Raised out of picola_encode / picola_encode_best when the plan's
+/// CancelToken fires mid-run.  A cancelled run produced no encoding; the
+/// service never caches it.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("encoding cancelled") {}
+};
+
+/// Throw CancelledError when `token` is set; no-op on nullptr.
+inline void throw_if_cancelled(const CancelToken* token) {
+  if (token && token->cancelled()) throw CancelledError();
+}
 
 }  // namespace picola

@@ -1,0 +1,123 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace picola::net {
+
+namespace {
+void set_error(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(const std::string& host, uint16_t port,
+                     std::string* error) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    set_error(error, "resolve " + host + ": " + gai_strerror(rc));
+    return false;
+  }
+  for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      fd_ = fd;
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (fd_ < 0) {
+    set_error(error, "connect " + host + ":" + std::to_string(port) + ": " +
+                         strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool Client::send(const std::string& payload, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  std::string frame = encode_frame(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t k = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (k > 0) {
+      off += static_cast<size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    set_error(error, "write: " + std::string(strerror(errno)));
+    close();
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> Client::recv(std::string* error) {
+  for (;;) {
+    if (auto payload = reader_.next()) return payload;
+    char buf[65536];
+    ssize_t k = ::read(fd_, buf, sizeof buf);
+    if (k > 0) {
+      if (!reader_.feed(buf, static_cast<size_t>(k))) {
+        set_error(error, "oversized response frame");
+        close();
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (k == 0) {
+      set_error(error, "connection closed by server");
+      close();
+      return std::nullopt;
+    }
+    if (errno == EINTR) continue;
+    set_error(error, "read: " + std::string(strerror(errno)));
+    close();
+    return std::nullopt;
+  }
+}
+
+std::optional<JsonValue> Client::call(const JsonValue& request,
+                                      std::string* error) {
+  if (!send(request.dump(), error)) return std::nullopt;
+  auto payload = recv(error);
+  if (!payload) return std::nullopt;
+  std::string parse_error;
+  auto parsed = JsonValue::parse(*payload, &parse_error);
+  if (!parsed) {
+    set_error(error, "bad response: " + parse_error);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace picola::net

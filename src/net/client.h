@@ -1,0 +1,46 @@
+#pragma once
+// Blocking client for the TCP encoding server (net/server.h): connects,
+// speaks the length-prefixed JSON framing, and exposes one-call request /
+// response plus the raw frame primitives for pipelined use (send several
+// requests, then collect the responses in order).  Single-threaded by
+// design — one Client per thread.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+#include "net/json.h"
+
+namespace picola::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to host:port.  Returns false and fills *error on failure.
+  bool connect(const std::string& host, uint16_t port,
+               std::string* error = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one frame carrying `payload` (already-serialised JSON).
+  bool send(const std::string& payload, std::string* error = nullptr);
+
+  /// Block until the next complete frame arrives; nullopt on EOF/error.
+  std::optional<std::string> recv(std::string* error = nullptr);
+
+  /// send() + recv() + parse.
+  std::optional<JsonValue> call(const JsonValue& request,
+                                std::string* error = nullptr);
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_{kFrameAbsoluteMax};
+};
+
+}  // namespace picola::net

@@ -1,0 +1,80 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace picola::net {
+
+std::string encode_frame(std::string_view payload) {
+  if (payload.size() > kFrameAbsoluteMax)
+    throw std::length_error("frame payload exceeds absolute maximum");
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+FrameReader::FrameReader(size_t max_frame_bytes)
+    : max_frame_bytes_(std::min(max_frame_bytes, kFrameAbsoluteMax)) {}
+
+bool FrameReader::feed(const char* data, size_t n) {
+  if (error_) return false;
+  size_t off = 0;
+  while (off < n) {
+    if (buffer_.size() < kFrameHeaderBytes) {
+      size_t want = kFrameHeaderBytes - buffer_.size();
+      size_t take = std::min(want, n - off);
+      buffer_.append(data + off, take);
+      off += take;
+      if (buffer_.size() < kFrameHeaderBytes) break;
+      const auto* h = reinterpret_cast<const unsigned char*>(buffer_.data());
+      size_t len = (static_cast<size_t>(h[0]) << 24) |
+                   (static_cast<size_t>(h[1]) << 16) |
+                   (static_cast<size_t>(h[2]) << 8) | static_cast<size_t>(h[3]);
+      if (len > max_frame_bytes_) {
+        error_ = true;
+        oversized_length_ = len;
+        return false;
+      }
+      continue;
+    }
+    const auto* h = reinterpret_cast<const unsigned char*>(buffer_.data());
+    size_t len = (static_cast<size_t>(h[0]) << 24) |
+                 (static_cast<size_t>(h[1]) << 16) |
+                 (static_cast<size_t>(h[2]) << 8) | static_cast<size_t>(h[3]);
+    size_t have = buffer_.size() - kFrameHeaderBytes;
+    size_t take = std::min(len - have, n - off);
+    buffer_.append(data + off, take);
+    off += take;
+    if (buffer_.size() - kFrameHeaderBytes == len) {
+      complete_.push_back(buffer_.substr(kFrameHeaderBytes));
+      buffer_.clear();
+    }
+  }
+  // A zero-length frame completes as soon as its header does.
+  if (buffer_.size() == kFrameHeaderBytes) {
+    const auto* h = reinterpret_cast<const unsigned char*>(buffer_.data());
+    size_t len = (static_cast<size_t>(h[0]) << 24) |
+                 (static_cast<size_t>(h[1]) << 16) |
+                 (static_cast<size_t>(h[2]) << 8) | static_cast<size_t>(h[3]);
+    if (len == 0) {
+      complete_.emplace_back();
+      buffer_.clear();
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (complete_.empty()) return std::nullopt;
+  std::string payload = std::move(complete_.front());
+  complete_.pop_front();
+  return payload;
+}
+
+}  // namespace picola::net

@@ -1,0 +1,55 @@
+#pragma once
+// Length-prefixed framing of the TCP protocol (src/net): every message is
+// a 4-byte big-endian payload length followed by that many bytes of JSON.
+//
+// FrameReader is an incremental decoder for a non-blocking byte stream:
+// feed() whatever read() returned, pop complete payloads with next().
+// A declared length above the configured maximum poisons the reader
+// (framing is lost — the connection must be closed after the error
+// response); the check fires on the *header*, before any payload is
+// buffered, so an attacker cannot make the server allocate the
+// oversized body.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace picola::net {
+
+inline constexpr size_t kFrameHeaderBytes = 4;
+/// Hard upper bound on any frame, independent of configuration.
+inline constexpr size_t kFrameAbsoluteMax = 64u << 20;
+
+/// Wrap `payload` in a length prefix.  Throws std::length_error above
+/// kFrameAbsoluteMax (callers configure tighter per-connection limits).
+std::string encode_frame(std::string_view payload);
+
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes);
+
+  /// Consume `n` raw stream bytes.  Returns false once an oversized
+  /// frame header was seen (sticky; further feeds are ignored).
+  bool feed(const char* data, size_t n);
+
+  /// Next complete payload in arrival order, nullopt when none pending.
+  std::optional<std::string> next();
+
+  bool error() const { return error_; }
+  /// Declared length of the frame that tripped the limit (0 before that).
+  size_t oversized_length() const { return oversized_length_; }
+  /// Bytes sitting in the partial-frame buffer (tests / accounting).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_frame_bytes_;
+  bool error_ = false;
+  size_t oversized_length_ = 0;
+  std::string buffer_;  ///< header + partial payload of the current frame
+  std::deque<std::string> complete_;
+};
+
+}  // namespace picola::net

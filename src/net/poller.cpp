@@ -1,0 +1,148 @@
+#include "net/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(__linux__)
+#define PICOLA_NET_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define PICOLA_NET_HAVE_EPOLL 0
+#endif
+
+namespace picola::net {
+
+PollBackend default_poll_backend() {
+#if PICOLA_NET_HAVE_EPOLL
+  return PollBackend::kEpoll;
+#else
+  return PollBackend::kPoll;
+#endif
+}
+
+Poller::Poller(PollBackend backend) : backend_(backend) {
+#if PICOLA_NET_HAVE_EPOLL
+  if (backend_ == PollBackend::kEpoll) {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0)
+      throw std::runtime_error("epoll_create1: " +
+                               std::string(strerror(errno)));
+    return;
+  }
+#else
+  backend_ = PollBackend::kPoll;  // epoll requested but unavailable
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#if PICOLA_NET_HAVE_EPOLL
+namespace {
+uint32_t epoll_mask(bool want_read, bool want_write) {
+  uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+}  // namespace
+#endif
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+#if PICOLA_NET_HAVE_EPOLL
+  if (backend_ == PollBackend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+      throw std::runtime_error("epoll_ctl(ADD): " +
+                               std::string(strerror(errno)));
+    return;
+  }
+#endif
+  interest_[fd] = {want_read, want_write};
+}
+
+void Poller::set(int fd, bool want_read, bool want_write) {
+#if PICOLA_NET_HAVE_EPOLL
+  if (backend_ == PollBackend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+      throw std::runtime_error("epoll_ctl(MOD): " +
+                               std::string(strerror(errno)));
+    return;
+  }
+#endif
+  auto it = interest_.find(fd);
+  if (it == interest_.end())
+    throw std::runtime_error("Poller::set on unregistered fd");
+  it->second = {want_read, want_write};
+}
+
+void Poller::remove(int fd) {
+#if PICOLA_NET_HAVE_EPOLL
+  if (backend_ == PollBackend::kEpoll) {
+    // Ignore failures: the fd may already be gone (closed elsewhere).
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  interest_.erase(fd);
+}
+
+int Poller::wait(std::vector<PollEvent>* out, int timeout_ms) {
+  out->clear();
+#if PICOLA_NET_HAVE_EPOLL
+  if (backend_ == PollBackend::kEpoll) {
+    epoll_event events[64];
+    int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw std::runtime_error("epoll_wait: " + std::string(strerror(errno)));
+    }
+    for (int i = 0; i < n; ++i) {
+      PollEvent e;
+      e.fd = events[i].data.fd;
+      e.readable = (events[i].events & EPOLLIN) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.hangup = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(e);
+    }
+    return n;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    if (want.first) p.events |= POLLIN;
+    if (want.second) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw std::runtime_error("poll: " + std::string(strerror(errno)));
+  }
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    PollEvent e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out->push_back(e);
+  }
+  return static_cast<int>(out->size());
+}
+
+}  // namespace picola::net

@@ -1,0 +1,57 @@
+#pragma once
+// Readiness multiplexer behind the TCP server's event loop: epoll on
+// Linux, poll(2) everywhere (and as a runtime-selectable fallback so the
+// poll path is compiled and tested on Linux too, not just on exotic
+// platforms).  Level-triggered on both backends — the event loop always
+// drains until EAGAIN, so level semantics keep the two interchangeable.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace picola::net {
+
+enum class PollBackend { kEpoll, kPoll };
+
+/// epoll where available, poll otherwise.
+PollBackend default_poll_backend();
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the fd (EPOLLERR/EPOLLHUP/POLLNVAL...); the owner
+  /// should read (to collect the error / EOF) and close.
+  bool hangup = false;
+};
+
+class Poller {
+ public:
+  explicit Poller(PollBackend backend = default_poll_backend());
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  PollBackend backend() const { return backend_; }
+
+  /// Register `fd`; interest flags as in set().
+  void add(int fd, bool want_read, bool want_write);
+  /// Replace the interest set of a registered fd.
+  void set(int fd, bool want_read, bool want_write);
+  /// Deregister (the caller closes the fd itself).
+  void remove(int fd);
+
+  /// Wait for events; `timeout_ms` < 0 blocks indefinitely.  Returns the
+  /// number of events appended to `*out` (cleared first); 0 on timeout.
+  /// EINTR is treated as a timeout with no events.
+  int wait(std::vector<PollEvent>* out, int timeout_ms);
+
+ private:
+  PollBackend backend_;
+  int epoll_fd_ = -1;
+  /// poll backend: registered fd -> (want_read, want_write).
+  std::map<int, std::pair<bool, bool>> interest_;
+};
+
+}  // namespace picola::net

@@ -1,0 +1,809 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/problem_io.h"
+#include "encoders/restart.h"
+#include "eval/metrics.h"
+#include "net/frame.h"
+#include "net/json.h"
+#include "service/job.h"
+
+namespace picola::net {
+
+namespace {
+
+/// Flushing grace once drain has answered every job; a client that never
+/// reads its socket cannot park the shutdown forever.
+constexpr uint64_t kDrainFlushGraceNs = 5'000'000'000ULL;
+
+std::string hex64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Conn {
+    int fd = -1;
+    uint64_t serial = 0;
+    FrameReader reader;
+    std::string wbuf;
+    size_t woff = 0;
+    uint64_t last_activity_ns = 0;
+    int pending = 0;           ///< admitted requests awaiting a response
+    bool want_write = false;   ///< current poller interest
+    bool paused_read = false;  ///< backpressure: write buffer too deep
+    bool close_after_flush = false;
+    bool marked_close = false;
+
+    explicit Conn(size_t max_frame) : reader(max_frame) {}
+    size_t unsent() const { return wbuf.size() - woff; }
+  };
+
+  struct Request {
+    uint64_t serial = 0;
+    int conn_fd = -1;
+    uint64_t conn_serial = 0;
+    JsonValue id;  ///< echoed verbatim (null = absent)
+    ConstraintSet set;
+    std::shared_ptr<CancelToken> cancel;
+    uint64_t deadline_ns = 0;  ///< absolute obs::now_ns() deadline, 0 = none
+    int deadline_ms = 0;       ///< as requested, for the error frame
+    uint64_t start_ns = 0;
+    bool answered = false;  ///< deadline already produced the response
+  };
+
+  explicit Impl(const ServerOptions& options)
+      : opt_(sanitized(options)),
+        service_(opt_.service),
+        poller_(opt_.use_poll ? PollBackend::kPoll : default_poll_backend()),
+        accepted_(registry_.counter("net/connections_accepted")),
+        closed_(registry_.counter("net/connections_closed")),
+        idle_closed_(registry_.counter("net/idle_closed")),
+        slow_closed_(registry_.counter("net/slow_client_closed")),
+        frames_in_(registry_.counter("net/frames_in")),
+        frames_out_(registry_.counter("net/frames_out")),
+        admitted_(registry_.counter("net/requests_admitted")),
+        responses_ok_(registry_.counter("net/responses_ok")),
+        responses_error_(registry_.counter("net/responses_error")),
+        sheds_(registry_.counter("net/sheds")),
+        deadline_misses_(registry_.counter("net/deadline_misses")),
+        cancelled_jobs_(registry_.counter("net/cancelled_jobs")),
+        frame_errors_(registry_.counter("net/frame_errors")),
+        active_(registry_.gauge("net/connections_active")),
+        inflight_(registry_.gauge("net/inflight")),
+        request_ns_(registry_.histogram("net/request")) {
+    open_listener();
+    open_wake_pipe();
+    poller_.add(listen_fd_, /*read=*/true, /*write=*/false);
+    poller_.add(wake_rd_, /*read=*/true, /*write=*/false);
+  }
+
+  ~Impl() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_rd_ >= 0) ::close(wake_rd_);
+    if (wake_wr_ >= 0) ::close(wake_wr_);
+    for (auto& [fd, conn] : conns_) ::close(fd);
+  }
+
+  static ServerOptions sanitized(ServerOptions o) {
+    // A bounded pool queue would block the event loop inside post();
+    // admission control (max_inflight) is the queue bound here.
+    o.service.max_queue = 0;
+    o.max_inflight = std::max(1, o.max_inflight);
+    o.max_frame_bytes =
+        std::min(std::max<size_t>(o.max_frame_bytes, 64), kFrameAbsoluteMax);
+    o.write_backpressure_bytes = std::max<size_t>(o.write_backpressure_bytes,
+                                                  o.max_frame_bytes);
+    o.max_write_buffer_bytes = std::max(o.max_write_buffer_bytes,
+                                        o.write_backpressure_bytes * 2);
+    o.default_restarts = std::max(1, o.default_restarts);
+    return o;
+  }
+
+  void open_listener() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      throw std::runtime_error("socket: " + std::string(strerror(errno)));
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opt_.port);
+    if (::inet_pton(AF_INET, opt_.bind_address.c_str(), &addr.sin_addr) != 1)
+      throw std::runtime_error("bad bind address " + opt_.bind_address);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0)
+      throw std::runtime_error("bind " + opt_.bind_address + ":" +
+                               std::to_string(opt_.port) + ": " +
+                               strerror(errno));
+    if (::listen(listen_fd_, 256) != 0)
+      throw std::runtime_error("listen: " + std::string(strerror(errno)));
+    set_nonblocking(listen_fd_);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  void open_wake_pipe() {
+    int fds[2];
+    if (::pipe(fds) != 0)
+      throw std::runtime_error("pipe: " + std::string(strerror(errno)));
+    wake_rd_ = fds[0];
+    wake_wr_ = fds[1];
+    set_nonblocking(wake_rd_);
+    set_nonblocking(wake_wr_);
+  }
+
+  /// Async-signal-safe: one relaxed store and one write(2).
+  void wake() noexcept {
+    char b = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_wr_, &b, 1);
+    // EAGAIN means a wake byte is already pending — good enough.
+  }
+
+  void request_shutdown() noexcept {
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+    wake();
+  }
+
+  // ---- event loop ------------------------------------------------------
+
+  void run() {
+    std::vector<PollEvent> events;
+    while (!finished_) {
+      poller_.wait(&events, next_timeout_ms());
+      const uint64_t now = obs::now_ns();
+      if (shutdown_requested_.load(std::memory_order_relaxed) && !draining_)
+        begin_drain();
+      for (const PollEvent& e : events) {
+        if (e.fd == wake_rd_) {
+          drain_wake_pipe();
+          if (shutdown_requested_.load(std::memory_order_relaxed) &&
+              !draining_)
+            begin_drain();
+          continue;
+        }
+        if (e.fd == listen_fd_) {
+          accept_all();
+          continue;
+        }
+        auto it = conns_.find(e.fd);
+        if (it == conns_.end()) continue;
+        Conn* conn = it->second.get();
+        if (e.hangup) conn->marked_close = true;
+        if (e.writable && !conn->marked_close) on_writable(conn);
+        if (e.readable && !conn->marked_close) on_readable(conn);
+      }
+      drain_completions();
+      expire_deadlines(now);
+      sweep_idle(now);
+      process_deferred_closes();
+      check_drain_done(now);
+    }
+  }
+
+  int next_timeout_ms() const {
+    uint64_t next = UINT64_MAX;
+    if (!deadlines_.empty()) next = deadlines_.begin()->first;
+    if (opt_.idle_timeout_ms > 0 && !conns_.empty()) {
+      uint64_t idle_step =
+          obs::now_ns() + static_cast<uint64_t>(opt_.idle_timeout_ms) * 250'000;
+      next = std::min(next, idle_step);  // sweep at 1/4 the idle period
+    }
+    if (draining_)
+      next = std::min<uint64_t>(next, obs::now_ns() + 100'000'000ULL);
+    if (next == UINT64_MAX) return -1;
+    uint64_t now = obs::now_ns();
+    if (next <= now) return 0;
+    return static_cast<int>(std::min<uint64_t>((next - now) / 1'000'000 + 1,
+                                               60'000));
+  }
+
+  void drain_wake_pipe() {
+    char buf[256];
+    while (::read(wake_rd_, buf, sizeof buf) > 0) {
+    }
+  }
+
+  void accept_all() {
+    if (draining_) return;
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient error
+      }
+      set_nonblocking(fd);
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      auto conn = std::make_unique<Conn>(opt_.max_frame_bytes);
+      conn->fd = fd;
+      conn->serial = ++conn_serial_;
+      conn->last_activity_ns = obs::now_ns();
+      poller_.add(fd, /*read=*/true, /*write=*/false);
+      conns_.emplace(fd, std::move(conn));
+      accepted_.add(1);
+      active_.set(static_cast<int64_t>(conns_.size()));
+    }
+  }
+
+  void on_readable(Conn* conn) {
+    char buf[65536];
+    for (;;) {
+      ssize_t k = ::read(conn->fd, buf, sizeof buf);
+      if (k > 0) {
+        conn->last_activity_ns = obs::now_ns();
+        if (!conn->reader.feed(buf, static_cast<size_t>(k))) {
+          on_frame_error(conn);
+          break;
+        }
+        while (auto payload = conn->reader.next()) {
+          handle_frame(conn, *payload);
+          if (conn->marked_close) return;
+        }
+        if (conn->paused_read) break;  // backpressure engaged mid-burst
+        continue;
+      }
+      if (k == 0) {  // peer closed
+        conn->marked_close = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) conn->marked_close = true;
+      break;
+    }
+  }
+
+  void on_frame_error(Conn* conn) {
+    frame_errors_.add(1);
+    JsonValue err = JsonValue::make_object();
+    err.set("error", JsonValue::make_string("frame_too_large"));
+    err.set("max_frame_bytes",
+            JsonValue::make_int(static_cast<int64_t>(opt_.max_frame_bytes)));
+    err.set("declared_bytes",
+            JsonValue::make_int(
+                static_cast<int64_t>(conn->reader.oversized_length())));
+    // Framing is lost; stop reading and close once the error is flushed.
+    // The flag must be set before send_json — an inline flush completes
+    // the close immediately.
+    conn->close_after_flush = true;
+    update_interest(conn, /*read=*/false);
+    send_json(conn, err.dump());
+    responses_error_.add(1);
+  }
+
+  // ---- frame handling --------------------------------------------------
+
+  void handle_frame(Conn* conn, const std::string& payload) {
+    frames_in_.add(1);
+    std::string parse_error;
+    auto parsed = JsonValue::parse(payload, &parse_error);
+    if (!parsed || !parsed->is_object()) {
+      send_error(conn, JsonValue(), "bad_request",
+                 parsed ? "request must be a JSON object" : parse_error);
+      return;
+    }
+    const JsonValue& req = *parsed;
+    JsonValue id = req.find("id") ? *req.find("id") : JsonValue();
+
+    if (const JsonValue* cmd = req.find("cmd")) {
+      if (!cmd->is_string()) {
+        send_error(conn, id, "bad_request", "cmd must be a string");
+        return;
+      }
+      handle_cmd(conn, id, cmd->as_string());
+      return;
+    }
+    handle_encode(conn, std::move(id), req);
+  }
+
+  void handle_cmd(Conn* conn, const JsonValue& id, const std::string& cmd) {
+    if (cmd == "ping") {
+      JsonValue r = ok_response(id);
+      r.set("pong", JsonValue::make_bool(true));
+      send_json(conn, r.dump());
+      responses_ok_.add(1);
+      return;
+    }
+    if (cmd == "stats") {
+      std::string body = "{";
+      if (!id.is_null()) body += "\"id\":" + id.dump() + ",";
+      body += "\"ok\":true,\"net\":" + net_stats_json() +
+              ",\"service\":" + service_stats_json(service_.stats()) + "}";
+      send_json(conn, body);
+      responses_ok_.add(1);
+      return;
+    }
+    if (cmd == "metrics") {
+      std::string body = "{";
+      if (!id.is_null()) body += "\"id\":" + id.dump() + ",";
+      body += "\"ok\":true,\"net\":" + registry_.report_json() +
+              ",\"service\":" + service_.metrics().report_json() +
+              ",\"process\":" + obs::MetricsRegistry::global().report_json() +
+              "}";
+      send_json(conn, body);
+      responses_ok_.add(1);
+      return;
+    }
+    if (cmd == "shutdown") {
+      JsonValue r = ok_response(id);
+      r.set("draining", JsonValue::make_bool(true));
+      send_json(conn, r.dump());
+      responses_ok_.add(1);
+      begin_drain();
+      return;
+    }
+    send_error(conn, id, "bad_request", "unknown cmd " + cmd);
+  }
+
+  void handle_encode(Conn* conn, JsonValue id, const JsonValue& req) {
+    if (draining_) {
+      send_error(conn, id, "shutting_down", "server is draining");
+      return;
+    }
+    // Load shedding before any parsing: overload must be the cheapest
+    // possible path.
+    if (static_cast<int>(requests_.size()) >= opt_.max_inflight) {
+      sheds_.add(1);
+      JsonValue r = JsonValue::make_object();
+      if (!id.is_null()) r.set("id", id);
+      r.set("error", JsonValue::make_string("overloaded"));
+      r.set("retry_after_ms", JsonValue::make_int(opt_.retry_after_ms));
+      send_json(conn, r.dump());
+      responses_error_.add(1);
+      return;
+    }
+
+    const JsonValue* con = req.find("con");
+    const JsonValue* path = req.find("path");
+    std::optional<Problem> problem;
+    std::string error;
+    if (con && con->is_string()) {
+      problem = parse_problem_text(con->as_string(), &error);
+    } else if (path && path->is_string()) {
+      if (!opt_.allow_paths) {
+        send_error(conn, id, "paths_disabled",
+                   "server rejects path requests; send inline \"con\" text");
+        return;
+      }
+      problem = load_problem_file(path->as_string(), &error);
+    } else {
+      send_error(conn, id, "bad_request",
+                 "request needs a \"con\" or \"path\" string (or a \"cmd\")");
+      return;
+    }
+    if (!problem) {
+      send_error(conn, id, "bad_problem", error);
+      return;
+    }
+
+    int restarts = opt_.default_restarts;
+    if (const JsonValue* r = req.find("restarts")) {
+      if (!r->is_number() || r->as_int() < 1 || r->as_int() > 1024) {
+        send_error(conn, id, "bad_request", "restarts must be in [1, 1024]");
+        return;
+      }
+      restarts = static_cast<int>(r->as_int());
+    }
+    int bits = opt_.default_bits;
+    if (const JsonValue* b = req.find("bits")) {
+      if (!b->is_number() || b->as_int() < 0 || b->as_int() > 31) {
+        send_error(conn, id, "bad_request", "bits must be in [0, 31]");
+        return;
+      }
+      bits = static_cast<int>(b->as_int());
+    }
+    int deadline_ms = 0;
+    if (const JsonValue* d = req.find("deadline_ms")) {
+      if (!d->is_number() || d->as_int() < 1 || d->as_int() > 86'400'000) {
+        send_error(conn, id, "bad_request",
+                   "deadline_ms must be in [1, 86400000]");
+        return;
+      }
+      deadline_ms = static_cast<int>(d->as_int());
+    }
+
+    Request r;
+    r.serial = ++request_serial_;
+    r.conn_fd = conn->fd;
+    r.conn_serial = conn->serial;
+    r.id = std::move(id);
+    r.set = problem->set;
+    r.cancel = std::make_shared<CancelToken>();
+    r.start_ns = obs::now_ns();
+    r.deadline_ms = deadline_ms;
+    if (deadline_ms > 0)
+      r.deadline_ns =
+          r.start_ns + static_cast<uint64_t>(deadline_ms) * 1'000'000;
+
+    Job job;
+    job.set = std::move(problem->set);
+    job.options.num_bits = bits;
+    job.options.self_check = opt_.self_check;
+    job.options.cancel = r.cancel;
+    job.restarts = restarts;
+    job.tag = path && path->is_string() ? path->as_string() : "<inline>";
+
+    const uint64_t serial = r.serial;
+    if (r.deadline_ns) deadlines_.emplace(r.deadline_ns, serial);
+    requests_.emplace(serial, std::move(r));
+    conn->pending++;
+    admitted_.add(1);
+    inflight_.set(static_cast<int64_t>(requests_.size()));
+
+    // The callback runs on whichever thread finishes the job (inline on a
+    // cache hit); it only enqueues and wakes the loop.
+    service_.submit(std::move(job),
+                    [this, serial](std::shared_future<JobResult> fut) {
+                      {
+                        std::lock_guard<std::mutex> lock(done_mu_);
+                        done_.emplace_back(serial, std::move(fut));
+                      }
+                      wake();
+                    });
+  }
+
+  // ---- completions, deadlines, idle, drain -----------------------------
+
+  void drain_completions() {
+    std::vector<std::pair<uint64_t, std::shared_future<JobResult>>> done;
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done.swap(done_);
+    }
+    for (auto& [serial, fut] : done) finish_request(serial, fut);
+  }
+
+  void finish_request(uint64_t serial,
+                      const std::shared_future<JobResult>& fut) {
+    auto it = requests_.find(serial);
+    if (it == requests_.end()) return;  // defensive; should not happen
+    Request req = std::move(it->second);
+    requests_.erase(it);
+    inflight_.set(static_cast<int64_t>(requests_.size()));
+    request_ns_.record(obs::now_ns() - req.start_ns);
+    if (req.cancel->cancelled()) cancelled_jobs_.add(1);
+
+    Conn* conn = nullptr;
+    auto cit = conns_.find(req.conn_fd);
+    if (cit != conns_.end() && cit->second->serial == req.conn_serial)
+      conn = cit->second.get();
+    if (conn) conn->pending--;
+    if (req.answered || !conn) return;  // deadline spoke, or client left
+
+    try {
+      const JobResult r = fut.get();
+      const Encoding& enc = r.picola.encoding;
+      EncodingQuality q = encoding_quality(req.set, enc);
+      JsonValue resp = ok_response(req.id);
+      resp.set("n", JsonValue::make_int(enc.num_symbols));
+      resp.set("bits", JsonValue::make_int(enc.num_bits));
+      resp.set("cubes", JsonValue::make_int(r.total_cubes));
+      resp.set("satisfied", JsonValue::make_int(q.satisfied_constraints));
+      resp.set("constraints",
+               JsonValue::make_int(static_cast<int64_t>(req.set.size())));
+      resp.set("enc", JsonValue::make_string(hex64(encoding_fingerprint(enc))));
+      resp.set("cached", JsonValue::make_int(r.cache_hit ? 1 : 0));
+      resp.set("wall_ms", JsonValue::make_double(r.wall_ms));
+      send_json(conn, resp.dump());
+      responses_ok_.add(1);
+    } catch (const CancelledError&) {
+      send_error(conn, req.id, "cancelled", "job cancelled");
+    } catch (const std::exception& e) {
+      send_error(conn, req.id, "encode_failed", e.what());
+    }
+  }
+
+  void expire_deadlines(uint64_t now) {
+    while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+      uint64_t serial = deadlines_.begin()->second;
+      deadlines_.erase(deadlines_.begin());
+      auto it = requests_.find(serial);
+      if (it == requests_.end() || it->second.answered) continue;
+      Request& req = it->second;
+      req.answered = true;
+      req.cancel->cancel();  // unwind the restarts at their next column
+      deadline_misses_.add(1);
+      auto cit = conns_.find(req.conn_fd);
+      if (cit != conns_.end() && cit->second->serial == req.conn_serial) {
+        JsonValue r = JsonValue::make_object();
+        if (!req.id.is_null()) r.set("id", req.id);
+        r.set("error", JsonValue::make_string("deadline_exceeded"));
+        r.set("deadline_ms", JsonValue::make_int(req.deadline_ms));
+        send_json(cit->second.get(), r.dump());
+        responses_error_.add(1);
+      }
+    }
+  }
+
+  void sweep_idle(uint64_t now) {
+    if (opt_.idle_timeout_ms <= 0) return;
+    const uint64_t limit =
+        static_cast<uint64_t>(opt_.idle_timeout_ms) * 1'000'000;
+    for (auto& [fd, conn] : conns_) {
+      if (conn->marked_close || conn->pending > 0 || conn->unsent() > 0)
+        continue;
+      // last_activity may postdate `now` (touched by an event this very
+      // iteration) — an unsigned difference would wrap to "idle forever".
+      if (now > conn->last_activity_ns &&
+          now - conn->last_activity_ns >= limit) {
+        idle_closed_.add(1);
+        conn->marked_close = true;
+      }
+    }
+  }
+
+  void begin_drain() {
+    if (draining_) return;
+    draining_ = true;
+    drain_started_ns_ = obs::now_ns();
+    if (listen_fd_ >= 0) {
+      poller_.remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  void check_drain_done(uint64_t now) {
+    if (!draining_ || !requests_.empty()) return;
+    bool flushed = true;
+    for (auto& [fd, conn] : conns_)
+      if (conn->unsent() > 0) flushed = false;
+    if (!flushed && (now <= drain_started_ns_ ||
+                     now - drain_started_ns_ < kDrainFlushGraceNs))
+      return;
+    for (auto& [fd, conn] : conns_) conn->marked_close = true;
+    process_deferred_closes();
+    finished_ = true;
+  }
+
+  // ---- write path ------------------------------------------------------
+
+  void send_error(Conn* conn, const JsonValue& id, const std::string& code,
+                  const std::string& detail) {
+    JsonValue r = JsonValue::make_object();
+    if (!id.is_null()) r.set("id", id);
+    r.set("error", JsonValue::make_string(code));
+    if (!detail.empty()) r.set("detail", JsonValue::make_string(detail));
+    send_json(conn, r.dump());
+    responses_error_.add(1);
+  }
+
+  static JsonValue ok_response(const JsonValue& id) {
+    JsonValue r = JsonValue::make_object();
+    if (!id.is_null()) r.set("id", id);
+    r.set("ok", JsonValue::make_bool(true));
+    return r;
+  }
+
+  void send_json(Conn* conn, const std::string& payload) {
+    if (conn->marked_close) return;
+    conn->wbuf += encode_frame(payload);
+    frames_out_.add(1);
+    try_flush(conn);
+    if (conn->marked_close) return;
+    const size_t unsent = conn->unsent();
+    if (unsent > opt_.max_write_buffer_bytes) {
+      // The client is slower than its responses; cut it loose.
+      slow_closed_.add(1);
+      conn->marked_close = true;
+      return;
+    }
+    if (!conn->paused_read && unsent > opt_.write_backpressure_bytes) {
+      conn->paused_read = true;
+      update_interest(conn, /*read=*/false);
+    }
+  }
+
+  void try_flush(Conn* conn) {
+    while (conn->woff < conn->wbuf.size()) {
+      ssize_t k = ::write(conn->fd, conn->wbuf.data() + conn->woff,
+                          conn->wbuf.size() - conn->woff);
+      if (k > 0) {
+        conn->woff += static_cast<size_t>(k);
+        conn->last_activity_ns = obs::now_ns();
+        continue;
+      }
+      if (k < 0 && errno == EINTR) continue;
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          update_interest(conn, /*read=*/!conn->paused_read &&
+                                    !conn->close_after_flush);
+        }
+        return;
+      }
+      conn->marked_close = true;  // broken pipe etc.
+      return;
+    }
+    conn->wbuf.clear();
+    conn->woff = 0;
+    if (conn->close_after_flush) {
+      conn->marked_close = true;
+      return;
+    }
+    bool interest_changed = conn->want_write;
+    conn->want_write = false;
+    if (conn->paused_read) {
+      conn->paused_read = false;
+      interest_changed = true;
+    }
+    if (interest_changed) update_interest(conn, /*read=*/true);
+  }
+
+  void on_writable(Conn* conn) { try_flush(conn); }
+
+  void update_interest(Conn* conn, bool read) {
+    poller_.set(conn->fd, read, conn->want_write);
+  }
+
+  void process_deferred_closes() {
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (!it->second->marked_close) {
+        ++it;
+        continue;
+      }
+      Conn* conn = it->second.get();
+      // Abandon this connection's outstanding work: nobody is left to
+      // read the answers.
+      for (auto& [serial, req] : requests_) {
+        if (req.conn_fd == conn->fd && req.conn_serial == conn->serial)
+          req.cancel->cancel();
+      }
+      poller_.remove(conn->fd);
+      ::close(conn->fd);
+      closed_.add(1);
+      it = conns_.erase(it);
+    }
+    active_.set(static_cast<int64_t>(conns_.size()));
+  }
+
+  // ---- reporting -------------------------------------------------------
+
+  std::string net_stats_json() const {
+    NetStats s = snapshot();
+    std::string j = "{";
+    auto add = [&j](const char* k, long v) {
+      j += "\"" + std::string(k) + "\":" + std::to_string(v) + ",";
+    };
+    add("connections_accepted", s.connections_accepted);
+    add("connections_closed", s.connections_closed);
+    add("active_connections", s.active_connections);
+    add("frames_in", s.frames_in);
+    add("frames_out", s.frames_out);
+    add("requests_admitted", s.requests_admitted);
+    add("responses_ok", s.responses_ok);
+    add("responses_error", s.responses_error);
+    add("sheds", s.sheds);
+    add("deadline_misses", s.deadline_misses);
+    add("cancelled_jobs", s.cancelled_jobs);
+    add("frame_errors", s.frame_errors);
+    add("idle_closed", s.idle_closed);
+    j += "\"inflight\":" + std::to_string(s.inflight) + "}";
+    return j;
+  }
+
+  NetStats snapshot() const {
+    NetStats s;
+    s.connections_accepted = static_cast<long>(accepted_.value());
+    s.connections_closed = static_cast<long>(closed_.value());
+    s.frames_in = static_cast<long>(frames_in_.value());
+    s.frames_out = static_cast<long>(frames_out_.value());
+    s.requests_admitted = static_cast<long>(admitted_.value());
+    s.responses_ok = static_cast<long>(responses_ok_.value());
+    s.responses_error = static_cast<long>(responses_error_.value());
+    s.sheds = static_cast<long>(sheds_.value());
+    s.deadline_misses = static_cast<long>(deadline_misses_.value());
+    s.cancelled_jobs = static_cast<long>(cancelled_jobs_.value());
+    s.frame_errors = static_cast<long>(frame_errors_.value());
+    s.idle_closed = static_cast<long>(idle_closed_.value());
+    s.active_connections = static_cast<long>(active_.value());
+    s.inflight = static_cast<long>(inflight_.value());
+    return s;
+  }
+
+  // ---- members ---------------------------------------------------------
+
+  ServerOptions opt_;
+  obs::MetricsRegistry registry_;  ///< net/* (service has its own)
+  EncodingService service_;
+  Poller poller_;
+
+  obs::Counter& accepted_;
+  obs::Counter& closed_;
+  obs::Counter& idle_closed_;
+  obs::Counter& slow_closed_;
+  obs::Counter& frames_in_;
+  obs::Counter& frames_out_;
+  obs::Counter& admitted_;
+  obs::Counter& responses_ok_;
+  obs::Counter& responses_error_;
+  obs::Counter& sheds_;
+  obs::Counter& deadline_misses_;
+  obs::Counter& cancelled_jobs_;
+  obs::Counter& frame_errors_;
+  obs::Gauge& active_;
+  obs::Gauge& inflight_;
+  obs::Histogram& request_ns_;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  uint16_t bound_port_ = 0;
+
+  // Loop-thread state.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<uint64_t, Request> requests_;
+  std::multimap<uint64_t, uint64_t> deadlines_;  ///< deadline_ns -> serial
+  uint64_t conn_serial_ = 0;
+  uint64_t request_serial_ = 0;
+  bool draining_ = false;
+  bool finished_ = false;
+  uint64_t drain_started_ns_ = 0;
+
+  // Cross-thread state.
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex done_mu_;
+  std::vector<std::pair<uint64_t, std::shared_future<JobResult>>> done_;
+  std::thread loop_thread_;
+};
+
+Server::Server(const ServerOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Server::~Server() {
+  stop();
+}
+
+uint16_t Server::port() const { return impl_->bound_port_; }
+
+void Server::run() { impl_->run(); }
+
+void Server::start() {
+  impl_->loop_thread_ = std::thread([this]() { impl_->run(); });
+}
+
+void Server::request_shutdown() noexcept { impl_->request_shutdown(); }
+
+void Server::stop() {
+  impl_->request_shutdown();
+  if (impl_->loop_thread_.joinable()) impl_->loop_thread_.join();
+}
+
+NetStats Server::stats() const { return impl_->snapshot(); }
+
+const obs::MetricsRegistry& Server::metrics() const {
+  return impl_->registry_;
+}
+
+EncodingService& Server::service() { return impl_->service_; }
+
+}  // namespace picola::net

@@ -62,6 +62,11 @@ bool CanonicalJob::equivalent(const CanonicalJob& other) const {
 CanonicalJob canonicalize(const Job& job) {
   CanonicalJob c;
   c.options = job.options;
+  // The cancel token never affects the result of a run that completes, so
+  // it is stripped from the canonical form: cache entries must not pin
+  // (or compare) request-lifetime tokens.  The service captures the
+  // token from the original Job before canonicalising.
+  c.options.cancel.reset();
   c.restarts = std::max(1, job.restarts);
 
   // Normalise through add() (sorts members, merges duplicate groups, drops

@@ -33,6 +33,12 @@ struct EncodingService::InFlight {
   std::mutex error_mu;
   std::exception_ptr error;
   uint64_t start_ns = 0;  ///< obs::now_ns() at submission
+  /// The first submitter's cancel token (canonicalize strips it from
+  /// `job`); re-attached to every restart's options.
+  std::shared_ptr<const CancelToken> cancel;
+  /// Completion callbacks (submitter's + joiners'), guarded by the
+  /// service mutex; moved out when the pending entry is erased.
+  std::vector<DoneCallback> callbacks;
 };
 
 EncodingService::EncodingService(const ServiceOptions& options)
@@ -53,7 +59,10 @@ EncodingService::~EncodingService() {
   pool_.shutdown();
 }
 
-std::shared_future<JobResult> EncodingService::submit(Job job) {
+std::shared_future<JobResult> EncodingService::submit(Job job,
+                                                      DoneCallback done) {
+  // Captured before canonicalisation strips it from the cacheable form.
+  std::shared_ptr<const CancelToken> cancel = job.options.cancel;
   CanonicalJob cj = canonicalize(job);
   const int restarts = cj.restarts;
   jobs_submitted_.add(1);
@@ -66,6 +75,7 @@ std::shared_future<JobResult> EncodingService::submit(Job job) {
     auto it = pending_.find(cj.fingerprint);
     if (it != pending_.end() && it->second->job.equivalent(cj)) {
       inflight_joins_.add(1);
+      if (done) it->second->callbacks.push_back(std::move(done));
       return it->second->future;
     }
 
@@ -84,7 +94,10 @@ std::shared_future<JobResult> EncodingService::submit(Job job) {
       r.total_cubes = hit->total_cubes;
       r.cache_hit = true;
       ready.set_value(std::move(r));
-      return ready.get_future().share();
+      std::shared_future<JobResult> fut = ready.get_future().share();
+      lock.unlock();  // never run a user callback under the service mutex
+      if (done) done(fut);
+      return fut;
     }
 
     cache_misses_.add(1);
@@ -96,6 +109,8 @@ std::shared_future<JobResult> EncodingService::submit(Job job) {
     fly->costs.assign(static_cast<size_t>(restarts), 0);
     fly->remaining.store(restarts);
     fly->start_ns = obs::now_ns();
+    fly->cancel = std::move(cancel);
+    if (done) fly->callbacks.push_back(std::move(done));
     // emplace, not operator[]: when a different job collides on the
     // fingerprint, the earlier entry stays (its finish erases by identity).
     pending_.emplace(fly->job.fingerprint, fly);
@@ -105,8 +120,9 @@ std::shared_future<JobResult> EncodingService::submit(Job job) {
     auto run_restart = [this, fly, r]() {
       try {
         PICOLA_OBS_SPAN(span_task, "service/restart_task");
-        PicolaResult res = picola_encode(
-            fly->job.set, picola_restart_options(fly->job.options, r));
+        PicolaOptions ro = picola_restart_options(fly->job.options, r);
+        ro.cancel = fly->cancel;
+        PicolaResult res = picola_encode(fly->job.set, ro);
         long cost =
             evaluate_constraints(fly->job.set, res.encoding).total_cubes;
         fly->results[static_cast<size_t>(r)] = std::move(res);
@@ -159,11 +175,16 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
   }
   // Bookkeeping strictly before fulfilling the promise: a client that has
   // observed get() returning must find the result in the cache (not a
-  // stale pending entry) when it resubmits the same job.
+  // stale pending entry) when it resubmits the same job.  The callbacks
+  // are moved out under the same lock as the pending erase, so a joiner
+  // either finds the pending entry (and its callback lands here) or finds
+  // the cached result (and runs inline) — never neither.
+  std::vector<DoneCallback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(fly->job.fingerprint);
     if (it != pending_.end() && it->second == fly) pending_.erase(it);
+    callbacks.swap(fly->callbacks);
   }
   jobs_completed_.add(1);
   job_wall_ns_.record(dur_ns);
@@ -173,6 +194,13 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
     fly->promise.set_exception(fly->error);
   else
     fly->promise.set_value(std::move(out));
+  run_callbacks(callbacks, fly->future);
+}
+
+void EncodingService::run_callbacks(
+    std::vector<DoneCallback>& callbacks,
+    const std::shared_future<JobResult>& future) {
+  for (DoneCallback& cb : callbacks) cb(future);
 }
 
 void EncodingService::wait_all() {

@@ -16,6 +16,7 @@
 // jobs with R restarts each becomes B*R pool tasks, no task ever blocks
 // on another, and there is no nested-wait deadlock by construction.
 
+#include <functional>
 #include <future>
 #include <memory>
 #include <vector>
@@ -57,9 +58,20 @@ class EncodingService {
   EncodingService(const EncodingService&) = delete;
   EncodingService& operator=(const EncodingService&) = delete;
 
+  /// Invoked exactly once when a job completes (the future it receives is
+  /// ready — get() never blocks).  Runs on the worker thread that
+  /// finished the job, inline in submit() on a cache hit, or on the
+  /// completing thread of the joined twin on an in-flight join; it must
+  /// not call back into the service's blocking APIs.
+  using DoneCallback = std::function<void(std::shared_future<JobResult>)>;
+
   /// Submit one job.  The future is ready immediately on a cache hit; a
   /// failure inside the encoder surfaces as an exception from get().
-  std::shared_future<JobResult> submit(Job job);
+  /// Cancellation: a job whose options.cancel token fires mid-run fails
+  /// with CancelledError and is never cached.  `done`, when given, makes
+  /// submission fully non-blocking — the event-driven network server
+  /// (src/net) relies on it instead of parking a thread on the future.
+  std::shared_future<JobResult> submit(Job job, DoneCallback done = nullptr);
 
   /// Submit many jobs; futures are returned in submission order.
   std::vector<std::shared_future<JobResult>> submit_batch(
@@ -83,6 +95,8 @@ class EncodingService {
   struct InFlight;
 
   void finish_job(const std::shared_ptr<InFlight>& fly);
+  static void run_callbacks(std::vector<DoneCallback>& callbacks,
+                            const std::shared_future<JobResult>& future);
 
   // The registry must outlive (so precede) the pool and the counter
   // references below.

@@ -11,6 +11,7 @@ ThreadPool::ThreadPool(int num_threads, size_t max_queue,
   if (metrics) {
     tasks_posted_ = &metrics->counter("pool/tasks_posted");
     tasks_executed_ = &metrics->counter("pool/tasks_executed");
+    tasks_failed_ = &metrics->counter("pool/tasks_failed");
     queue_depth_hwm_ = &metrics->gauge("pool/queue_depth");
   }
   int n = std::max(1, num_threads);
@@ -79,7 +80,14 @@ void ThreadPool::worker_loop() {
       ++executing_;
     }
     cv_space_.notify_one();
-    task();  // submit() routes exceptions into the task's future
+    // submit() routes exceptions into the task's future before they reach
+    // this frame; an exception escaping a raw post()ed task must not
+    // std::terminate the worker (it used to) — swallow and count it.
+    try {
+      task();
+    } catch (...) {
+      if (tasks_failed_) tasks_failed_->add(1);
+    }
     if (tasks_executed_) tasks_executed_->add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -6,7 +6,10 @@
 // bound); `submit()` wraps the task in a std::future so return values and
 // exceptions propagate to the caller.  `shutdown()` (and the destructor)
 // drains every queued task before joining the workers; tasks posted after
-// shutdown began are rejected with std::runtime_error.
+// shutdown began are rejected with std::runtime_error.  An exception
+// escaping a raw post()ed task is swallowed by the worker (counted as
+// pool/tasks_failed when metrics are attached) instead of terminating
+// the process.
 //
 // The pool records the queue-depth high-water mark for ServiceStats.
 
@@ -84,6 +87,7 @@ class ThreadPool {
   bool shutting_down_ = false;
   obs::Counter* tasks_posted_ = nullptr;    ///< optional, see constructor
   obs::Counter* tasks_executed_ = nullptr;
+  obs::Counter* tasks_failed_ = nullptr;  ///< raw post()ed tasks that threw
   obs::Gauge* queue_depth_hwm_ = nullptr;
 };
 

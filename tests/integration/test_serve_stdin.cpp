@@ -1,0 +1,81 @@
+// Regression tests for stdin front-end EOF handling: a final line that
+// arrives without a trailing newline (common when the input is piped
+// from printf, a file missing its final newline, or a socket) must be
+// processed like any other line, in both `picola serve` and the `picola
+// batch` list file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/cli.h"
+
+namespace picola {
+namespace {
+
+std::string example(const std::string& name) {
+  return std::string(PICOLA_EXAMPLES_DIR) + "/" + name;
+}
+
+int count_lines_starting(const std::string& text, const std::string& prefix) {
+  std::istringstream is(text);
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line))
+    if (line.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+TEST(ServeStdinEof, FinalRequestWithoutNewlineIsProcessed) {
+  // No trailing '\n' after the last path.
+  std::istringstream in(example("overlap.con") + "\n" +
+                        example("paper_fig1.con"));
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"serve"}, in, out, err), 0) << err.str();
+  EXPECT_EQ(count_lines_starting(out.str(), "ok "), 2) << out.str();
+}
+
+TEST(ServeStdinEof, SingleRequestNoNewline) {
+  std::istringstream in(example("overlap.con"));
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"serve"}, in, out, err), 0);
+  EXPECT_EQ(count_lines_starting(out.str(), "ok "), 1) << out.str();
+}
+
+TEST(ServeStdinEof, FinalStatsCommandWithoutNewline) {
+  std::istringstream in(example("overlap.con") + "\nstats");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"serve"}, in, out, err), 0);
+  EXPECT_EQ(count_lines_starting(out.str(), "ok "), 1);
+  EXPECT_EQ(count_lines_starting(out.str(), "stats "), 1) << out.str();
+}
+
+TEST(ServeStdinEof, TrailingWhitespaceOnlyTailIsIgnored) {
+  std::istringstream in(example("overlap.con") + "\n   \t ");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"serve"}, in, out, err), 0);
+  EXPECT_EQ(count_lines_starting(out.str(), "ok "), 1);
+  EXPECT_EQ(count_lines_starting(out.str(), "error"), 0) << out.str();
+}
+
+TEST(ServeStdinEof, BatchListFileWithoutTrailingNewline) {
+  std::string list_path = ::testing::TempDir() + "/picola_eof_list.txt";
+  {
+    std::ofstream f(list_path, std::ios::binary);
+    f << example("overlap.con") << "\n" << example("paper_fig1.con");
+    // deliberately no final '\n'
+  }
+  std::istringstream in;
+  std::ostringstream out, err;
+  ASSERT_EQ(cli::run({"batch", list_path}, in, out, err), 0) << err.str();
+  EXPECT_EQ(count_lines_starting(out.str(), example("overlap.con")), 1);
+  EXPECT_EQ(count_lines_starting(out.str(), example("paper_fig1.con")), 1)
+      << out.str();
+  std::remove(list_path.c_str());
+}
+
+}  // namespace
+}  // namespace picola

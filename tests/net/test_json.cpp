@@ -1,0 +1,110 @@
+// net/json.h — the wire-protocol JSON model: parsing of untrusted text
+// (errors, not exceptions), escape handling, numeric round-trips, and the
+// deterministic compact serialiser.
+
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+namespace picola::net {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::parse("false")->as_bool());
+  EXPECT_EQ(JsonValue::parse("42")->as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7")->as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3")->as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, IntegerTokensStayExactInt64) {
+  auto v = JsonValue::parse("9223372036854775807");
+  ASSERT_TRUE(v && v->is_int());
+  EXPECT_EQ(v->as_int(), INT64_MAX);
+  // Out of int64 range falls back to double instead of failing.
+  auto big = JsonValue::parse("92233720368547758080");
+  ASSERT_TRUE(big && big->is_number());
+  EXPECT_FALSE(big->is_int());
+}
+
+TEST(Json, ObjectAndArrayAccess) {
+  auto v = JsonValue::parse(R"({"a":[1,2,3],"b":{"c":true}})");
+  ASSERT_TRUE(v && v->is_object());
+  const JsonValue* a = v->find("a");
+  ASSERT_TRUE(a && a->is_array());
+  EXPECT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[2].as_int(), 3);
+  const JsonValue* b = v->find("b");
+  ASSERT_TRUE(b && b->find("c"));
+  EXPECT_TRUE(b->find("c")->as_bool());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, EscapesRoundTrip) {
+  auto v = JsonValue::parse(R"("a\"b\\c\/d\n\t\r\b\f")");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\n\t\r\b\f");
+  // dump() re-escapes; reparse gives the same string back.
+  auto again = JsonValue::parse(v->dump());
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->as_string(), v->as_string());
+}
+
+TEST(Json, UnicodeEscapes) {
+  auto v = JsonValue::parse(R"("Aé中")");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe4\xb8\xad");  // A, é, 中 in UTF-8
+  // Surrogate pair: U+1F600.
+  auto emoji = JsonValue::parse(R"("😀")");
+  ASSERT_TRUE(emoji);
+  EXPECT_EQ(emoji->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, MalformedInputReturnsErrorNotThrow) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValue::parse("{", &error));
+  EXPECT_FALSE(JsonValue::parse("[1,", &error));
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", &error));
+  EXPECT_FALSE(JsonValue::parse("nul", &error));
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}", &error));
+  EXPECT_FALSE(JsonValue::parse("1 2", &error));  // trailing garbage
+  EXPECT_FALSE(JsonValue::parse("\"bad \x01 control\"", &error));
+  EXPECT_FALSE(JsonValue::parse(R"("\ud83d")", &error));  // lone surrogate
+}
+
+TEST(Json, DepthLimitStopsHostileNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(deep, &error));
+  // A reasonable depth still parses.
+  std::string ok(30, '[');
+  ok += std::string(30, ']');
+  EXPECT_TRUE(JsonValue::parse(ok));
+}
+
+TEST(Json, DumpIsDeterministicSortedCompact) {
+  JsonValue v = JsonValue::make_object();
+  v.set("zeta", JsonValue::make_int(1));
+  v.set("alpha", JsonValue::make_bool(false));
+  JsonValue arr = JsonValue::make_array();
+  arr.push_back(JsonValue::make_string("x"));
+  arr.push_back(JsonValue());
+  v.set("mid", arr);
+  EXPECT_EQ(v.dump(), R"({"alpha":false,"mid":["x",null],"zeta":1})");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  JsonValue v = JsonValue::make_string(std::string("a\nb\x01") + "\"\\");
+  auto back = JsonValue::parse(v.dump());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->as_string(), v.as_string());
+}
+
+}  // namespace
+}  // namespace picola::net

@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
 namespace picola {
 namespace {
 
@@ -124,6 +129,84 @@ TEST(ResultCacheTest, ShardsSplitCapacity) {
     cache.insert(canonicalize(make_job({{i % 7, (i % 7) + 1}}, 32, i + 1)),
                  make_result(i));
   EXPECT_LE(cache.size(), 8u);
+}
+
+
+// ---- concurrency: mixed hit/miss/evict traffic on a tiny cache --------
+
+TEST(ResultCacheStressTest, ConcurrentMixedTrafficStaysCoherent) {
+  // Small capacity + many threads + more distinct jobs than capacity:
+  // every lookup/insert races with evictions of the same shards.
+  constexpr size_t kCapacity = 8;
+  constexpr int kThreads = 8;
+  constexpr int kDistinctJobs = 64;
+  constexpr int kOpsPerThread = 2000;
+  ResultCache cache(kCapacity, 4);
+
+  // Job i's result carries marker i (total_cubes = 1000 + i): any torn or
+  // cross-wired entry surfaces as a marker mismatch.
+  std::vector<CanonicalJob> jobs;
+  for (int i = 0; i < kDistinctJobs; ++i)
+    jobs.push_back(canonicalize(
+        make_job({{0, 1, i % 7 + 2}, {i % 5 + 2, 7}}, 16, i + 1)));
+  for (int i = 0; i < kDistinctJobs; ++i)
+    for (int j = 0; j < i; ++j)
+      ASSERT_NE(jobs[size_t(i)].fingerprint, jobs[size_t(j)].fingerprint);
+
+  std::atomic<long> observed_hits{0};
+  std::atomic<bool> integrity_ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t) * 7919u + 13u);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        int i = static_cast<int>(rng() % kDistinctJobs);
+        const CanonicalJob& job = jobs[size_t(i)];
+        if (auto r = cache.lookup(job)) {
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+          if (r->total_cubes != 1000 + i)
+            integrity_ok.store(false, std::memory_order_relaxed);
+        } else {
+          cache.insert(job, make_result(1000 + i));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // No lookup ever returned another job's result.
+  EXPECT_TRUE(integrity_ok.load());
+  // The cache never grew past its capacity...
+  EXPECT_LE(cache.size(), kCapacity);
+  // ...yet it worked: with 8 slots over 64 keys there were evictions and
+  // still some hits.
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GT(observed_hits.load(), 0);
+  // Stats are internally coherent with what the threads observed.
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<long>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.entries, cache.size());
+}
+
+TEST(ResultCacheStressTest, ConcurrentReinsertsOfSameKeyKeepOneEntry) {
+  ResultCache cache(16, 2);
+  const CanonicalJob job = canonicalize(make_job({{0, 1, 2}}, 8, 3));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        cache.insert(job, make_result(7));
+        auto r = cache.lookup(job);
+        if (r) EXPECT_EQ(r->total_cubes, 7);
+      }
+    });
+  for (auto& th : threads) th.join();
+  auto r = cache.lookup(job);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->total_cubes, 7);
+  EXPECT_EQ(cache.stats().entries, 1u);
 }
 
 }  // namespace

@@ -116,5 +116,55 @@ TEST(ThreadPoolTest, TracksQueueHighWater) {
   EXPECT_GE(pool.queue_high_water(), 5u);
 }
 
+
+// ---- regression: shutdown and exception safety (see ISSUE: net PR) ----
+
+TEST(ThreadPoolTest, PostAndSubmitAfterShutdownFailCleanly) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.post([]() {}), std::runtime_error);
+  EXPECT_THROW(pool.submit([]() { return 1; }), std::runtime_error);
+  // Shutdown is idempotent and the rejections left the pool coherent.
+  pool.shutdown();
+  EXPECT_THROW(pool.post([]() {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ThrowingPostedTaskDoesNotTerminateWorker) {
+  obs::MetricsRegistry metrics;
+  ThreadPool pool(2, 0, &metrics);
+  // A raw post()ed task has no future to carry its exception; the worker
+  // must swallow it (and count it) instead of std::terminate-ing.
+  for (int i = 0; i < 8; ++i)
+    pool.post([]() { throw std::runtime_error("boom"); });
+  pool.wait_idle();
+  EXPECT_EQ(metrics.counter_value("pool/tasks_failed"), 8u);
+  // The workers survived: the pool still runs tasks.
+  EXPECT_EQ(pool.submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, DestructorDuringInflightThrowingTasksIsSafe) {
+  std::atomic<int> started{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i)
+      pool.post([&started]() {
+        ++started;
+        throw std::runtime_error("mid-flight failure");
+      });
+    // Destructor runs here with tasks queued and throwing: it must drain
+    // them all and join without terminating.
+  }
+  EXPECT_EQ(started.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionStillPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::invalid_argument("bad"); });
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  // ...and is not double-counted as a raw task failure path: the pool
+  // remains usable.
+  EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
 }  // namespace
 }  // namespace picola
