@@ -15,6 +15,7 @@
 #include "core/picola.h"
 #include "espresso/espresso.h"
 #include "eval/constraint_eval.h"
+#include "fault/fault.h"
 #include "kiss/benchmarks.h"
 #include "obs/obs.h"
 
@@ -163,6 +164,55 @@ bool run_obs_overhead_check() {
   return ok;
 }
 
+/// Same methodology for the fault hooks (fault/fault.h): cost of one
+/// disabled PICOLA_FAULT_POINT (tight loop, no plan installed) times the
+/// consults one encode performs (counted exactly by an installed empty
+/// plan — expected 0: the hooks live in the serving stack, not the
+/// encode kernel), bounded against the encode time.
+bool run_fault_overhead_check() {
+  static const char* kNames[] = {"lion9", "ex2", "keyb", "planet"};
+
+  constexpr int kGuardReps = 1000000;
+  uint64_t g0 = steady_now_ns();
+  for (int i = 0; i < kGuardReps; ++i) {
+    fault::Action a = PICOLA_FAULT_POINT("bench/guard");
+    benchmark::DoNotOptimize(&a);
+  }
+  double guard_ns = static_cast<double>(steady_now_ns() - g0) / kGuardReps;
+
+  std::printf("\nfault overhead gate (guard %.2f ns when disabled):\n",
+              guard_ns);
+  bool ok = true;
+  for (const char* name : kNames) {
+    DerivedConstraints d = derive_face_constraints(make_benchmark(name));
+
+    // Consults per encode: an installed plan with no rules counts every
+    // fault point the encode path touches without injecting anything.
+    auto plan = std::make_shared<fault::FaultPlan>(0);
+    fault::install(plan);
+    picola_encode(d.set);
+    uint64_t consults = 0;
+    for (const auto& [point, st] : plan->stats()) consults += st.calls;
+    fault::install(nullptr);
+
+    constexpr int kReps = 5;
+    uint64_t t0 = steady_now_ns();
+    for (int i = 0; i < kReps; ++i)
+      benchmark::DoNotOptimize(picola_encode(d.set).encoding.codes);
+    double encode_ns = static_cast<double>(steady_now_ns() - t0) / kReps;
+
+    double overhead =
+        100.0 * (static_cast<double>(consults) * guard_ns) / encode_ns;
+    bool pass = overhead < 1.0;
+    ok &= pass;
+    std::printf(
+        "  %-8s %8llu consults/encode, %10.0f ns/encode -> %6.4f%% %s\n",
+        name, static_cast<unsigned long long>(consults), encode_ns, overhead,
+        pass ? "OK" : "FAIL (>= 1%)");
+  }
+  return ok;
+}
+
 }  // namespace
 }  // namespace picola
 
@@ -171,5 +221,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return picola::run_obs_overhead_check() ? 0 : 1;
+  bool ok = picola::run_obs_overhead_check();
+  ok &= picola::run_fault_overhead_check();
+  return ok ? 0 : 1;
 }

@@ -63,7 +63,8 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                       "--cache", "--trace",
                                       "--tcp", "--bind", "--max-inflight",
                                       "--idle-timeout-ms", "--max-frame-bytes",
-                                      "--retry-after-ms", "--deadline-ms"};
+                                      "--retry-after-ms", "--deadline-ms",
+                                      "--retries", "--timeout-ms"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -737,13 +738,19 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
   }
 
   // Graceful drain on SIGTERM/SIGINT; previous dispositions restored so
-  // in-process callers (tests) leave no trace.
+  // in-process callers (tests) leave no trace.  SIGPIPE ignored for the
+  // server's lifetime: socket writes use MSG_NOSIGNAL already, but a peer
+  // vanishing between a stdio flush and a pipe must not kill the process.
   g_signal_server.store(server.get(), std::memory_order_relaxed);
-  struct sigaction sa_new {}, sa_old_term {}, sa_old_int {};
+  struct sigaction sa_new {}, sa_old_term {}, sa_old_int {}, sa_old_pipe {};
   sa_new.sa_handler = picola_serve_signal_handler;
   sigemptyset(&sa_new.sa_mask);
   sigaction(SIGTERM, &sa_new, &sa_old_term);
   sigaction(SIGINT, &sa_new, &sa_old_int);
+  struct sigaction sa_ign {};
+  sa_ign.sa_handler = SIG_IGN;
+  sigemptyset(&sa_ign.sa_mask);
+  sigaction(SIGPIPE, &sa_ign, &sa_old_pipe);
 
   out << "listening " << o.bind_address << ":" << server->port() << "\n";
   out.flush();
@@ -751,6 +758,7 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
 
   sigaction(SIGTERM, &sa_old_term, nullptr);
   sigaction(SIGINT, &sa_old_int, nullptr);
+  sigaction(SIGPIPE, &sa_old_pipe, nullptr);
   g_signal_server.store(nullptr, std::memory_order_relaxed);
 
   net::NetStats s = server->stats();
@@ -804,7 +812,20 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
   }
   const bool send_inline = a.options.count("--inline") != 0;
 
-  net::Client client;
+  net::ClientOptions copt;
+  if (a.options.count("--retries")) {
+    auto v = parse_int_option(a, "--retries", 0, 1000, err);
+    if (!v) return 2;
+    copt.max_retries = *v;
+  }
+  if (a.options.count("--timeout-ms")) {
+    auto v = parse_int_option(a, "--timeout-ms", 1, 86'400'000, err);
+    if (!v) return 2;
+    copt.io_timeout_ms = *v;
+    copt.connect_timeout_ms = *v;
+  }
+
+  net::Client client(copt);
   std::string error;
   if (!client.connect(hp.substr(0, colon), static_cast<uint16_t>(*port),
                       &error)) {
@@ -859,7 +880,7 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
         req.set("deadline_ms", net::JsonValue::make_int(deadline_ms));
     }
 
-    auto resp = client.call(req, &error);
+    auto resp = client.call_with_retry(req, &error);
     if (!resp) {
       err << error << "\n";
       return 1;

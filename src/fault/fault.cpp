@@ -1,0 +1,233 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace picola::fault {
+
+namespace detail {
+std::atomic<bool> g_active{false};
+}
+
+namespace {
+
+std::mutex g_plan_mu;
+std::shared_ptr<FaultPlan> g_plan;
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t hash_point(std::string_view point) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Uniform [0, 1) from (seed, point, call index) — the probability coin.
+double hash01(uint64_t seed, std::string_view point, uint64_t index) {
+  uint64_t h = splitmix64(seed ^ splitmix64(hash_point(point) ^ index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlan&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  seed_ = other.seed_;
+  rules_ = std::move(other.rules_);
+  counts_ = std::move(other.counts_);
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNone: return "none";
+    case Kind::kErrno: return "errno";
+    case Kind::kShortIo: return "short_io";
+    case Kind::kDelay: return "delay";
+    case Kind::kThrow: return "throw";
+    case Kind::kFail: return "fail";
+  }
+  return "?";
+}
+
+void apply_delay(const Action& a) {
+  if (a.kind == Kind::kDelay && a.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(a.delay_ms));
+}
+
+void FaultPlan::add(Rule rule) {
+  if (rule.every == 0) rule.every = 1;
+  if (rule.probability < 1.0 && rule.max_fires != UINT64_MAX)
+    throw std::invalid_argument(
+        "FaultPlan: probabilistic rules must be uncapped (max_fires) so "
+        "decisions stay a pure function of the call index");
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.try_emplace(rule.point);  // appear in stats() even with 0 calls
+  rules_.push_back(std::move(rule));
+}
+
+Action FaultPlan::decision(std::string_view point, uint64_t index) const {
+  for (const Rule& r : rules_) {
+    if (r.point != point) continue;
+    if (index < r.after_calls) continue;
+    uint64_t k = index - r.after_calls;
+    if (k % r.every != 0) continue;
+    if (r.probability < 1.0) {
+      if (hash01(seed_, point, index) >= r.probability) continue;
+    } else if (k / r.every >= r.max_fires) {
+      continue;
+    }
+    return r.action;
+  }
+  return {};
+}
+
+Action FaultPlan::consult(const char* point) {
+  uint64_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointStats& s = counts_[point];
+    index = s.calls++;
+  }
+  Action a = decision(point, index);
+  if (a) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counts_[point].fires++;
+  }
+  return a;
+}
+
+std::map<std::string, FaultPlan::PointStats> FaultPlan::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "plan seed=" << seed_ << " rules=" << rules_.size();
+  for (const Rule& r : rules_) {
+    os << "\n  " << r.point << ": " << kind_name(r.action.kind);
+    if (r.action.kind == Kind::kErrno) os << "(" << r.action.error << ")";
+    if (r.action.kind == Kind::kShortIo)
+      os << "(" << r.action.max_bytes << "B)";
+    if (r.action.kind == Kind::kDelay) os << "(" << r.action.delay_ms << "ms)";
+    os << " after=" << r.after_calls << " every=" << r.every;
+    if (r.probability < 1.0)
+      os << " p=" << r.probability;
+    else
+      os << " max_fires=" << r.max_fires;
+  }
+  return os.str();
+}
+
+uint64_t FaultPlan::schedule_fingerprint(uint64_t window) const {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  // Rule order is fixed at build time, so iterating rules (not the
+  // mutex-guarded counts map) keeps this const and lock-free.
+  std::vector<std::string> points;
+  for (const Rule& r : rules_)
+    if (std::find(points.begin(), points.end(), r.point) == points.end())
+      points.push_back(r.point);
+  for (const std::string& p : points) {
+    mix(hash_point(p));
+    for (uint64_t i = 0; i < window; ++i) {
+      Action a = decision(p, i);
+      mix(static_cast<uint64_t>(a.kind));
+      mix(static_cast<uint64_t>(a.error));
+      mix(a.max_bytes);
+      mix(static_cast<uint64_t>(a.delay_ms));
+    }
+  }
+  return h;
+}
+
+FaultPlan FaultPlan::random(uint64_t seed) {
+  /// What each catalog point may inject (kErrno entries list the errnos
+  /// its call sites are expected to survive).
+  struct CatalogEntry {
+    const char* point;
+    std::vector<Action> menu;
+  };
+  static const std::vector<CatalogEntry> kCatalog = {
+      {"net/read",
+       {{Kind::kErrno, EINTR, 0, 0},
+        {Kind::kErrno, EAGAIN, 0, 0},
+        {Kind::kErrno, ECONNRESET, 0, 0},
+        {Kind::kShortIo, 0, 1, 0}}},
+      {"net/write",
+       {{Kind::kErrno, EINTR, 0, 0},
+        {Kind::kErrno, EAGAIN, 0, 0},
+        {Kind::kErrno, EPIPE, 0, 0},
+        {Kind::kErrno, ECONNRESET, 0, 0},
+        {Kind::kShortIo, 0, 1, 0},
+        {Kind::kDelay, 0, 0, 2}}},
+      {"net/accept",
+       {{Kind::kErrno, EINTR, 0, 0}, {Kind::kErrno, ECONNABORTED, 0, 0}}},
+      {"net/connect",
+       {{Kind::kErrno, EINTR, 0, 0}, {Kind::kErrno, ECONNREFUSED, 0, 0}}},
+      {"net/epoll_wait", {{Kind::kErrno, EINTR, 0, 0}}},
+      {"net/close", {{Kind::kErrno, EINTR, 0, 0}}},
+      {"pool/task", {{Kind::kDelay, 0, 0, 2}, {Kind::kThrow, 0, 0, 0}}},
+      {"service/restart_task",
+       {{Kind::kThrow, 0, 0, 0}, {Kind::kDelay, 0, 0, 2}}},
+      {"service/job_alloc", {{Kind::kThrow, 0, 0, 0}}},
+      {"cache/insert", {{Kind::kFail, 0, 0, 0}}},
+  };
+
+  FaultPlan plan(seed);
+  uint64_t s = splitmix64(seed ^ 0xC4A05);
+  auto next = [&s]() { return s = splitmix64(s); };
+  int nrules = 1 + static_cast<int>(next() % 6);
+  for (int i = 0; i < nrules; ++i) {
+    const CatalogEntry& e = kCatalog[next() % kCatalog.size()];
+    Rule r;
+    r.point = e.point;
+    r.action = e.menu[next() % e.menu.size()];
+    if (r.action.kind == Kind::kShortIo)
+      r.action.max_bytes = 1 + next() % 7;
+    if (r.action.kind == Kind::kDelay)
+      r.action.delay_ms = 1 + static_cast<int>(next() % 4);
+    r.after_calls = next() % 40;
+    r.every = 1 + next() % 6;
+    r.max_fires = 1 + next() % 6;
+    plan.add(std::move(r));
+  }
+  return plan;
+}
+
+void install(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  g_plan = std::move(plan);
+  detail::g_active.store(g_plan != nullptr, std::memory_order_relaxed);
+}
+
+std::shared_ptr<FaultPlan> current() {
+  std::lock_guard<std::mutex> lock(g_plan_mu);
+  return g_plan;
+}
+
+Action consult(const char* point) {
+  std::shared_ptr<FaultPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mu);
+    plan = g_plan;
+  }
+  return plan ? plan->consult(point) : Action{};
+}
+
+}  // namespace picola::fault

@@ -1,0 +1,161 @@
+#pragma once
+// Deterministic fault injection for the serving stack (the testing
+// counterpart of obs/obs.h, and built to the same cost model):
+//
+//  * Runtime: with no plan installed, a PICOLA_FAULT_POINT site costs one
+//    inline relaxed atomic load (see the bench/micro_kernels gate — the
+//    same <1% budget as the obs span guards).
+//  * Compile time: -DPICOLA_FAULT_DISABLED expands every site to a
+//    constant no-fault Action, for builds where even the load must go.
+//
+// A FaultPlan is reproducible from a single 64-bit seed: every decision
+// is a pure function of (seed, point name, per-point call index), so
+// re-running a seed replays the identical injection schedule regardless
+// of wall-clock timing.  Rules are counter-based — fire at eligible call
+// indices (after_calls, then every k-th) up to max_fires — or
+// probabilistic (a seeded hash of the call index, uncapped so the
+// decision stays index-pure).
+//
+// Fault-point catalog and reproduction workflow: docs/RESILIENCE.md.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace picola::fault {
+
+enum class Kind : uint8_t {
+  kNone,     ///< no fault
+  kErrno,    ///< syscall fails with `error` (EINTR, EAGAIN, ECONNRESET...)
+  kShortIo,  ///< syscall proceeds, byte count clamped to `max_bytes`
+  kDelay,    ///< sleep `delay_ms`, then proceed (slow peer / slow task)
+  kThrow,    ///< site throws (task failure, allocation failure)
+  kFail,     ///< site silently degrades (e.g. a cache insert is dropped)
+};
+
+const char* kind_name(Kind k);
+
+/// What one consulted fault point should do right now.
+struct Action {
+  Kind kind = Kind::kNone;
+  int error = 0;         ///< errno for kErrno
+  size_t max_bytes = 0;  ///< clamp for kShortIo
+  int delay_ms = 0;      ///< sleep for kDelay
+  explicit operator bool() const { return kind != Kind::kNone; }
+};
+
+/// Sleep helper for kDelay actions (no-op for everything else).
+void apply_delay(const Action& a);
+
+/// One scheduled behaviour at one point.  With probability == 1 the rule
+/// fires at call indices after_calls, after_calls + every, ... for at
+/// most max_fires fires.  With probability < 1 each eligible index fires
+/// independently (seeded hash); max_fires must stay unlimited then so a
+/// decision depends only on its own index.
+struct Rule {
+  std::string point;
+  Action action;
+  uint64_t after_calls = 0;
+  uint64_t every = 1;
+  uint64_t max_fires = 1;
+  double probability = 1.0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+  FaultPlan(FaultPlan&& other) noexcept;  // the mutex stays behind
+
+  uint64_t seed() const { return seed_; }
+
+  /// Append a rule (earlier rules win when several match one call).
+  /// Throws std::invalid_argument for probability < 1 with capped fires.
+  void add(Rule rule);
+
+  /// A pseudo-random bounded schedule over the built-in point catalog:
+  /// 1-6 counter-based rules, every fault kind a point supports, small
+  /// max_fires — so injected trouble is always finite and a retrying
+  /// client must eventually succeed.  Same seed, same plan, always.
+  static FaultPlan random(uint64_t seed);
+
+  /// The decision for `point`'s next call (thread-safe; bumps the
+  /// per-point call counter, and the fire counter when it fires).
+  Action consult(const char* point);
+
+  /// Pure decision function: what call `index` at `point` does.  No side
+  /// effects — the reproducibility anchor (consult(p) on the n-th call
+  /// returns exactly decision(p, n)).
+  Action decision(std::string_view point, uint64_t index) const;
+
+  struct PointStats {
+    uint64_t calls = 0;
+    uint64_t fires = 0;
+  };
+  std::map<std::string, PointStats> stats() const;
+
+  /// Human-readable rule list (chaos-harness logs).
+  std::string describe() const;
+
+  /// FNV-style hash of decision(point, 0..window) over every point the
+  /// plan has rules for — two runs of one seed must agree on it.
+  uint64_t schedule_fingerprint(uint64_t window = 64) const;
+
+ private:
+  uint64_t seed_;
+  std::vector<Rule> rules_;
+  mutable std::mutex mu_;
+  std::map<std::string, PointStats, std::less<>> counts_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_active;  ///< storage behind active()
+}
+
+/// True while a plan is installed.  One relaxed load — the entire cost
+/// of a fault point in a production process.
+inline bool active() {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+/// Install `plan` process-wide (nullptr uninstalls).  Keeps the previous
+/// plan alive until every in-flight consult drains.
+void install(std::shared_ptr<FaultPlan> plan);
+std::shared_ptr<FaultPlan> current();
+
+/// Consult the installed plan (no-fault Action when none).
+Action consult(const char* point);
+
+/// Installs a plan for the enclosing scope, uninstalls on exit (tests).
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan plan)
+      : plan_(std::make_shared<FaultPlan>(std::move(plan))) {
+    install(plan_);
+  }
+  ~ScopedPlan() { install(nullptr); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+  FaultPlan& plan() { return *plan_; }
+
+ private:
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+}  // namespace picola::fault
+
+#ifndef PICOLA_FAULT_DISABLED
+/// The decision for this call of fault point `point` (a string literal
+/// from the catalog in docs/RESILIENCE.md).  Costs one relaxed load when
+/// no plan is installed.
+#define PICOLA_FAULT_POINT(point)                                      \
+  (::picola::fault::active() ? ::picola::fault::consult(point)         \
+                             : ::picola::fault::Action{})
+#else
+#define PICOLA_FAULT_POINT(point) (::picola::fault::Action{})
+#endif

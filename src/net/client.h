@@ -1,10 +1,25 @@
 #pragma once
-// Blocking client for the TCP encoding server (net/server.h): connects,
-// speaks the length-prefixed JSON framing, and exposes one-call request /
-// response plus the raw frame primitives for pipelined use (send several
-// requests, then collect the responses in order).  Single-threaded by
-// design — one Client per thread.
+// Client for the TCP encoding server (net/server.h): speaks the
+// length-prefixed JSON framing and exposes one-call request / response
+// plus the raw frame primitives for pipelined use (send several
+// requests, then collect the responses in order).
+//
+// All socket I/O is non-blocking under the hood, bounded by
+// ClientOptions::connect_timeout_ms / io_timeout_ms, and routed through
+// the net/sys.h shim so fault plans can inject EINTR, EAGAIN, short
+// I/O and resets deterministically.
+//
+// call_with_retry() adds the resilience layer: reconnect on transport
+// failure, exponential backoff with full jitter (seeded, so a chaos run
+// is reproducible), the server's retry_after_ms honored as a floor on
+// the delay after an `overloaded` reply, a per-request retry budget,
+// and a small circuit breaker that fails fast while the server looks
+// dead and probes again after breaker_open_ms (half-open).  Semantics
+// and defaults: docs/RESILIENCE.md.
+//
+// Single-threaded by design — one Client per thread.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -14,33 +29,86 @@
 
 namespace picola::net {
 
+struct ClientOptions {
+  int connect_timeout_ms = 5000;  ///< TCP connect establishment bound
+  int io_timeout_ms = 30000;      ///< bound on one full frame send / recv
+  int max_retries = 0;            ///< extra attempts in call_with_retry()
+  int backoff_base_ms = 10;       ///< first retry delay cap
+  int backoff_max_ms = 2000;      ///< delay cap after many doublings
+  uint64_t jitter_seed = 1;       ///< seeds the full-jitter draw
+  int breaker_threshold = 8;      ///< consecutive transport failures to open
+  int breaker_open_ms = 1000;     ///< fail-fast window before half-open probe
+};
+
 class Client {
  public:
-  Client() = default;
+  Client() : Client(ClientOptions{}) {}
+  explicit Client(ClientOptions opt);
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connect to host:port.  Returns false and fills *error on failure.
+  const ClientOptions& options() const { return opt_; }
+
+  /// Connect to host:port within connect_timeout_ms.  Returns false and
+  /// fills *error on failure.  Remembers the address for reconnects.
   bool connect(const std::string& host, uint16_t port,
                std::string* error = nullptr);
   bool connected() const { return fd_ >= 0; }
   void close();
 
-  /// Send one frame carrying `payload` (already-serialised JSON).
+  /// Send one frame carrying `payload` (already-serialised JSON) within
+  /// io_timeout_ms.
   bool send(const std::string& payload, std::string* error = nullptr);
 
-  /// Block until the next complete frame arrives; nullopt on EOF/error.
+  /// Block (up to io_timeout_ms) until the next complete frame arrives;
+  /// nullopt on EOF / error / timeout.
   std::optional<std::string> recv(std::string* error = nullptr);
 
-  /// send() + recv() + parse.
+  /// send() + recv() + parse.  One attempt, no retries.
   std::optional<JsonValue> call(const JsonValue& request,
                                 std::string* error = nullptr);
 
+  /// call() wrapped in the retry policy described in the header comment.
+  /// Reconnects as needed using the address from the last connect().
+  /// A reply carrying a non-`overloaded` server error is a *successful*
+  /// call — it is returned as-is, not retried.
+  std::optional<JsonValue> call_with_retry(const JsonValue& request,
+                                           std::string* error = nullptr);
+
+  struct Stats {
+    uint64_t attempts = 0;       ///< call_with_retry attempts (incl. first)
+    uint64_t retries = 0;        ///< attempts after the first
+    uint64_t reconnects = 0;     ///< successful re-connect()s
+    uint64_t overloaded = 0;     ///< `overloaded` replies seen
+    uint64_t breaker_opens = 0;  ///< closed/half-open -> open transitions
+    uint64_t breaker_waits = 0;  ///< attempts that waited out an open window
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Delay before retry number `attempt` (0-based): uniform draw from
+  /// [0, min(backoff_max_ms, backoff_base_ms << attempt)] — "full
+  /// jitter".  Deterministic for one (jitter_seed, draw sequence).
+  int backoff_delay_ms(int attempt);
+
  private:
+  bool wait_io(short events, std::chrono::steady_clock::time_point deadline,
+               std::string* error, const char* what);
+  void record_failure();
+  void record_success();
+  int64_t breaker_remaining_ms() const;
+
+  ClientOptions opt_;
   int fd_ = -1;
   FrameReader reader_{kFrameAbsoluteMax};
+  std::string host_;
+  uint16_t port_ = 0;
+  bool have_addr_ = false;
+  uint64_t rng_;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_open_until_{};
+  Stats stats_;
 };
 
 }  // namespace picola::net

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "net/sys.h"
+
 #if defined(__linux__)
 #define PICOLA_NET_HAVE_EPOLL 1
 #include <sys/epoll.h>
@@ -103,7 +105,7 @@ int Poller::wait(std::vector<PollEvent>* out, int timeout_ms) {
 #if PICOLA_NET_HAVE_EPOLL
   if (backend_ == PollBackend::kEpoll) {
     epoll_event events[64];
-    int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    int n = sys::epoll_wait(epoll_fd_, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) return 0;
       throw std::runtime_error("epoll_wait: " + std::string(strerror(errno)));
@@ -128,7 +130,7 @@ int Poller::wait(std::vector<PollEvent>* out, int timeout_ms) {
     if (want.second) p.events |= POLLOUT;
     fds.push_back(p);
   }
-  int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  int n = sys::poll(fds.data(), fds.size(), timeout_ms);
   if (n < 0) {
     if (errno == EINTR) return 0;
     throw std::runtime_error("poll: " + std::string(strerror(errno)));

@@ -24,6 +24,7 @@
 #include "eval/metrics.h"
 #include "net/frame.h"
 #include "net/json.h"
+#include "net/sys.h"
 #include "service/job.h"
 
 namespace picola::net {
@@ -162,7 +163,9 @@ struct Server::Impl {
     set_nonblocking(wake_wr_);
   }
 
-  /// Async-signal-safe: one relaxed store and one write(2).
+  /// Async-signal-safe: one relaxed store and one write(2).  Raw
+  /// ::write on purpose — the sys:: shim takes a mutex and must not run
+  /// inside a signal handler.
   void wake() noexcept {
     char b = 'w';
     [[maybe_unused]] ssize_t n = ::write(wake_wr_, &b, 1);
@@ -229,16 +232,22 @@ struct Server::Impl {
 
   void drain_wake_pipe() {
     char buf[256];
-    while (::read(wake_rd_, buf, sizeof buf) > 0) {
+    for (;;) {
+      ssize_t k = sys::read(wake_rd_, buf, sizeof buf);
+      if (k > 0) continue;
+      if (k < 0 && errno == EINTR) continue;  // a pending byte must not
+      break;                                  // survive an EINTR storm
     }
   }
 
   void accept_all() {
     if (draining_) return;
     for (;;) {
-      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      int fd = sys::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
+        // The peer gave up between connect and accept — not our error.
+        if (errno == ECONNABORTED) continue;
         break;  // EAGAIN or transient error
       }
       set_nonblocking(fd);
@@ -258,7 +267,7 @@ struct Server::Impl {
   void on_readable(Conn* conn) {
     char buf[65536];
     for (;;) {
-      ssize_t k = ::read(conn->fd, buf, sizeof buf);
+      ssize_t k = sys::read(conn->fd, buf, sizeof buf);
       if (k > 0) {
         conn->last_activity_ns = obs::now_ns();
         if (!conn->reader.feed(buf, static_cast<size_t>(k))) {
@@ -461,14 +470,36 @@ struct Server::Impl {
 
     // The callback runs on whichever thread finishes the job (inline on a
     // cache hit); it only enqueues and wakes the loop.
-    service_.submit(std::move(job),
-                    [this, serial](std::shared_future<JobResult> fut) {
-                      {
-                        std::lock_guard<std::mutex> lock(done_mu_);
-                        done_.emplace_back(serial, std::move(fut));
-                      }
-                      wake();
-                    });
+    try {
+      service_.submit(std::move(job),
+                      [this, serial](std::shared_future<JobResult> fut) {
+                        {
+                          std::lock_guard<std::mutex> lock(done_mu_);
+                          done_.emplace_back(serial, std::move(fut));
+                        }
+                        wake();
+                      });
+    } catch (const std::exception& e) {
+      // submit() itself failed (allocation, canonicalisation): the
+      // admitted request still gets its one reply, right now.
+      JsonValue echoed_id;
+      auto it = requests_.find(serial);
+      if (it != requests_.end()) {
+        echoed_id = std::move(it->second.id);
+        if (it->second.deadline_ns) {
+          auto range = deadlines_.equal_range(it->second.deadline_ns);
+          for (auto d = range.first; d != range.second; ++d)
+            if (d->second == serial) {
+              deadlines_.erase(d);
+              break;
+            }
+        }
+        requests_.erase(it);
+      }
+      inflight_.set(static_cast<int64_t>(requests_.size()));
+      conn->pending--;
+      send_error(conn, echoed_id, "internal_error", e.what());
+    }
   }
 
   // ---- completions, deadlines, idle, drain -----------------------------
@@ -625,8 +656,10 @@ struct Server::Impl {
 
   void try_flush(Conn* conn) {
     while (conn->woff < conn->wbuf.size()) {
-      ssize_t k = ::write(conn->fd, conn->wbuf.data() + conn->woff,
-                          conn->wbuf.size() - conn->woff);
+      // MSG_NOSIGNAL: a peer that closed mid-frame is EPIPE (handled
+      // below), never a process-killing SIGPIPE.
+      ssize_t k = sys::send_nosig(conn->fd, conn->wbuf.data() + conn->woff,
+                                  conn->wbuf.size() - conn->woff);
       if (k > 0) {
         conn->woff += static_cast<size_t>(k);
         conn->last_activity_ns = obs::now_ns();
@@ -679,7 +712,7 @@ struct Server::Impl {
           req.cancel->cancel();
       }
       poller_.remove(conn->fd);
-      ::close(conn->fd);
+      sys::close(conn->fd);  // injected EINTR tolerated: fd is gone
       closed_.add(1);
       it = conns_.erase(it);
     }

@@ -1,0 +1,92 @@
+#include "net/sys.h"
+
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+
+#include "fault/fault.h"
+
+namespace picola::net::sys {
+
+namespace {
+
+/// Shared prelude: returns true when the caller must fail with the
+/// injected errno; otherwise applies delay / byte-count clamping.
+bool inject(const fault::Action& a, size_t* n) {
+  switch (a.kind) {
+    case fault::Kind::kErrno:
+      errno = a.error;
+      return true;
+    case fault::Kind::kShortIo:
+      if (n && a.max_bytes > 0) *n = std::min(*n, a.max_bytes);
+      return false;
+    case fault::Kind::kDelay:
+      fault::apply_delay(a);
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ssize_t read(int fd, void* buf, size_t n) {
+  fault::Action a = PICOLA_FAULT_POINT("net/read");
+  if (inject(a, &n)) return -1;
+  return ::read(fd, buf, n);
+}
+
+ssize_t write(int fd, const void* buf, size_t n) {
+  fault::Action a = PICOLA_FAULT_POINT("net/write");
+  if (inject(a, &n)) return -1;
+  return ::write(fd, buf, n);
+}
+
+ssize_t send_nosig(int fd, const void* buf, size_t n) {
+  fault::Action a = PICOLA_FAULT_POINT("net/write");
+  if (inject(a, &n)) return -1;
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+int accept(int fd, sockaddr* addr, socklen_t* addrlen) {
+  fault::Action a = PICOLA_FAULT_POINT("net/accept");
+  if (inject(a, nullptr)) return -1;
+  return ::accept(fd, addr, addrlen);
+}
+
+int connect(int fd, const sockaddr* addr, socklen_t addrlen) {
+  fault::Action a = PICOLA_FAULT_POINT("net/connect");
+  if (inject(a, nullptr)) return -1;
+  return ::connect(fd, addr, addrlen);
+}
+
+#if defined(__linux__)
+int epoll_wait(int epfd, ::epoll_event* events, int maxevents,
+               int timeout_ms) {
+  fault::Action a = PICOLA_FAULT_POINT("net/epoll_wait");
+  if (inject(a, nullptr)) return -1;
+  return ::epoll_wait(epfd, events, maxevents, timeout_ms);
+}
+#endif
+
+int poll(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  fault::Action a = PICOLA_FAULT_POINT("net/epoll_wait");
+  if (inject(a, nullptr)) return -1;
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+int close(int fd) {
+  fault::Action a = PICOLA_FAULT_POINT("net/close");
+  int rc = ::close(fd);
+  if (a.kind == fault::Kind::kErrno) {
+    errno = a.error;
+    return -1;
+  }
+  return rc;
+}
+
+}  // namespace picola::net::sys

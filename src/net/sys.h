@@ -1,0 +1,63 @@
+#pragma once
+// The one injectable seam between src/net and the kernel.  Every raw
+// read/write/accept/connect/epoll_wait/poll/close in the serving stack
+// goes through these wrappers, which consult a fault point
+// (fault/fault.h) before touching the syscall:
+//
+//   kErrno    — fail with the injected errno, syscall not performed
+//               (EINTR, EAGAIN, ECONNRESET, EPIPE, ECONNABORTED...)
+//   kShortIo  — clamp the byte count, then perform the real syscall
+//               (short reads / partial writes)
+//   kDelay    — sleep, then perform the real syscall (slow peer)
+//
+// With no plan installed each wrapper is the raw syscall plus one
+// relaxed atomic load.  Socket writes go through send_nosig(), which
+// uses send(2) with MSG_NOSIGNAL so a peer that vanished mid-frame
+// yields EPIPE instead of killing the process with SIGPIPE.
+//
+// NOT async-signal-safe (consulting a plan takes a mutex): signal
+// handlers — the server's wake pipe — must keep using raw write(2).
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include <cstddef>
+
+namespace picola::net::sys {
+
+/// Fault point "net/read".
+ssize_t read(int fd, void* buf, size_t n);
+
+/// Fault point "net/write"; pipes and other non-sockets only.
+ssize_t write(int fd, const void* buf, size_t n);
+
+/// send(2) with MSG_NOSIGNAL — every socket write.  Fault "net/write".
+ssize_t send_nosig(int fd, const void* buf, size_t n);
+
+/// Fault point "net/accept".
+int accept(int fd, sockaddr* addr, socklen_t* addrlen);
+
+/// Fault point "net/connect".
+int connect(int fd, const sockaddr* addr, socklen_t addrlen);
+
+/// Fault point "net/epoll_wait" (shared with poll(): one point covers
+/// "the readiness wait", whichever backend).  Declared only where epoll
+/// exists; net/poller.cpp is the sole caller.
+#if defined(__linux__)
+int epoll_wait(int epfd, ::epoll_event* events, int maxevents,
+               int timeout_ms);
+#endif
+
+/// Fault point "net/epoll_wait".
+int poll(pollfd* fds, nfds_t nfds, int timeout_ms);
+
+/// Fault point "net/close".  The fd is ALWAYS closed (Linux semantics:
+/// close(2) releases the descriptor even when it reports EINTR); the
+/// injected errno only exercises the caller's error handling.
+int close(int fd);
+
+}  // namespace picola::net::sys

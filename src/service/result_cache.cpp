@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "fault/fault.h"
+
 namespace picola {
 
 ResultCache::ResultCache(size_t capacity, int num_shards) {
@@ -38,6 +40,12 @@ std::optional<CachedResult> ResultCache::lookup(const CanonicalJob& job) {
 void ResultCache::insert(const CanonicalJob& job, CachedResult result) {
   Shard& s = shard_of(job.fingerprint);
   std::lock_guard<std::mutex> lock(s.mu);
+  if (PICOLA_FAULT_POINT("cache/insert").kind == fault::Kind::kFail) {
+    // Simulated insert failure: the result is simply not memoised, and
+    // the next equal job recomputes.  Correctness must not notice.
+    ++s.insert_drops;
+    return;
+  }
   auto it = s.index.find(job.fingerprint);
   if (it != s.index.end()) {
     // Refresh (or replace the victim of a fingerprint collision).
@@ -63,6 +71,7 @@ ResultCache::Stats ResultCache::stats() const {
     t.misses += s->misses;
     t.collisions += s->collisions;
     t.evictions += s->evictions;
+    t.insert_drops += s->insert_drops;
     t.entries += s->lru.size();
   }
   return t;

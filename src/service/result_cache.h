@@ -42,6 +42,8 @@ class ResultCache {
 
   /// Memoise `result`; evicts the shard's least-recently-used entry when
   /// the shard is full.  Re-inserting an existing key refreshes it.
+  /// Best-effort: an insert may be dropped (fault point "cache/insert")
+  /// — the cache is a memo, never the source of truth.
   void insert(const CanonicalJob& job, CachedResult result);
 
   struct Stats {
@@ -49,6 +51,7 @@ class ResultCache {
     long misses = 0;
     long collisions = 0;  ///< fingerprint matched but the job differed
     long evictions = 0;
+    long insert_drops = 0;  ///< inserts dropped by fault injection
     size_t entries = 0;
   };
   Stats stats() const;
@@ -69,6 +72,7 @@ class ResultCache {
     long misses = 0;
     long collisions = 0;
     long evictions = 0;
+    long insert_drops = 0;
   };
 
   Shard& shard_of(uint64_t fingerprint) {

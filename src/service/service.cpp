@@ -1,10 +1,13 @@
 #include "service/service.h"
 
 #include <atomic>
+#include <new>
+#include <stdexcept>
 #include <thread>
 
 #include "encoders/restart.h"
 #include "eval/constraint_eval.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace picola {
@@ -120,6 +123,15 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
     auto run_restart = [this, fly, r]() {
       try {
         PICOLA_OBS_SPAN(span_task, "service/restart_task");
+        {
+          fault::Action fa = PICOLA_FAULT_POINT("service/restart_task");
+          fault::apply_delay(fa);
+          if (fa.kind == fault::Kind::kThrow)
+            throw std::runtime_error("injected: service/restart_task");
+        }
+        if (PICOLA_FAULT_POINT("service/job_alloc").kind ==
+            fault::Kind::kThrow)
+          throw std::bad_alloc();
         PicolaOptions ro = picola_restart_options(fly->job.options, r);
         ro.cancel = fly->cancel;
         PicolaResult res = picola_encode(fly->job.set, ro);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/fault.h"
+
 namespace picola {
 
 ThreadPool::ThreadPool(int num_threads, size_t max_queue,
@@ -12,6 +14,7 @@ ThreadPool::ThreadPool(int num_threads, size_t max_queue,
     tasks_posted_ = &metrics->counter("pool/tasks_posted");
     tasks_executed_ = &metrics->counter("pool/tasks_executed");
     tasks_failed_ = &metrics->counter("pool/tasks_failed");
+    task_exceptions_ = &metrics->counter("pool/task_exceptions");
     queue_depth_hwm_ = &metrics->gauge("pool/queue_depth");
   }
   int n = std::max(1, num_threads);
@@ -84,9 +87,16 @@ void ThreadPool::worker_loop() {
     // this frame; an exception escaping a raw post()ed task must not
     // std::terminate the worker (it used to) — swallow and count it.
     try {
+      fault::Action fa = PICOLA_FAULT_POINT("pool/task");
+      fault::apply_delay(fa);
       task();
+      // Injected AFTER the task body so a submit() future is already
+      // satisfied: a pool fault may never orphan a waiter.
+      if (fa.kind == fault::Kind::kThrow)
+        throw std::runtime_error("injected: pool/task");
     } catch (...) {
       if (tasks_failed_) tasks_failed_->add(1);
+      if (task_exceptions_) task_exceptions_->add(1);
     }
     if (tasks_executed_) tasks_executed_->add(1);
     {

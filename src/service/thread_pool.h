@@ -50,11 +50,21 @@ class ThreadPool {
   void post(std::function<void()> task);
 
   /// Enqueue a callable and receive its result (or exception) through a
-  /// future.
+  /// future.  A throwing body is counted in pool/task_exceptions on its
+  /// way into the future (the packaged_task absorbs it before the worker
+  /// could see it).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, fn = std::forward<F>(f)]() mutable -> R {
+          try {
+            return fn();
+          } catch (...) {
+            if (task_exceptions_) task_exceptions_->add(1);
+            throw;
+          }
+        });
     std::future<R> fut = task->get_future();
     post([task]() { (*task)(); });
     return fut;
@@ -88,6 +98,7 @@ class ThreadPool {
   obs::Counter* tasks_posted_ = nullptr;    ///< optional, see constructor
   obs::Counter* tasks_executed_ = nullptr;
   obs::Counter* tasks_failed_ = nullptr;  ///< raw post()ed tasks that threw
+  obs::Counter* task_exceptions_ = nullptr;  ///< every task body that threw
   obs::Gauge* queue_depth_hwm_ = nullptr;
 };
 

@@ -1,0 +1,36 @@
+// Compiled with -DPICOLA_FAULT_DISABLED: every PICOLA_FAULT_POINT site
+// must collapse to a constant no-fault Action, even while a plan is
+// installed — the compile-out switch beats the runtime switch.
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+namespace picola::fault {
+namespace {
+
+TEST(FaultDisabled, PointMacroIgnoresInstalledPlans) {
+  FaultPlan plan(1);
+  plan.add({"p", {Kind::kErrno, EINTR, 0, 0}, 0, 1, 1000});
+  ScopedPlan scoped(std::move(plan));
+  ASSERT_TRUE(active());  // the runtime switch IS on...
+  for (int i = 0; i < 8; ++i) {
+    Action a = PICOLA_FAULT_POINT("p");  // ...but the macro is compiled out
+    EXPECT_EQ(a.kind, Kind::kNone);
+  }
+  // No consult ever reached the plan.
+  EXPECT_EQ(current()->stats().at("p").calls, 0u);
+}
+
+TEST(FaultDisabled, PlanApiStillWorksForDirectUse) {
+  // The library itself stays functional (the harness can still build
+  // plans); only the injection sites are inert.
+  FaultPlan plan = FaultPlan::random(42);
+  EXPECT_EQ(plan.schedule_fingerprint(),
+            FaultPlan::random(42).schedule_fingerprint());
+}
+
+}  // namespace
+}  // namespace picola::fault

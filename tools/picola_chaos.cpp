@@ -1,0 +1,422 @@
+// picola_chaos — seeded chaos harness for the TCP encoding service.
+//
+// Each schedule derives a bounded fault plan from one 64-bit seed
+// (fault::FaultPlan::random), installs it process-wide, and drives a
+// loopback server (net/server.h) through a fixed workload with the
+// resilient client (net/client.h call_with_retry).  Because every
+// injected fault is counter-based with a small fires cap, trouble is
+// finite and a retrying client must converge; the harness asserts:
+//
+//   1. every request eventually gets exactly one successful reply
+//      (client transport retries + a bounded harness-level retry for
+//      injected server-side encode failures),
+//   2. replies are bit-identical to a fault-free baseline run
+//      (`enc` fingerprint and `cubes` per request),
+//   3. pipelined requests come back exactly once, in order, ids intact,
+//   4. no schedule outlives its wall cap (hang detector; individual
+//      operations are already bounded by client timeouts),
+//   5. the injection schedule itself is a pure function of the seed
+//      (FaultPlan::schedule_fingerprint agrees across re-derivations,
+//      and --repeat verifies a full rerun's outcomes byte for byte).
+//
+// A failing seed is printed with a one-command repro:
+//     picola_chaos --seed <S> --repeat
+//
+// Usage:
+//   picola_chaos [--seeds N] [--seed-base B]   sweep N seeds (default 200)
+//   picola_chaos --seed S [--repeat]           one schedule, optionally twice
+//   picola_chaos --verbose                     per-schedule plan dumps
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/instance_gen.h"
+#include "constraints/constraint_io.h"
+#include "fault/fault.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+
+namespace {
+
+using picola::fault::FaultPlan;
+using picola::net::Client;
+using picola::net::ClientOptions;
+using picola::net::JsonValue;
+using picola::net::Server;
+using picola::net::ServerOptions;
+
+struct Options {
+  uint64_t seeds = 200;
+  uint64_t seed_base = 1;
+  std::optional<uint64_t> single_seed;
+  bool repeat = false;
+  bool verbose = false;
+};
+
+/// One reply we care about comparing: the encoding fingerprint plus the
+/// espresso cube count (the whole observable result of an encode).
+struct Outcome {
+  std::string enc;
+  int64_t cubes = 0;
+  bool operator==(const Outcome& o) const {
+    return enc == o.enc && cubes == o.cubes;
+  }
+};
+
+struct ScheduleResult {
+  std::vector<Outcome> outcomes;  ///< per request, in workload order
+  uint64_t schedule_fp = 0;
+  std::map<std::string, FaultPlan::PointStats> fault_stats;
+  std::vector<std::string> violations;
+  double wall_ms = 0;
+};
+
+/// The fixed workload: a handful of deterministic instances, two of them
+/// requested twice (cache + in-flight-join paths), all inline so the
+/// harness needs no files on disk.
+std::vector<std::string> make_workload() {
+  picola::check::GeneratorOptions g;
+  g.min_symbols = 5;
+  g.max_symbols = 9;
+  g.max_constraints = 5;
+  picola::check::InstanceGenerator gen(42, g);
+  std::vector<std::string> cons;
+  for (int i = 0; i < 5; ++i)
+    cons.push_back(picola::write_constraints(gen.next().set));
+  cons.push_back(cons[0]);  // repeat -> cache hit or inflight join
+  cons.push_back(cons[1]);
+  return cons;
+}
+
+JsonValue encode_request(const std::string& con, int64_t id) {
+  JsonValue r = JsonValue::make_object();
+  r.set("con", JsonValue::make_string(con));
+  r.set("id", JsonValue::make_int(id));
+  r.set("restarts", JsonValue::make_int(2));
+  return r;
+}
+
+int64_t int_field(const JsonValue& v, const char* key, int64_t dflt = -1) {
+  const JsonValue* f = v.find(key);
+  return f && f->is_number() ? f->as_int() : dflt;
+}
+
+std::string str_field(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  return f && f->is_string() ? f->as_string() : "";
+}
+
+ServerOptions server_options() {
+  ServerOptions o;
+  o.service.num_threads = 2;
+  o.service.cache_capacity = 32;
+  o.max_inflight = 8;
+  o.retry_after_ms = 2;
+  return o;
+}
+
+ClientOptions client_options(uint64_t seed) {
+  ClientOptions c;
+  c.connect_timeout_ms = 2000;
+  c.io_timeout_ms = 2000;
+  c.max_retries = 12;
+  c.backoff_base_ms = 1;
+  c.backoff_max_ms = 16;
+  c.jitter_seed = seed;
+  c.breaker_threshold = 4;
+  c.breaker_open_ms = 20;
+  return c;
+}
+
+/// One request to a definitive successful outcome, or a violation.
+/// call_with_retry absorbs transport faults; this layer absorbs the
+/// bounded injected *server-side* failures (a restart task or allocation
+/// made to throw answers `error: encode_failed` — a valid reply, so the
+/// client rightly does not retry it).
+std::optional<Outcome> run_request(Client& c, const std::string& con,
+                                   int64_t id, std::string* why) {
+  std::string error;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto reply = c.call_with_retry(encode_request(con, id), &error);
+    if (!reply) continue;  // transport budget spent; next harness attempt
+    if (reply->find("error")) continue;  // injected server-side failure
+    if (int_field(*reply, "id") != id) {
+      *why = "reply id mismatch: want " + std::to_string(id) + " got " +
+             std::to_string(int_field(*reply, "id"));
+      return std::nullopt;
+    }
+    Outcome o;
+    o.enc = str_field(*reply, "enc");
+    o.cubes = int_field(*reply, "cubes");
+    if (o.enc.empty()) {
+      *why = "reply missing enc fingerprint";
+      return std::nullopt;
+    }
+    return o;
+  }
+  *why = "request " + std::to_string(id) +
+         " failed permanently (last: " + error + ")";
+  return std::nullopt;
+}
+
+/// Pipelined phase: several requests written back to back, replies
+/// collected afterwards.  Replies arrive in completion order and
+/// correlate by id — the invariant is exactly one reply per id, each
+/// matching the baseline.  A transport fault mid-pipeline kills the
+/// connection; the whole batch is idempotent, so the harness reconnects
+/// and replays it.
+bool run_pipeline(Client& c, uint16_t port,
+                  const std::vector<std::string>& cons,
+                  const std::vector<Outcome>& want, std::string* why) {
+  const int64_t kBase = 1000;
+  // A plan tops out at 6 rules x 6 fires = 36 injected kills; each kills
+  // at most one batch attempt, so this budget guarantees convergence.
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    if (!c.connected()) {
+      std::string cerr2;
+      for (int r = 0; r < 10 && !c.connected(); ++r)
+        c.connect("127.0.0.1", port, &cerr2);
+      if (!c.connected()) continue;
+    }
+    bool restart = false;
+    std::string error;
+    for (size_t i = 0; i < cons.size() && !restart; ++i)
+      if (!c.send(encode_request(cons[i], kBase + static_cast<int64_t>(i))
+                      .dump(),
+                  &error))
+        restart = true;
+    std::map<int64_t, Outcome> got;
+    for (size_t i = 0; i < cons.size() && !restart; ++i) {
+      auto payload = c.recv(&error);
+      if (!payload) {
+        restart = true;
+        break;
+      }
+      auto reply = JsonValue::parse(*payload);
+      if (!reply) {
+        *why = "pipeline: unparsable reply";
+        return false;
+      }
+      int64_t id = int_field(*reply, "id");
+      if (id < kBase || id >= kBase + static_cast<int64_t>(cons.size())) {
+        *why = "pipeline: reply with unknown id " + std::to_string(id);
+        return false;
+      }
+      if (reply->find("error")) {
+        restart = true;  // bounded injected failure: replay the batch
+        break;
+      }
+      if (got.count(id)) {
+        *why = "pipeline: duplicate reply for id " + std::to_string(id);
+        return false;
+      }
+      got[id] = Outcome{str_field(*reply, "enc"), int_field(*reply, "cubes")};
+    }
+    if (!restart) {
+      // Every id answered exactly once (map + count check above), and
+      // every answer bit-identical to the fault-free baseline.
+      for (size_t i = 0; i < cons.size(); ++i) {
+        auto it = got.find(kBase + static_cast<int64_t>(i));
+        if (it == got.end()) {
+          *why = "pipeline: no reply for slot " + std::to_string(i);
+          return false;
+        }
+        if (!(it->second == want[i])) {
+          *why = "pipeline: reply differs from baseline at slot " +
+                 std::to_string(i);
+          return false;
+        }
+      }
+      return true;
+    }
+    c.close();  // drop any half-read frame; reconnect next attempt
+  }
+  *why = "pipeline: batch never completed";
+  return false;
+}
+
+ScheduleResult run_schedule(const std::vector<std::string>& workload,
+                            const std::vector<Outcome>* baseline,
+                            std::optional<FaultPlan> plan, bool verbose) {
+  ScheduleResult res;
+  auto t0 = std::chrono::steady_clock::now();
+
+  Server server(server_options());
+  server.start();
+  uint16_t port = server.port();
+
+  uint64_t seed = plan ? plan->seed() : 0;
+  if (plan) {
+    res.schedule_fp = plan->schedule_fingerprint();
+    if (verbose) std::fprintf(stderr, "%s\n", plan->describe().c_str());
+    picola::fault::install(std::make_shared<FaultPlan>(std::move(*plan)));
+  }
+
+  Client client(client_options(seed));
+  std::string error;
+  bool up = false;
+  for (int i = 0; i < 48 && !up; ++i)
+    up = client.connect("127.0.0.1", port, &error);
+  if (!up) {
+    res.violations.push_back("could not connect: " + error);
+  } else {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      std::string why;
+      auto o = run_request(client, workload[i], static_cast<int64_t>(i),
+                           &why);
+      if (!o) {
+        res.violations.push_back(why);
+        break;
+      }
+      if (baseline && !((*baseline)[i] == *o))
+        res.violations.push_back("request " + std::to_string(i) +
+                                 " differs from fault-free baseline");
+      res.outcomes.push_back(std::move(*o));
+    }
+    if (res.violations.empty() && baseline) {
+      std::string why;
+      // Reconnect for the pipelined phase so it starts clean.
+      for (int i = 0; i < 48; ++i)
+        if (client.connect("127.0.0.1", port, &error)) break;
+      if (!run_pipeline(client, port, workload, *baseline, &why))
+        res.violations.push_back(why);
+    }
+  }
+
+  if (plan) {
+    auto installed = picola::fault::current();
+    if (installed) res.fault_stats = installed->stats();
+    picola::fault::install(nullptr);
+  }
+  server.stop();  // graceful drain: must answer admitted work and exit
+
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (res.wall_ms > 30'000)
+    res.violations.push_back("schedule exceeded 30s wall cap (hang?)");
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--seeds" && next())
+      opt.seeds = std::strtoull(argv[i], nullptr, 10);
+    else if (a == "--seed-base" && next())
+      opt.seed_base = std::strtoull(argv[i], nullptr, 10);
+    else if (a == "--seed" && next())
+      opt.single_seed = std::strtoull(argv[i], nullptr, 10);
+    else if (a == "--repeat")
+      opt.repeat = true;
+    else if (a == "--verbose")
+      opt.verbose = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: picola_chaos [--seeds N] [--seed-base B] "
+                   "[--seed S] [--repeat] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> workload = make_workload();
+
+  // Fault-free baseline: the ground truth every faulted run must match.
+  ScheduleResult base =
+      run_schedule(workload, nullptr, std::nullopt, false);
+  if (!base.violations.empty()) {
+    std::fprintf(stderr, "FAIL baseline (no faults): %s\n",
+                 base.violations[0].c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "baseline: %zu requests ok (%.0f ms)\n",
+               base.outcomes.size(), base.wall_ms);
+
+  std::vector<uint64_t> seeds;
+  if (opt.single_seed) {
+    seeds.push_back(*opt.single_seed);
+  } else {
+    for (uint64_t s = 0; s < opt.seeds; ++s)
+      seeds.push_back(opt.seed_base + s);
+  }
+
+  uint64_t total_faults = 0;
+  int failures = 0;
+  for (uint64_t seed : seeds) {
+    // Purity check: re-deriving the plan must give the identical
+    // injection schedule.
+    uint64_t fp1 = FaultPlan::random(seed).schedule_fingerprint();
+    uint64_t fp2 = FaultPlan::random(seed).schedule_fingerprint();
+    if (fp1 != fp2) {
+      std::fprintf(stderr,
+                   "FAIL seed %llu: schedule fingerprint not reproducible\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+
+    int rounds = (opt.repeat && opt.single_seed) ? 2 : 1;
+    ScheduleResult first;
+    for (int round = 0; round < rounds; ++round) {
+      ScheduleResult r = run_schedule(workload, &base.outcomes,
+                                      FaultPlan::random(seed), opt.verbose);
+      for (const auto& [point, st] : r.fault_stats) total_faults += st.fires;
+      if (!r.violations.empty()) {
+        std::fprintf(
+            stderr,
+            "FAIL seed %llu: %s\n  repro: picola_chaos --seed %llu --repeat\n",
+            static_cast<unsigned long long>(seed), r.violations[0].c_str(),
+            static_cast<unsigned long long>(seed));
+        ++failures;
+        break;
+      }
+      if (opt.verbose || opt.single_seed) {
+        std::fprintf(stderr, "seed %llu ok: %.0f ms, faults:",
+                     static_cast<unsigned long long>(seed), r.wall_ms);
+        for (const auto& [point, st] : r.fault_stats)
+          if (st.fires)
+            std::fprintf(stderr, " %s=%llu", point.c_str(),
+                         static_cast<unsigned long long>(st.fires));
+        std::fprintf(stderr, "\n");
+      }
+      if (round == 0) {
+        first = std::move(r);
+      } else {
+        bool same = first.schedule_fp == r.schedule_fp &&
+                    first.outcomes.size() == r.outcomes.size();
+        for (size_t i = 0; same && i < first.outcomes.size(); ++i)
+          same = first.outcomes[i] == r.outcomes[i];
+        if (!same) {
+          std::fprintf(stderr,
+                       "FAIL seed %llu: rerun diverged from first run\n",
+                       static_cast<unsigned long long>(seed));
+          ++failures;
+        } else {
+          std::fprintf(stderr,
+                       "seed %llu: rerun identical (schedule fp %016llx)\n",
+                       static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(r.schedule_fp));
+        }
+      }
+    }
+    if (failures) break;
+  }
+
+  if (failures) return 1;
+  std::fprintf(stderr,
+               "PASS %zu schedule(s), %llu faults injected, 0 violations\n",
+               seeds.size(), static_cast<unsigned long long>(total_faults));
+  return 0;
+}

@@ -275,6 +275,13 @@ int fuzz_main(const FuzzOptions& fo) {
     std::cerr << "FAIL iter " << i << " (" << inst.family << ", seed "
               << fo.seed << "):\n";
     for (const auto& v : violations) std::cerr << "  " << v << "\n";
+    // One-command repro: the generator streams are a pure function of
+    // (seed, max-n, oracle-n), so replaying up to this iteration with the
+    // same knobs hits the identical instance.
+    std::cerr << "  repro: picola_fuzz --seed " << fo.seed << " --iters "
+              << (i + 1) << " --max-n " << fo.max_n << " --oracle-n "
+              << fo.oracle_n << " --min-cube-every " << fo.min_cube_every
+              << "\n";
     ConstraintSet minimal =
         shrink(inst.set, inst.num_bits, static_cast<uint64_t>(i), fo);
     std::string path = fo.dump_dir + "/fuzz_fail_seed" +
