@@ -1,0 +1,208 @@
+// Per-backend comparison of the encoder portfolio (src/portfolio).
+//
+// Workload: the Table I input-encoding problems (IWLS'93-profile
+// reconstructions) plus deterministic adversarial instances from every
+// generator family (check/instance_gen.h: random, nested, packing,
+// overlap).  Every problem runs through each backend alone — picola,
+// sat_exact (conflict-budgeted), anneal — and through the full
+// portfolio; the table and BENCH_portfolio.json record per-backend wall
+// time, cube counts, code length, win rates, and the result of the
+// never-worse-than-picola gate.
+//
+// The gate is the bench's pass/fail: on every problem where both
+// finished, the portfolio's cube count must be <= picola-alone's (the
+// portfolio plan runs the picola slots first with identical seeds, so
+// anything else is a reduction bug).  Exit code 1 on violation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "check/instance_gen.h"
+#include "constraints/derive.h"
+#include "eval/metrics.h"
+#include "kiss/benchmarks.h"
+#include "portfolio/portfolio.h"
+
+using namespace picola;
+
+namespace {
+
+constexpr int kRestarts = 4;
+/// Conflict budget of the sat backend slots: deterministic and small
+/// enough that big Table I instances stay in bench-scale time.
+constexpr long kSatConflicts = 5'000;
+
+struct Problem {
+  std::string name;
+  ConstraintSet set;
+};
+
+std::vector<Problem> make_workload() {
+  std::vector<Problem> problems;
+  for (const std::string& name : table1_benchmarks()) {
+    Problem p;
+    p.name = name;
+    p.set = derive_face_constraints(make_benchmark(name)).set;
+    if (p.set.num_symbols < 2 || p.set.size() == 0) continue;
+    // Keep the sat column bench-scale: past ~32 symbols the CNF
+    // reduction is research-scale work, not a per-PR gate, and the
+    // descending at-least-t sweep makes one budgeted solver call per
+    // constraint-count target, so constraint-heavy instances (tbk: 106
+    // constraints) take minutes even at n=32.
+    if (p.set.num_symbols > 32 || p.set.size() > 64) continue;
+    problems.push_back(std::move(p));
+  }
+  // Three instances per adversarial family, deterministic stream.
+  check::GeneratorOptions g;
+  g.min_symbols = 8;
+  g.max_symbols = 14;
+  g.max_constraints = 8;
+  g.max_extra_bits = 0;
+  check::InstanceGenerator gen(20260808, g);
+  for (int i = 0; i < 12; ++i) {
+    auto inst = gen.next();
+    Problem p;
+    p.name = inst.family + "#" + std::to_string(inst.index);
+    p.set = std::move(inst.set);
+    problems.push_back(std::move(p));
+  }
+  return problems;
+}
+
+struct BackendRun {
+  double ms = 0;
+  long cubes = -1;  ///< -1 = no encoding produced
+  int bits = 0;
+  bool ok = false;
+};
+
+struct Row {
+  std::string name;
+  int n = 0;
+  BackendRun runs[4];  ///< indexed like kBackends
+  portfolio::BackendKind winner = portfolio::BackendKind::kPicola;
+};
+
+constexpr portfolio::BackendKind kBackends[4] = {
+    portfolio::BackendKind::kPicola, portfolio::BackendKind::kSat,
+    portfolio::BackendKind::kAnneal, portfolio::BackendKind::kPortfolio};
+
+BackendRun run_backend(const ConstraintSet& cs, portfolio::BackendKind kind) {
+  BackendRun r;
+  portfolio::PortfolioOptions fopt;
+  fopt.backend = kind;
+  fopt.sat_max_conflicts = kSatConflicts;
+  Stopwatch sw;
+  try {
+    portfolio::PortfolioResult res =
+        portfolio::portfolio_encode(cs, kRestarts, {}, fopt);
+    r.cubes = res.total_cubes;
+    r.bits = res.picola.encoding.num_bits;
+    r.ok = true;
+  } catch (const std::exception&) {
+    // e.g. the sat backend alone exhausting its conflict budget — a
+    // legitimate outcome, scored as "no result".
+  }
+  r.ms = sw.elapsed_ms();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Problem> problems = make_workload();
+  std::vector<Row> rows;
+  int wins[4] = {0, 0, 0, 0};
+  int gate_violations = 0;
+
+  std::printf("portfolio bench: %zu problems, %d restarts, sat budget %ld "
+              "conflicts\n\n",
+              problems.size(), kRestarts, kSatConflicts);
+  std::printf("%-12s %4s | %9s %9s %9s %9s | %6s\n", "problem", "n",
+              "picola", "sat", "anneal", "portfolio", "winner");
+  std::printf("%.*s\n", 78,
+              "------------------------------------------------------------"
+              "------------------");
+
+  for (const Problem& p : problems) {
+    Row row;
+    row.name = p.name;
+    row.n = p.set.num_symbols;
+    for (int b = 0; b < 4; ++b) row.runs[b] = run_backend(p.set, kBackends[b]);
+
+    // The portfolio's winning backend, re-derived from the single-backend
+    // cube counts with the plan-order tie-break (picola, sat, anneal).
+    const BackendRun& port = row.runs[3];
+    row.winner = portfolio::BackendKind::kPicola;
+    for (int b = 0; b < 3; ++b)
+      if (row.runs[b].ok && port.ok && row.runs[b].cubes == port.cubes) {
+        row.winner = kBackends[b];
+        break;
+      }
+    for (int b = 0; b < 3; ++b)
+      if (kBackends[b] == row.winner) ++wins[b];
+
+    const BackendRun& alone = row.runs[0];
+    if (alone.ok && port.ok && port.cubes > alone.cubes) {
+      ++gate_violations;
+      std::printf("GATE VIOLATION: %s portfolio %ld cubes > picola %ld\n",
+                  p.name.c_str(), port.cubes, alone.cubes);
+    }
+
+    auto cell = [](const BackendRun& r, char* buf, size_t len) {
+      if (r.ok)
+        std::snprintf(buf, len, "%ld/%.0fms", r.cubes, r.ms);
+      else
+        std::snprintf(buf, len, "-/%.0fms", r.ms);
+    };
+    char c0[32], c1[32], c2[32], c3[32];
+    cell(row.runs[0], c0, sizeof c0);
+    cell(row.runs[1], c1, sizeof c1);
+    cell(row.runs[2], c2, sizeof c2);
+    cell(row.runs[3], c3, sizeof c3);
+    std::printf("%-12s %4d | %9s %9s %9s %9s | %6s\n", p.name.c_str(), row.n,
+                c0, c1, c2, c3, portfolio::backend_kind_name(row.winner));
+    rows.push_back(std::move(row));
+  }
+
+  const double total = static_cast<double>(rows.size());
+  std::printf("\nwin rate: picola %.0f%%, sat %.0f%%, anneal %.0f%%\n",
+              100.0 * wins[0] / total, 100.0 * wins[1] / total,
+              100.0 * wins[2] / total);
+  std::printf("never-worse-than-picola gate: %s\n",
+              gate_violations == 0 ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen("BENCH_portfolio.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_portfolio.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"problems\":%zu,\"restarts\":%d,\"sat_max_conflicts\":%ld,"
+               "\"rows\":[",
+               rows.size(), kRestarts, kSatConflicts);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "%s{\"name\":\"%s\",\"n\":%d,\"winner\":\"%s\"",
+                 i ? "," : "", r.name.c_str(), r.n,
+                 portfolio::backend_kind_name(r.winner));
+    for (int b = 0; b < 4; ++b) {
+      const BackendRun& br = r.runs[b];
+      std::fprintf(f,
+                   ",\"%s\":{\"ms\":%.3f,\"cubes\":%ld,\"bits\":%d,"
+                   "\"feasible\":%s}",
+                   portfolio::backend_kind_name(kBackends[b]), br.ms, br.cubes,
+                   br.bits, br.ok ? "true" : "false");
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f,
+               "],\"win_rate\":{\"picola\":%.3f,\"sat\":%.3f,\"anneal\":%.3f},"
+               "\"gate_never_worse_than_picola\":\"%s\"}\n",
+               wins[0] / total, wins[1] / total, wins[2] / total,
+               gate_violations == 0 ? "pass" : "fail");
+  std::fclose(f);
+  std::printf("wrote BENCH_portfolio.json\n");
+  return gate_violations == 0 ? 0 : 1;
+}

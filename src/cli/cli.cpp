@@ -30,6 +30,9 @@
 #include "pla/pla_io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "portfolio/portfolio.h"
+#include "sat/dimacs.h"
+#include "sat/encode.h"
 #include "service/service.h"
 #include "stateassign/blif.h"
 #include "stateassign/state_assign.h"
@@ -44,12 +47,15 @@ struct ParsedArgs {
   std::map<std::string, std::string> options;  // "--x v" and bare "--flag"
 };
 
+bool parse_portfolio_args(const ParsedArgs& a, portfolio::PortfolioOptions* p,
+                          std::ostream& err);
+
 std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                      std::ostream& err) {
   ParsedArgs p;
   if (args.empty()) {
     err << "usage: picola <encode|encode-input|batch|serve|client|assign"
-           "|minimize|info> [file] [options]\n";
+           "|minimize|info|sat-export> [file] [options]\n";
     return std::nullopt;
   }
   p.command = args[0];
@@ -64,7 +70,9 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                       "--tcp", "--bind", "--max-inflight",
                                       "--idle-timeout-ms", "--max-frame-bytes",
                                       "--retry-after-ms", "--deadline-ms",
-                                      "--retries", "--timeout-ms"};
+                                      "--retries", "--timeout-ms",
+                                      "--backend", "--card",
+                                      "--sat-conflicts"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -266,6 +274,57 @@ int cmd_encode(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     seed = static_cast<uint64_t>(*v);
   }
   const bool stats_json = a.options.count("--stats-json") != 0;
+
+  // --backend routes through the portfolio front-end (src/portfolio)
+  // instead of a single run_algorithm call; the '#' summary names both
+  // the requested backend and the slot that won.
+  if (a.options.count("--backend")) {
+    if (a.options.count("--algorithm")) {
+      err << "--backend and --algorithm are mutually exclusive\n";
+      return 2;
+    }
+    if (stats_json) {
+      err << "--stats-json is not supported with --backend\n";
+      return 2;
+    }
+    portfolio::PortfolioOptions popt;
+    if (!parse_portfolio_args(a, &popt, err)) return 2;
+    int restarts = 4;
+    if (a.options.count("--restarts")) {
+      auto v = parse_int(a.options.at("--restarts"));
+      if (!v || *v < 1) { err << "bad --restarts value\n"; return 2; }
+      restarts = *v;
+    }
+    PicolaOptions po;
+    po.num_bits = bits;
+    po.self_check = a.options.count("--self-check") != 0;
+    ObsSession obs_session(a);
+    Stopwatch sw;
+    portfolio::PortfolioResult pr;
+    try {
+      pr = portfolio::portfolio_encode(problem->set, restarts, po, popt);
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return 1;
+    }
+    double ms = sw.elapsed_ms();
+    std::string codes = codes_text(pr.picola.encoding, problem->names);
+    if (a.options.count("--output")) {
+      if (!write_file(a.options.at("--output"), codes, err)) return 1;
+    }
+    if (!a.options.count("--quiet")) out << codes;
+    EncodingQuality q = encoding_quality(problem->set, pr.picola.encoding);
+    out << "# backend " << portfolio::backend_kind_name(popt.backend)
+        << " winner " << portfolio::backend_kind_name(pr.backend) << ", "
+        << pr.picola.encoding.num_bits << " bits, " << ms << " ms\n";
+    out << "# satisfied " << q.satisfied_constraints << "/"
+        << problem->set.size() << " constraints, " << q.satisfied_dichotomies
+        << "/" << q.total_dichotomies << " dichotomies, " << pr.total_cubes
+        << " implementation cubes\n";
+    if (obs_session.metrics_wanted()) out << ObsSession::report_lines();
+    if (!obs_session.write_trace(err)) return 1;
+    return 0;
+  }
   if (stats_json && algo != "picola" && algo != "picola-best") {
     err << "--stats-json needs --algorithm picola or picola-best\n";
     return 2;
@@ -501,12 +560,47 @@ std::string hex64(uint64_t v) {
   return buf;
 }
 
+/// Parses the backend-selection knobs shared by encode, batch, serve and
+/// client: --backend picola|sat|anneal|portfolio, --card
+/// pairwise|sequential|commander, --sat-conflicts N.
+bool parse_portfolio_args(const ParsedArgs& a, portfolio::PortfolioOptions* p,
+                          std::ostream& err) {
+  if (a.options.count("--backend")) {
+    auto k = portfolio::parse_backend_kind(a.options.at("--backend"));
+    if (!k) {
+      err << "bad --backend value (picola sat anneal portfolio)\n";
+      return false;
+    }
+    p->backend = *k;
+  }
+  if (a.options.count("--card")) {
+    auto c = sat::parse_card_encoding(a.options.at("--card"));
+    if (!c) {
+      err << "bad --card value (pairwise sequential commander)\n";
+      return false;
+    }
+    p->sat_card = *c;
+  }
+  if (a.options.count("--sat-conflicts")) {
+    auto v = parse_int(a.options.at("--sat-conflicts"));
+    if (!v || *v < 0) { err << "bad --sat-conflicts value\n"; return false; }
+    p->sat_max_conflicts = *v;
+  }
+  if (a.options.count("--seed")) {
+    auto v = parse_int(a.options.at("--seed"));
+    if (!v || *v < 0) { err << "bad --seed value\n"; return false; }
+    p->anneal_seed = static_cast<uint64_t>(*v);
+  }
+  return true;
+}
+
 /// Shared option block of the service front-ends.
 struct ServiceArgs {
   ServiceOptions service;
   int restarts = 4;
   int bits = 0;
   bool self_check = false;
+  portfolio::PortfolioOptions portfolio;
 };
 
 std::optional<ServiceArgs> parse_service_args(const ParsedArgs& a,
@@ -533,6 +627,7 @@ std::optional<ServiceArgs> parse_service_args(const ParsedArgs& a,
     s.bits = *v;
   }
   s.self_check = a.options.count("--self-check") != 0;
+  if (!parse_portfolio_args(a, &s.portfolio, err)) return std::nullopt;
   return s;
 }
 
@@ -545,7 +640,8 @@ std::string file_summary(const ConstraintSet& set, const JobResult& r) {
   os << "n=" << set.num_symbols << " bits=" << r.picola.encoding.num_bits
      << " cubes=" << r.total_cubes << " satisfied="
      << q.satisfied_constraints << "/" << set.size() << " enc="
-     << hex64(encoding_fingerprint(r.picola.encoding));
+     << hex64(encoding_fingerprint(r.picola.encoding)) << " backend="
+     << portfolio::backend_kind_name(r.backend);
   return os.str();
 }
 
@@ -597,6 +693,7 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     job.options.num_bits = sa->bits;
     job.options.self_check = sa->self_check;
     job.restarts = sa->restarts;
+    job.portfolio = sa->portfolio;
     job.tag = item.path;
     item.future = service.submit(std::move(job));
   }
@@ -634,7 +731,9 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
                  << r.total_cubes << ",\"satisfied\":"
                  << q.satisfied_constraints << ",\"constraints\":"
                  << set.size() << ",\"enc\":\""
-                 << hex64(encoding_fingerprint(r.picola.encoding)) << "\"},";
+                 << hex64(encoding_fingerprint(r.picola.encoding))
+                 << "\",\"backend\":\""
+                 << portfolio::backend_kind_name(r.backend) << "\"},";
     } else {
       out << item.path << " " << file_summary(set, r) << "\n";
     }
@@ -697,6 +796,7 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
   o.service = sa.service;
   o.default_restarts = sa.restarts;
   o.default_bits = sa.bits;
+  o.default_portfolio = sa.portfolio;
   o.self_check = sa.self_check;
   {
     auto v = parse_int_option(a, "--tcp", 0, 65535, err);
@@ -811,6 +911,14 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
     deadline_ms = *v;
   }
   const bool send_inline = a.options.count("--inline") != 0;
+  std::string default_backend;
+  if (a.options.count("--backend")) {
+    if (!portfolio::parse_backend_kind(a.options.at("--backend"))) {
+      err << "bad --backend value (picola sat anneal portfolio)\n";
+      return 2;
+    }
+    default_backend = a.options.at("--backend");
+  }
 
   net::ClientOptions copt;
   if (a.options.count("--retries")) {
@@ -852,11 +960,14 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
       std::string tok;
       ls >> path;
       int restarts = 0;
+      std::string backend = default_backend;
       bool bad = false;
       while (ls >> tok) {
         if (tok == "--restarts" && (ls >> tok)) {
           auto v = parse_int(tok);
           if (v && *v >= 1) { restarts = static_cast<int>(*v); continue; }
+        } else if (tok == "--backend" && (ls >> tok)) {
+          if (portfolio::parse_backend_kind(tok)) { backend = tok; continue; }
         }
         bad = true;
         break;
@@ -876,6 +987,8 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
       req.set("id", net::JsonValue::make_string(path));
       if (restarts > 0)
         req.set("restarts", net::JsonValue::make_int(restarts));
+      if (!backend.empty())
+        req.set("backend", net::JsonValue::make_string(backend));
       if (deadline_ms > 0)
         req.set("deadline_ms", net::JsonValue::make_int(deadline_ms));
     }
@@ -904,10 +1017,13 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
         return v && v->is_number() ? v->as_int() : 0;
       };
       const net::JsonValue* enc = resp->find("enc");
+      const net::JsonValue* be = resp->find("backend");
       out << "ok " << path << " n=" << num("n") << " bits=" << num("bits")
           << " cubes=" << num("cubes") << " satisfied=" << num("satisfied")
           << "/" << num("constraints") << " enc="
           << (enc && enc->is_string() ? enc->as_string() : "?")
+          << " backend="
+          << (be && be->is_string() ? be->as_string() : "picola")
           << " cached=" << num("cached") << "\n";
     }
     out.flush();
@@ -947,16 +1063,20 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
       continue;
     }
 
-    // Request: <path> [--restarts R]
+    // Request: <path> [--restarts R] [--backend B]
     std::istringstream ls(line);
     std::string path, tok;
     ls >> path;
     int restarts = sa->restarts;
+    portfolio::PortfolioOptions pf = sa->portfolio;
     bool bad = false;
     while (ls >> tok) {
       if (tok == "--restarts" && (ls >> tok)) {
         auto v = parse_int(tok);
         if (v && *v >= 1) { restarts = *v; continue; }
+      } else if (tok == "--backend" && (ls >> tok)) {
+        auto k = portfolio::parse_backend_kind(tok);
+        if (k) { pf.backend = *k; continue; }
       }
       bad = true;
       break;
@@ -976,6 +1096,7 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
     job.options.num_bits = sa->bits;
     job.options.self_check = sa->self_check;
     job.restarts = restarts;
+    job.portfolio = pf;
     job.tag = path;
     try {
       JobResult r = service.submit(std::move(job)).get();
@@ -1044,6 +1165,56 @@ int cmd_info(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   }
 }
 
+/// `picola sat-export FILE [--bits N] [--card E] [--selectors] [-o OUT]`
+/// — write the SAT reduction of an encoding problem as DIMACS CNF, for
+/// diffing the in-tree solver against external ones.
+int cmd_sat_export(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
+  if (a.positional.size() != 1) {
+    err << "sat-export needs one input file\n";
+    return 2;
+  }
+  auto problem = load_problem(a.positional[0], err);
+  if (!problem) return 1;
+  int bits = Encoding::min_bits(problem->set.num_symbols);
+  if (a.options.count("--bits")) {
+    auto v = parse_int(a.options.at("--bits"));
+    if (!v || *v < 1) { err << "bad --bits value\n"; return 2; }
+    bits = static_cast<int>(*v);
+  }
+  sat::ReductionOptions ro;
+  if (a.options.count("--card")) {
+    auto c = sat::parse_card_encoding(a.options.at("--card"));
+    if (!c) {
+      err << "bad --card value (pairwise sequential commander)\n";
+      return 2;
+    }
+    ro.card = *c;
+  }
+  ro.with_selectors = a.options.count("--selectors") != 0;
+  sat::FaceCnf fc;
+  try {
+    fc = sat::build_face_cnf(problem->set, bits, ro);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+  std::vector<std::string> comments;
+  comments.push_back("picola sat-export " + a.positional[0]);
+  {
+    std::ostringstream c;
+    c << "n=" << problem->set.num_symbols << " bits=" << bits << " card="
+      << sat::card_encoding_name(ro.card) << " constraints="
+      << problem->set.size();
+    comments.push_back(c.str());
+  }
+  comments.push_back("bit b of symbol s is DIMACS variable 1 + s*bits + b");
+  std::string text = sat::write_dimacs(fc.cnf, comments);
+  if (a.options.count("--output"))
+    return write_file(a.options.at("--output"), text, err) ? 0 : 1;
+  out << text;
+  return 0;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::istream& in,
@@ -1059,8 +1230,10 @@ int run(const std::vector<std::string>& args, std::istream& in,
   if (parsed->command == "assign") return cmd_assign(*parsed, out, err);
   if (parsed->command == "minimize") return cmd_minimize(*parsed, out, err);
   if (parsed->command == "info") return cmd_info(*parsed, out, err);
+  if (parsed->command == "sat-export") return cmd_sat_export(*parsed, out, err);
   err << "unknown command " << parsed->command
-      << " (encode encode-input batch serve client assign minimize info)\n";
+      << " (encode encode-input batch serve client assign minimize info "
+         "sat-export)\n";
   return 2;
 }
 

@@ -67,6 +67,7 @@ AnnealingResult annealing_encode(const ConstraintSet& cs,
 
   for (double t = opt.t_start; t > opt.t_end; t *= opt.cooling) {
     for (int mv = 0; mv < moves_per_temp; ++mv) {
+      if ((result.moves_tried & 63) == 0) throw_if_cancelled(opt.cancel.get());
       ++result.moves_tried;
       int a = static_cast<int>(rng() % static_cast<uint64_t>(n));
       uint32_t target = static_cast<uint32_t>(rng() % cells);

@@ -6,9 +6,11 @@
 // baseline for the benches and a stress reference for PICOLA.
 
 #include <cstdint>
+#include <memory>
 
 #include "constraints/face_constraint.h"
 #include "encoders/encoding.h"
+#include "encoders/restart.h"
 
 namespace picola {
 
@@ -19,6 +21,10 @@ struct AnnealingOptions {
   double t_end = 0.01;     ///< final temperature
   double cooling = 0.95;   ///< geometric cooling factor
   int moves_per_temp = 0;  ///< 0 = 8 * n * nv moves per temperature step
+  /// Cooperative cancellation, checked in the flip loop (every 64 moves);
+  /// a fired token aborts the run with CancelledError, same contract as
+  /// PicolaOptions::cancel.  Never changes a completed run's result.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 struct AnnealingResult {

@@ -430,6 +430,17 @@ struct Server::Impl {
       }
       bits = static_cast<int>(b->as_int());
     }
+    portfolio::PortfolioOptions pf = opt_.default_portfolio;
+    if (const JsonValue* be = req.find("backend")) {
+      std::optional<portfolio::BackendKind> kind;
+      if (be->is_string()) kind = portfolio::parse_backend_kind(be->as_string());
+      if (!kind) {
+        send_error(conn, id, "bad_request",
+                   "backend must be picola, sat, anneal or portfolio");
+        return;
+      }
+      pf.backend = *kind;
+    }
     int deadline_ms = 0;
     if (const JsonValue* d = req.find("deadline_ms")) {
       if (!d->is_number() || d->as_int() < 1 || d->as_int() > 86'400'000) {
@@ -458,6 +469,7 @@ struct Server::Impl {
     job.options.num_bits = bits;
     job.options.self_check = opt_.self_check;
     job.options.cancel = r.cancel;
+    job.portfolio = pf;
     job.restarts = restarts;
     job.tag = path && path->is_string() ? path->as_string() : "<inline>";
 
@@ -542,6 +554,8 @@ struct Server::Impl {
       resp.set("constraints",
                JsonValue::make_int(static_cast<int64_t>(req.set.size())));
       resp.set("enc", JsonValue::make_string(hex64(encoding_fingerprint(enc))));
+      resp.set("backend", JsonValue::make_string(
+                              portfolio::backend_kind_name(r.backend)));
       resp.set("cached", JsonValue::make_int(r.cache_hit ? 1 : 0));
       resp.set("wall_ms", JsonValue::make_double(r.wall_ms));
       send_json(conn, resp.dump());

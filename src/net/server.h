@@ -9,7 +9,8 @@
 // Protocol: length-prefixed JSON frames (net/frame.h).  Requests either
 // carry a `cmd` ("ping", "stats", "metrics", "shutdown") or describe an
 // encoding job (`path` or inline `con` text, optional `restarts`,
-// `bits`, `deadline_ms`, `id` echo).  Full spec: docs/SERVICE.md.
+// `bits`, `backend`, `deadline_ms`, `id` echo).  Full spec:
+// docs/SERVICE.md.
 //
 // Robustness under load, by design rather than by accident:
 //   * Admission control — at most `max_inflight` admitted-but-unfinished
@@ -60,6 +61,9 @@ struct ServerOptions {
   /// Defaults applied to requests that omit the fields.
   int default_restarts = 4;
   int default_bits = 0;
+  /// Backend for requests without a "backend" field (the per-request
+  /// field accepts picola | sat | anneal | portfolio).
+  portfolio::PortfolioOptions default_portfolio;
   bool self_check = false;
   /// Allow `path` requests (server-side file reads).  Inline `con`
   /// requests always work.

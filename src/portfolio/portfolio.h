@@ -1,0 +1,31 @@
+#pragma once
+// Sequential portfolio front-end: run a backend plan slot by slot and
+// reduce with the deterministic (cube count, plan index) rule.  The
+// CLI's direct encode path and the unit tests use this; the concurrent
+// EncodingService executes the same plan as thread-pool tasks and — by
+// the reduction rule — returns bit-identical winners.
+
+#include <memory>
+#include <vector>
+
+#include "portfolio/backend.h"
+
+namespace picola::portfolio {
+
+struct PortfolioResult {
+  PicolaResult picola;  ///< the winning slot's result
+  long total_cubes = 0;
+  BackendKind backend = BackendKind::kPicola;  ///< winning backend
+  /// Every slot's outcome, in plan order (benches and --json read these).
+  std::vector<BackendOutcome> outcomes;
+};
+
+/// Run `portfolio_plan(fopt.backend, restarts)` sequentially.  Throws
+/// std::runtime_error when no slot produced an encoding (e.g. the sat
+/// backend alone on an infeasible length); CancelledError and
+/// SelfCheckError propagate from the slots.
+PortfolioResult portfolio_encode(const ConstraintSet& cs, int restarts,
+                                 const PicolaOptions& popt = {},
+                                 const PortfolioOptions& fopt = {});
+
+}  // namespace picola::portfolio

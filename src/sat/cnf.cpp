@@ -1,0 +1,185 @@
+#include "sat/cnf.h"
+
+#include <cstdlib>
+
+namespace picola::sat {
+
+std::string Cnf::validate() const {
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (clauses[i].empty())
+      return "clause " + std::to_string(i) + " is empty";
+    for (int lit : clauses[i]) {
+      if (lit == 0 || std::abs(lit) > num_vars)
+        return "clause " + std::to_string(i) + " has out-of-range literal " +
+               std::to_string(lit);
+    }
+  }
+  return "";
+}
+
+const char* card_encoding_name(CardEncoding e) {
+  switch (e) {
+    case CardEncoding::kPairwise: return "pairwise";
+    case CardEncoding::kSequential: return "sequential";
+    case CardEncoding::kCommander: return "commander";
+  }
+  return "?";
+}
+
+std::optional<CardEncoding> parse_card_encoding(std::string_view name) {
+  if (name == "pairwise") return CardEncoding::kPairwise;
+  if (name == "sequential") return CardEncoding::kSequential;
+  if (name == "commander") return CardEncoding::kCommander;
+  return std::nullopt;
+}
+
+namespace {
+
+void amo_pairwise(Cnf& cnf, const std::vector<int>& lits) {
+  for (size_t i = 0; i < lits.size(); ++i)
+    for (size_t j = i + 1; j < lits.size(); ++j)
+      cnf.add_clause({-lits[i], -lits[j]});
+}
+
+/// Sinz's sequential AMO: registers s_i = "some lit among the first i+1
+/// is true"; only the implication direction is needed.
+void amo_sequential(Cnf& cnf, const std::vector<int>& lits) {
+  const size_t n = lits.size();
+  if (n <= 1) return;
+  std::vector<int> s(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) s[i] = cnf.new_var();
+  cnf.add_clause({-lits[0], s[0]});
+  for (size_t i = 1; i + 1 < n; ++i) {
+    cnf.add_clause({-lits[i], s[i]});
+    cnf.add_clause({-s[i - 1], s[i]});
+    cnf.add_clause({-lits[i], -s[i - 1]});
+  }
+  cnf.add_clause({-lits[n - 1], -s[n - 2]});
+}
+
+/// Commander AMO over groups of 3: pairwise within each group, a
+/// commander variable implied by every group member, and AMO recursively
+/// over the commanders.
+void amo_commander(Cnf& cnf, std::vector<int> lits) {
+  constexpr size_t kGroup = 3;
+  while (lits.size() > kGroup) {
+    std::vector<int> commanders;
+    for (size_t g = 0; g < lits.size(); g += kGroup) {
+      size_t end = std::min(g + kGroup, lits.size());
+      for (size_t i = g; i < end; ++i)
+        for (size_t j = i + 1; j < end; ++j)
+          cnf.add_clause({-lits[i], -lits[j]});
+      int c = cnf.new_var();
+      for (size_t i = g; i < end; ++i) cnf.add_clause({-lits[i], c});
+      commanders.push_back(c);
+    }
+    lits = std::move(commanders);
+  }
+  amo_pairwise(cnf, lits);
+}
+
+/// Sinz's sequential counter LT_{n,k}: register r[i][j] = "at least j+1
+/// of the first i+1 literals are true".
+void amk_sequential(Cnf& cnf, const std::vector<int>& lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  // r(i, j) for i in [0, n-2], j in [0, k-1].
+  std::vector<int> r(static_cast<size_t>(n - 1) * static_cast<size_t>(k));
+  for (auto& v : r) v = cnf.new_var();
+  auto reg = [&](int i, int j) {
+    return r[static_cast<size_t>(i) * static_cast<size_t>(k) +
+             static_cast<size_t>(j)];
+  };
+  cnf.add_clause({-lits[0], reg(0, 0)});
+  for (int j = 1; j < k; ++j) cnf.add_clause({-reg(0, j)});
+  for (int i = 1; i < n - 1; ++i) {
+    cnf.add_clause({-lits[static_cast<size_t>(i)], reg(i, 0)});
+    cnf.add_clause({-reg(i - 1, 0), reg(i, 0)});
+    for (int j = 1; j < k; ++j) {
+      cnf.add_clause({-lits[static_cast<size_t>(i)], -reg(i - 1, j - 1),
+                      reg(i, j)});
+      cnf.add_clause({-reg(i - 1, j), reg(i, j)});
+    }
+    cnf.add_clause({-lits[static_cast<size_t>(i)], -reg(i - 1, k - 1)});
+  }
+  cnf.add_clause({-lits[static_cast<size_t>(n - 1)], -reg(n - 2, k - 1)});
+}
+
+/// Binomial at-most-k: forbid every (k+1)-subset.  `budget` caps the
+/// clause count; returns false when the expansion would exceed it.
+bool amk_pairwise(Cnf& cnf, const std::vector<int>& lits, int k,
+                  long budget) {
+  const int n = static_cast<int>(lits.size());
+  // C(n, k+1), capped at budget + 1.
+  long count = 1;
+  for (int i = 0; i < k + 1; ++i) {
+    count = count * (n - i) / (i + 1);
+    if (count > budget) return false;
+  }
+  // Enumerate (k+1)-subsets with a lexicographic index vector.
+  std::vector<int> idx(static_cast<size_t>(k + 1));
+  for (int i = 0; i <= k; ++i) idx[static_cast<size_t>(i)] = i;
+  while (true) {
+    std::vector<int> clause;
+    clause.reserve(idx.size());
+    for (int i : idx) clause.push_back(-lits[static_cast<size_t>(i)]);
+    cnf.add_clause(std::move(clause));
+    int pos = k;
+    while (pos >= 0 && idx[static_cast<size_t>(pos)] == n - (k + 1 - pos))
+      --pos;
+    if (pos < 0) break;
+    ++idx[static_cast<size_t>(pos)];
+    for (int i = pos + 1; i <= k; ++i)
+      idx[static_cast<size_t>(i)] = idx[static_cast<size_t>(i - 1)] + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+void add_at_most_one(Cnf& cnf, const std::vector<int>& lits, CardEncoding e) {
+  if (lits.size() <= 1) return;
+  switch (e) {
+    case CardEncoding::kPairwise: amo_pairwise(cnf, lits); return;
+    case CardEncoding::kSequential: amo_sequential(cnf, lits); return;
+    case CardEncoding::kCommander: amo_commander(cnf, lits); return;
+  }
+}
+
+void add_at_most_k(Cnf& cnf, const std::vector<int>& lits, int k,
+                   CardEncoding e) {
+  const int n = static_cast<int>(lits.size());
+  if (k >= n) return;
+  if (k <= 0) {
+    for (int lit : lits) cnf.add_clause({-lit});
+    return;
+  }
+  if (k == 1) {
+    add_at_most_one(cnf, lits, e);
+    return;
+  }
+  if (e == CardEncoding::kPairwise && amk_pairwise(cnf, lits, k, 20'000))
+    return;
+  amk_sequential(cnf, lits, k);
+}
+
+void add_at_least_k(Cnf& cnf, const std::vector<int>& lits, int k,
+                    CardEncoding e) {
+  const int n = static_cast<int>(lits.size());
+  if (k <= 0) return;
+  if (k == n) {
+    for (int lit : lits) cnf.add_clause({lit});
+    return;
+  }
+  if (k > n) {
+    int v = cnf.new_var();  // unsatisfiable by construction
+    cnf.add_clause({v});
+    cnf.add_clause({-v});
+    return;
+  }
+  std::vector<int> negated;
+  negated.reserve(lits.size());
+  for (int lit : lits) negated.push_back(-lit);
+  add_at_most_k(cnf, negated, n - k, e);
+}
+
+}  // namespace picola::sat

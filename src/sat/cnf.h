@@ -1,0 +1,66 @@
+#pragma once
+// CNF formula builder with selectable cardinality encodings.
+//
+// Literals use the DIMACS convention throughout: variables are 1-based,
+// a positive literal is the variable number and a negative literal its
+// negation.  The at-most-one / at-most-k helpers implement the three
+// classic encodings compared in "Yet Another Comparison of SAT Encodings
+// for the At-Most-K Constraint" (pairwise/binomial, Sinz's sequential
+// counter, and the commander encoding), selectable per build so the
+// benches can race them; all three introduce only implication clauses
+// over fresh auxiliary variables, so any satisfying assignment of the
+// original variables extends to one of the augmented formula.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace picola::sat {
+
+/// A CNF formula: `num_vars` variables (1..num_vars) and a clause list.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  /// Allocate a fresh variable and return its (positive) literal.
+  int new_var() { return ++num_vars; }
+
+  /// Append one clause.  Literals must be non-zero and within num_vars;
+  /// violations are reported by validate(), not checked here (hot path).
+  void add_clause(std::vector<int> lits) { clauses.push_back(std::move(lits)); }
+
+  long num_clauses() const { return static_cast<long>(clauses.size()); }
+
+  /// "" when every clause is non-empty with in-range, non-zero literals.
+  std::string validate() const;
+};
+
+/// Cardinality-constraint encoding family (Zhou's comparison).
+enum class CardEncoding {
+  kPairwise,    ///< binomial: one clause per forbidden subset
+  kSequential,  ///< Sinz sequential counter (auxiliary register chain)
+  kCommander,   ///< recursive commander variables (groups of 3)
+};
+
+const char* card_encoding_name(CardEncoding e);
+std::optional<CardEncoding> parse_card_encoding(std::string_view name);
+
+/// At most one of `lits` is true.  kCommander recurses over group
+/// commanders; kSequential uses the Sinz register chain; kPairwise emits
+/// all O(n^2) binary clauses.
+void add_at_most_one(Cnf& cnf, const std::vector<int>& lits, CardEncoding e);
+
+/// At most `k` of `lits` are true.  k <= 0 forces all literals false,
+/// k >= |lits| is a no-op.  kPairwise emits the binomial encoding (one
+/// clause per (k+1)-subset) but falls back to the sequential counter
+/// when that would exceed ~20k clauses; kCommander applies only to
+/// k == 1 and otherwise falls back to sequential.
+void add_at_most_k(Cnf& cnf, const std::vector<int>& lits, int k,
+                   CardEncoding e);
+
+/// At least `k` of `lits` are true (at-most-(n-k) over the negations).
+void add_at_least_k(Cnf& cnf, const std::vector<int>& lits, int k,
+                    CardEncoding e);
+
+}  // namespace picola::sat

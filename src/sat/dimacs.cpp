@@ -1,0 +1,90 @@
+#include "sat/dimacs.h"
+
+#include <sstream>
+
+namespace picola::sat {
+
+std::string write_dimacs(const Cnf& cnf,
+                         const std::vector<std::string>& comments) {
+  std::ostringstream os;
+  for (const std::string& c : comments) {
+    std::istringstream lines(c);
+    std::string line;
+    while (std::getline(lines, line)) os << "c " << line << "\n";
+  }
+  os << "p cnf " << cnf.num_vars << " " << cnf.clauses.size() << "\n";
+  for (const auto& clause : cnf.clauses) {
+    for (int lit : clause) os << lit << " ";
+    os << "0\n";
+  }
+  return os.str();
+}
+
+DimacsParseResult parse_dimacs(const std::string& text) {
+  DimacsParseResult r;
+  std::istringstream is(text);
+  std::string line;
+  long declared_clauses = -1;
+  std::vector<int> current;
+  long line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      if (declared_clauses >= 0) {
+        r.error = "line " + std::to_string(line_no) + ": duplicate header";
+        return r;
+      }
+      std::istringstream hs(line);
+      std::string p, fmt;
+      long vars = 0, clauses = 0;
+      if (!(hs >> p >> fmt >> vars >> clauses) || fmt != "cnf" || vars < 0 ||
+          clauses < 0 || vars > (1 << 28)) {
+        r.error = "line " + std::to_string(line_no) + ": bad header";
+        return r;
+      }
+      r.cnf.num_vars = static_cast<int>(vars);
+      declared_clauses = clauses;
+      continue;
+    }
+    if (declared_clauses < 0) {
+      r.error = "line " + std::to_string(line_no) + ": clause before header";
+      return r;
+    }
+    std::istringstream ls(line);
+    long lit;
+    while (ls >> lit) {
+      if (lit == 0) {
+        r.cnf.clauses.push_back(std::move(current));
+        current.clear();
+        continue;
+      }
+      if (lit > r.cnf.num_vars || lit < -r.cnf.num_vars) {
+        r.error = "line " + std::to_string(line_no) + ": literal " +
+                  std::to_string(lit) + " out of range";
+        return r;
+      }
+      current.push_back(static_cast<int>(lit));
+    }
+    if (!ls.eof()) {
+      r.error = "line " + std::to_string(line_no) + ": bad token";
+      return r;
+    }
+  }
+  if (declared_clauses < 0) {
+    r.error = "missing p cnf header";
+    return r;
+  }
+  if (!current.empty()) {
+    r.error = "unterminated clause at end of file";
+    return r;
+  }
+  if (static_cast<long>(r.cnf.clauses.size()) != declared_clauses) {
+    r.error = "header declares " + std::to_string(declared_clauses) +
+              " clauses, found " + std::to_string(r.cnf.clauses.size());
+    return r;
+  }
+  return r;
+}
+
+}  // namespace picola::sat

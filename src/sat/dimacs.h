@@ -1,0 +1,30 @@
+#pragma once
+// DIMACS CNF export/import, so the in-tree solver's verdicts can be
+// diffed against external solvers (`picola sat-export` writes this
+// format; the round-trip tests parse it back and re-solve).
+
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace picola::sat {
+
+/// Render `cnf` in DIMACS format.  `comments` become leading `c ` lines
+/// (one per entry, embedded newlines split into separate comment lines).
+std::string write_dimacs(const Cnf& cnf,
+                         const std::vector<std::string>& comments = {});
+
+struct DimacsParseResult {
+  Cnf cnf;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parse a DIMACS file: comments skipped, the `p cnf V C` header
+/// mandatory, clauses 0-terminated.  Variables above the declared count
+/// or a clause-count mismatch are errors.
+DimacsParseResult parse_dimacs(const std::string& text);
+
+}  // namespace picola::sat

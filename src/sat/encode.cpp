@@ -1,0 +1,170 @@
+#include "sat/encode.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "constraints/dichotomy.h"
+#include "obs/obs.h"
+
+namespace picola::sat {
+
+FaceCnf build_face_cnf(const ConstraintSet& cs, int nv,
+                       const ReductionOptions& opt) {
+  std::string err = cs.validate();
+  if (!err.empty()) throw std::invalid_argument("sat: invalid set: " + err);
+  if (nv < 1 || nv > 20)
+    throw std::invalid_argument("sat: num_bits " + std::to_string(nv) +
+                                " out of range [1, 20]");
+  const int n = cs.num_symbols;
+  const long num_codes = 1L << nv;
+  if (num_codes * n > 500'000)
+    throw std::invalid_argument(
+        "sat: code space too large for the indicator encoding (" +
+        std::to_string(n) + " symbols x 2^" + std::to_string(nv) + " codes)");
+
+  FaceCnf fc;
+  fc.num_symbols = n;
+  fc.num_bits = nv;
+  Cnf& cnf = fc.cnf;
+  cnf.num_vars = n * nv;  // the x[s][b] block sits first
+
+  if (opt.pin_symbol0)
+    for (int b = 0; b < nv; ++b) cnf.add_clause({-fc.bit_var(0, b)});
+
+  // Code indicators u[s][c], defined bidirectionally from the bits, then
+  // at-most-one symbol per code word.
+  std::vector<int> u(static_cast<size_t>(n) * static_cast<size_t>(num_codes));
+  for (auto& v : u) v = cnf.new_var();
+  auto ind = [&](int s, long c) {
+    return u[static_cast<size_t>(s) * static_cast<size_t>(num_codes) +
+             static_cast<size_t>(c)];
+  };
+  std::vector<int> mismatch;
+  for (int s = 0; s < n; ++s) {
+    for (long c = 0; c < num_codes; ++c) {
+      mismatch.clear();
+      mismatch.push_back(ind(s, c));
+      for (int b = 0; b < nv; ++b) {
+        int x = fc.bit_var(s, b);
+        int agree = ((c >> b) & 1) ? x : -x;
+        cnf.add_clause({-ind(s, c), agree});  // u -> bits spell out c
+        mismatch.push_back(-agree);           // bits spell out c -> u
+      }
+      cnf.add_clause(mismatch);
+    }
+  }
+  std::vector<int> holders;
+  for (long c = 0; c < num_codes; ++c) {
+    holders.clear();
+    for (int s = 0; s < n; ++s) holders.push_back(ind(s, c));
+    add_at_most_one(cnf, holders, opt.card);
+  }
+
+  // Face constraints: non-member t stays outside the members' supercube
+  // iff some bit separates it (all members 1 and t 0, or vice versa).
+  std::vector<uint8_t> member(static_cast<size_t>(n));
+  for (const FaceConstraint& c : cs.constraints) {
+    member.assign(static_cast<size_t>(n), 0);
+    for (int s : c.members) member[static_cast<size_t>(s)] = 1;
+
+    int yk = 0;
+    if (opt.with_selectors) {
+      yk = cnf.new_var();
+      fc.selectors.push_back(yk);
+    }
+
+    std::vector<int> all1(static_cast<size_t>(nv)), all0(static_cast<size_t>(nv));
+    for (int b = 0; b < nv; ++b) {
+      all1[static_cast<size_t>(b)] = cnf.new_var();
+      all0[static_cast<size_t>(b)] = cnf.new_var();
+      for (int s : c.members) {
+        cnf.add_clause({-all1[static_cast<size_t>(b)], fc.bit_var(s, b)});
+        cnf.add_clause({-all0[static_cast<size_t>(b)], -fc.bit_var(s, b)});
+      }
+    }
+
+    std::vector<int> excl;
+    for (int t = 0; t < n; ++t) {
+      if (member[static_cast<size_t>(t)]) continue;
+      excl.clear();
+      if (yk != 0) excl.push_back(-yk);
+      for (int b = 0; b < nv; ++b) {
+        int s1 = cnf.new_var();  // members all 1 at b, t is 0
+        int s0 = cnf.new_var();  // members all 0 at b, t is 1
+        cnf.add_clause({-s1, all1[static_cast<size_t>(b)]});
+        cnf.add_clause({-s1, -fc.bit_var(t, b)});
+        cnf.add_clause({-s0, all0[static_cast<size_t>(b)]});
+        cnf.add_clause({-s0, fc.bit_var(t, b)});
+        excl.push_back(s1);
+        excl.push_back(s0);
+      }
+      cnf.add_clause(excl);
+    }
+  }
+  return fc;
+}
+
+Encoding decode_model(const FaceCnf& fc, const Solver& solver) {
+  Encoding enc;
+  enc.num_symbols = fc.num_symbols;
+  enc.num_bits = fc.num_bits;
+  enc.codes.assign(static_cast<size_t>(fc.num_symbols), 0);
+  for (int s = 0; s < fc.num_symbols; ++s) {
+    uint32_t code = 0;
+    for (int b = 0; b < fc.num_bits; ++b)
+      if (solver.model_value(fc.bit_var(s, b))) code |= 1u << b;
+    enc.codes[static_cast<size_t>(s)] = code;
+  }
+  return enc;
+}
+
+SatExactResult sat_exact_encode(const ConstraintSet& cs,
+                                const SatExactOptions& opt) {
+  PICOLA_OBS_SPAN(span, "sat/exact_encode");
+  const int nv =
+      opt.num_bits > 0 ? opt.num_bits : Encoding::min_bits(cs.num_symbols);
+  ReductionOptions ro;
+  ro.card = opt.card;
+  ro.with_selectors = true;
+  const FaceCnf base = build_face_cnf(cs, nv, ro);
+
+  SatExactResult res;
+  bool unknown_above = false;
+  // Descending search: the first satisfiable at-least-t target is the
+  // maximum, provided every higher target was refuted (not timed out).
+  for (int target = cs.size(); target >= 0; --target) {
+    Cnf work = base.cnf;
+    if (target > 0) add_at_least_k(work, base.selectors, target, opt.card);
+
+    SolverOptions so;
+    so.max_conflicts = opt.max_conflicts;
+    so.deadline_ns = opt.deadline_ns;
+    so.cancel = opt.cancel;
+    Solver solver(work, so);
+    SolveStatus st = solver.solve();
+    ++res.solver_calls;
+    res.stats.decisions += solver.stats().decisions;
+    res.stats.propagations += solver.stats().propagations;
+    res.stats.conflicts += solver.stats().conflicts;
+    res.stats.restarts += solver.stats().restarts;
+    res.stats.learned_clauses += solver.stats().learned_clauses;
+    res.stats.learned_literals += solver.stats().learned_literals;
+
+    if (st == SolveStatus::kSat) {
+      res.encoding = decode_model(base, solver);
+      res.feasible = true;
+      res.satisfied = count_satisfied_constraints(cs, res.encoding);
+      res.proven = !unknown_above && res.satisfied == target;
+      PICOLA_OBS_COUNT("sat/exact_feasible", 1);
+      return res;
+    }
+    if (st == SolveStatus::kUnknown) unknown_above = true;
+  }
+  // Even plain distinctness failed: no nv-bit encoding exists (or the
+  // budget ran out everywhere).
+  res.proven = !unknown_above;
+  PICOLA_OBS_COUNT("sat/exact_infeasible", 1);
+  return res;
+}
+
+}  // namespace picola::sat

@@ -1,0 +1,328 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace picola::sat {
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+long luby(long x) {
+  long size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return 1L << seq;
+}
+
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* solve_status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kSat: return "sat";
+    case SolveStatus::kUnsat: return "unsat";
+    case SolveStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Solver::Solver(const Cnf& cnf, SolverOptions opt)
+    : num_vars_(cnf.num_vars), opt_(std::move(opt)) {
+  std::string err = cnf.validate();
+  if (!err.empty()) throw std::invalid_argument("sat: bad cnf: " + err);
+
+  size_t n = static_cast<size_t>(num_vars_);
+  value_.assign(n, -1);
+  level_.assign(n, 0);
+  reason_.assign(n, -1);
+  activity_.assign(n, 0.0);
+  polarity_.assign(n, 0);
+  seen_.assign(n, 0);
+  watches_.assign(2 * n, {});
+  for (int v = 0; v < num_vars_; ++v) order_.push_back({0.0, -v});
+  std::make_heap(order_.begin(), order_.end());
+
+  std::vector<int> lits;
+  for (const auto& clause : cnf.clauses) {
+    lits.clear();
+    for (int d : clause) lits.push_back(internal(d));
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    bool tautology = false;
+    for (size_t i = 0; i + 1 < lits.size(); ++i)
+      if ((lits[i] ^ 1) == lits[i + 1]) { tautology = true; break; }
+    if (tautology) continue;
+    if (lits.size() == 1) {
+      if (!enqueue(lits[0], -1)) ok_ = false;
+      continue;
+    }
+    clauses_.push_back(lits);
+    attach(static_cast<int>(clauses_.size()) - 1);
+  }
+}
+
+void Solver::attach(int ci) {
+  const std::vector<int>& c = clauses_[static_cast<size_t>(ci)];
+  watches_[static_cast<size_t>(c[0])].push_back(ci);
+  watches_[static_cast<size_t>(c[1])].push_back(ci);
+}
+
+bool Solver::enqueue(int lit, int reason) {
+  int val = lit_value(lit);
+  if (val == 0) return false;  // already false: conflict
+  if (val == 1) return true;   // already true
+  int v = lit >> 1;
+  value_[static_cast<size_t>(v)] = static_cast<int8_t>((lit & 1) ^ 1);
+  level_[static_cast<size_t>(v)] =
+      static_cast<int>(trail_lim_.size());
+  reason_[static_cast<size_t>(v)] = reason;
+  trail_.push_back(lit);
+  return true;
+}
+
+void Solver::check_cancel() const {
+  if (opt_.cancel && opt_.cancel->cancelled()) throw CancelledError();
+}
+
+bool Solver::deadline_expired() {
+  if (opt_.deadline_ns == 0) return false;
+  if (--deadline_countdown_ > 0) return false;
+  deadline_countdown_ = 256;
+  return steady_now_ns() >= opt_.deadline_ns;
+}
+
+int Solver::propagate() {
+  check_cancel();  // cooperative cancellation in the propagate loop
+  while (qhead_ < trail_.size()) {
+    int p = trail_[qhead_++];  // p is now true; literal p^1 is false
+    int false_lit = p ^ 1;
+    std::vector<int>& watch = watches_[static_cast<size_t>(false_lit)];
+    size_t keep = 0;
+    for (size_t i = 0; i < watch.size(); ++i) {
+      int ci = watch[i];
+      std::vector<int>& c = clauses_[static_cast<size_t>(ci)];
+      ++stats_.propagations;
+      // Normalise: the falsified watch sits at c[1].
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (lit_value(c[0]) == 1) {  // satisfied; keep the watch
+        watch[keep++] = ci;
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) != 0) {
+          std::swap(c[1], c[k]);
+          watches_[static_cast<size_t>(c[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict on c[0].
+      watch[keep++] = ci;
+      if (!enqueue(c[0], ci)) {
+        // Conflict: restore the untouched tail of the watch list.
+        for (size_t k = i + 1; k < watch.size(); ++k) watch[keep++] = watch[k];
+        watch.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+    }
+    watch.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(int v) {
+  activity_[static_cast<size_t>(v)] += var_inc_;
+  if (activity_[static_cast<size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Re-seed the heap: every stale entry now exceeds the rescaled
+    // activities, so push a fresh entry per variable.
+    for (int u = 0; u < num_vars_; ++u) push_order(u);
+    return;
+  }
+  push_order(v);
+}
+
+void Solver::push_order(int v) {
+  order_.push_back({activity_[static_cast<size_t>(v)], -v});
+  std::push_heap(order_.begin(), order_.end());
+}
+
+void Solver::decay() { var_inc_ /= opt_.var_decay; }
+
+void Solver::analyze(int confl, std::vector<int>* learnt, int* bt_level) {
+  learnt->clear();
+  learnt->push_back(0);  // slot for the asserting literal
+  int counter = 0;
+  int p = -1;
+  size_t index = trail_.size();
+  const int current_level = static_cast<int>(trail_lim_.size());
+  std::vector<int> to_clear;
+
+  do {
+    const std::vector<int>& c = clauses_[static_cast<size_t>(confl)];
+    for (int q : c) {
+      if (q == p) continue;
+      int v = q >> 1;
+      if (seen_[static_cast<size_t>(v)] || level_[static_cast<size_t>(v)] == 0)
+        continue;
+      seen_[static_cast<size_t>(v)] = 1;
+      to_clear.push_back(v);
+      bump(v);
+      if (level_[static_cast<size_t>(v)] >= current_level)
+        ++counter;
+      else
+        learnt->push_back(q);
+    }
+    // Walk the trail back to the next marked literal.
+    while (!seen_[static_cast<size_t>(trail_[--index] >> 1)]) {}
+    p = trail_[index];
+    confl = reason_[static_cast<size_t>(p >> 1)];
+    seen_[static_cast<size_t>(p >> 1)] = 0;
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = p ^ 1;
+
+  // Backtrack level: highest level among the non-asserting literals;
+  // keep that literal at index 1 so it becomes the second watch.
+  *bt_level = 0;
+  if (learnt->size() > 1) {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt->size(); ++i)
+      if (level_[static_cast<size_t>((*learnt)[i] >> 1)] >
+          level_[static_cast<size_t>((*learnt)[max_i] >> 1)])
+        max_i = i;
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    *bt_level = level_[static_cast<size_t>((*learnt)[1] >> 1)];
+  }
+  for (int v : to_clear) seen_[static_cast<size_t>(v)] = 0;
+}
+
+void Solver::backtrack(int target) {
+  if (static_cast<int>(trail_lim_.size()) <= target) return;
+  size_t floor = static_cast<size_t>(trail_lim_[static_cast<size_t>(target)]);
+  for (size_t i = trail_.size(); i > floor; --i) {
+    int lit = trail_[i - 1];
+    int v = lit >> 1;
+    polarity_[static_cast<size_t>(v)] =
+        static_cast<uint8_t>(value_[static_cast<size_t>(v)]);
+    value_[static_cast<size_t>(v)] = -1;
+    reason_[static_cast<size_t>(v)] = -1;
+    push_order(v);
+  }
+  trail_.resize(floor);
+  trail_lim_.resize(static_cast<size_t>(target));
+  qhead_ = trail_.size();
+}
+
+int Solver::pick_branch() {
+  check_cancel();  // cooperative cancellation in the decide loop
+  while (!order_.empty()) {
+    auto [act, negv] = order_.front();
+    std::pop_heap(order_.begin(), order_.end());
+    order_.pop_back();
+    int v = -negv;
+    if (value_[static_cast<size_t>(v)] != -1) continue;
+    if (act != activity_[static_cast<size_t>(v)]) continue;  // stale entry
+    return 2 * v + (polarity_[static_cast<size_t>(v)] ? 0 : 1);
+  }
+  // Defensive fallback: the heap invariant guarantees a fresh entry per
+  // unassigned variable, but a linear scan keeps the solver total.
+  for (int v = 0; v < num_vars_; ++v)
+    if (value_[static_cast<size_t>(v)] == -1)
+      return 2 * v + (polarity_[static_cast<size_t>(v)] ? 0 : 1);
+  return -1;
+}
+
+SolveStatus Solver::solve() {
+  PICOLA_OBS_SPAN(span, "sat/solve");
+  if (!ok_) return SolveStatus::kUnsat;
+  backtrack(0);
+  deadline_countdown_ = 0;
+
+  long conflicts_since_restart = 0;
+  long restart_limit = static_cast<long>(opt_.restart_base) * luby(0);
+  std::vector<int> learnt;
+
+  while (true) {
+    int confl = propagate();
+    if (confl >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (trail_lim_.empty()) return finish(SolveStatus::kUnsat);
+      int bt_level = 0;
+      analyze(confl, &learnt, &bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        if (!enqueue(learnt[0], -1)) {
+          ok_ = false;
+          return finish(SolveStatus::kUnsat);
+        }
+      } else {
+        clauses_.push_back(learnt);
+        int ci = static_cast<int>(clauses_.size()) - 1;
+        attach(ci);
+        ++stats_.learned_clauses;
+        stats_.learned_literals += static_cast<long>(learnt.size());
+        enqueue(learnt[0], ci);
+      }
+      decay();
+      if (opt_.max_conflicts > 0 && stats_.conflicts >= opt_.max_conflicts)
+        return finish(SolveStatus::kUnknown);
+      if (deadline_expired()) return finish(SolveStatus::kUnknown);
+    } else {
+      if (conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_limit =
+            static_cast<long>(opt_.restart_base) * luby(stats_.restarts);
+        backtrack(0);
+        continue;
+      }
+      int lit = pick_branch();
+      if (lit < 0) return finish(SolveStatus::kSat);
+      ++stats_.decisions;
+      if (deadline_expired()) return finish(SolveStatus::kUnknown);
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(lit, -1);
+    }
+  }
+}
+
+SolveStatus Solver::finish(SolveStatus s) {
+  // One bulk update per solve keeps the hot loops free of obs branches.
+  PICOLA_OBS_COUNT("sat/decisions", stats_.decisions);
+  PICOLA_OBS_COUNT("sat/propagations", stats_.propagations);
+  PICOLA_OBS_COUNT("sat/conflicts", stats_.conflicts);
+  PICOLA_OBS_COUNT("sat/restarts", stats_.restarts);
+  PICOLA_OBS_COUNT("sat/learned_clauses", stats_.learned_clauses);
+  return s;
+}
+
+bool Solver::model_value(int var) const {
+  if (var < 1 || var > num_vars_) return false;
+  return value_[static_cast<size_t>(var - 1)] == 1;
+}
+
+}  // namespace picola::sat

@@ -1,0 +1,120 @@
+#pragma once
+// Small in-tree CDCL SAT solver: two-watched-literal propagation,
+// first-UIP clause learning, VSIDS-lite branching (activity decay with
+// deterministic lowest-index tie-breaking), phase saving, and Luby
+// restarts.  Deliberately deterministic: the same CNF and options always
+// produce the same verdict and model, so the sat backend slots into the
+// bit-identical-results contract of the encoding service.
+//
+// Effort bounds, in line with the rest of the tree's cooperative
+// machinery (encoders/restart.h):
+//   * max_conflicts — a deterministic budget; exceeding it returns
+//     kUnknown (never a wrong verdict);
+//   * deadline_ns — a wall-clock guard checked periodically; expiring
+//     also returns kUnknown (reproducibility caveat documented in
+//     docs/ENCODERS.md);
+//   * cancel — the service's CancelToken, checked in the propagate and
+//     decide loops; firing throws CancelledError so a TCP deadline
+//     unwinds a long solve instead of hanging the pool.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "encoders/restart.h"
+#include "sat/cnf.h"
+
+namespace picola::sat {
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+const char* solve_status_name(SolveStatus s);
+
+struct SolverOptions {
+  /// Conflict budget; 0 = unlimited.  Exceeding it returns kUnknown.
+  long max_conflicts = 0;
+  /// std::chrono::steady_clock deadline in ns since epoch; 0 = none.
+  uint64_t deadline_ns = 0;
+  /// Cooperative cancellation: checked in the propagate/decide loops,
+  /// fires CancelledError.
+  std::shared_ptr<const CancelToken> cancel;
+  /// VSIDS activity decay factor per conflict.
+  double var_decay = 0.95;
+  /// Luby restart unit (conflicts).
+  int restart_base = 100;
+};
+
+struct SolverStats {
+  long decisions = 0;
+  long propagations = 0;
+  long conflicts = 0;
+  long restarts = 0;
+  long learned_clauses = 0;
+  long learned_literals = 0;
+};
+
+class Solver {
+ public:
+  /// Ingests `cnf` (validated with Cnf::validate; throws
+  /// std::invalid_argument on a malformed formula).
+  explicit Solver(const Cnf& cnf, SolverOptions opt = {});
+
+  /// Solve (idempotent: a second call re-solves from the root).
+  SolveStatus solve();
+
+  /// Truth value of DIMACS variable `var` in the model; only meaningful
+  /// after solve() returned kSat.
+  bool model_value(int var) const;
+
+  const SolverStats& stats() const { return stats_; }
+  int num_vars() const { return num_vars_; }
+
+ private:
+  // Internal literal encoding: lit = 2*var + sign, var 0-based, sign 1 =
+  // negated.  neg(lit) = lit ^ 1.
+  static int internal(int dimacs_lit) {
+    int v = dimacs_lit > 0 ? dimacs_lit : -dimacs_lit;
+    return 2 * (v - 1) + (dimacs_lit < 0 ? 1 : 0);
+  }
+
+  int lit_value(int lit) const {  // -1 undef, 0 false, 1 true
+    int8_t v = value_[static_cast<size_t>(lit >> 1)];
+    return v < 0 ? -1 : (v ^ (lit & 1));
+  }
+
+  bool enqueue(int lit, int reason);
+  int propagate();  ///< clause index of a conflict, or -1
+  void analyze(int confl, std::vector<int>* learnt, int* bt_level);
+  void backtrack(int level);
+  int pick_branch();  ///< decision literal, or -1 when all assigned
+  void attach(int clause_index);
+  void bump(int var);
+  void decay();
+  void push_order(int var);
+  void check_cancel() const;
+  bool deadline_expired();
+  SolveStatus finish(SolveStatus s);  ///< records sat/* obs counters
+
+  int num_vars_ = 0;
+  bool ok_ = true;  ///< false once a top-level conflict is known
+  SolverOptions opt_;
+  SolverStats stats_;
+
+  std::vector<std::vector<int>> clauses_;  ///< internal-literal clauses
+  std::vector<std::vector<int>> watches_;  ///< lit -> clause indices
+  std::vector<int8_t> value_;              ///< var -> -1/0/1
+  std::vector<int> level_;                 ///< var -> decision level
+  std::vector<int> reason_;                ///< var -> clause index or -1
+  std::vector<int> trail_;                 ///< assigned lits in order
+  std::vector<int> trail_lim_;             ///< trail size per decision level
+  size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::pair<double, int>> order_;  ///< max-heap (activity, -var)
+  std::vector<uint8_t> polarity_;              ///< saved phase (1 = true)
+  std::vector<uint8_t> seen_;                  ///< analyze() scratch
+  long deadline_countdown_ = 0;
+};
+
+}  // namespace picola::sat

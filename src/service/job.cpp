@@ -49,7 +49,8 @@ bool CanonicalJob::equivalent(const CanonicalJob& other) const {
   if (restarts != other.restarts ||
       set.num_symbols != other.set.num_symbols ||
       set.constraints.size() != other.set.constraints.size() ||
-      !options_equal(options, other.options))
+      !options_equal(options, other.options) ||
+      !portfolio::portfolio_options_equal(portfolio, other.portfolio))
     return false;
   for (size_t i = 0; i < set.constraints.size(); ++i) {
     const FaceConstraint& a = set.constraints[i];
@@ -93,6 +94,14 @@ CanonicalJob canonicalize(const Job& job) {
   h.mix_double(o.guide.weight_factor);
   h.mix(static_cast<uint64_t>(o.num_bits));
   h.mix(o.tie_break_seed);
+  // Backend selection and knobs all change the result, so all of them
+  // are part of the key (results from different backends must never
+  // answer each other's cache lookups).
+  c.portfolio = job.portfolio;
+  h.mix(static_cast<uint64_t>(c.portfolio.backend) |
+        (static_cast<uint64_t>(c.portfolio.sat_card) << 8));
+  h.mix(static_cast<uint64_t>(c.portfolio.sat_max_conflicts));
+  h.mix(c.portfolio.anneal_seed);
   for (const FaceConstraint& f : c.set.constraints) {
     h.mix(static_cast<uint64_t>(f.members.size()));
     for (int m : f.members) h.mix(static_cast<uint64_t>(m));

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/picola.h"
+#include "portfolio/backend.h"
 
 namespace picola {
 
@@ -23,6 +24,10 @@ namespace picola {
 struct Job {
   ConstraintSet set;
   PicolaOptions options;
+  /// Backend selection (picola / sat / anneal / portfolio) and backend
+  /// knobs; the default is plain PICOLA, which keeps the fan-out
+  /// identical to the pre-portfolio service.
+  portfolio::PortfolioOptions portfolio;
   /// Multi-start restarts (>= 1); each fans out as an independent pool
   /// task (see encoders/restart.h).
   int restarts = 1;
@@ -35,6 +40,7 @@ struct Job {
 struct CanonicalJob {
   ConstraintSet set;
   PicolaOptions options;
+  portfolio::PortfolioOptions portfolio;
   int restarts = 1;
   uint64_t fingerprint = 0;
 

@@ -25,6 +25,8 @@ namespace picola {
 struct CachedResult {
   PicolaResult picola;
   long total_cubes = 0;  ///< espresso-evaluated implementation cubes
+  /// Which backend produced the winning encoding.
+  portfolio::BackendKind backend = portfolio::BackendKind::kPicola;
 };
 
 class ResultCache {

@@ -22,16 +22,16 @@ int default_threads(int requested) {
 
 }  // namespace
 
-/// Shared state of one computing job: each restart task writes its own
-/// slot, the last one to decrement `remaining` reduces and fulfils the
-/// promise.  Tasks never wait on each other, so a saturated pool cannot
-/// deadlock.
+/// Shared state of one computing job: each backend-plan task writes its
+/// own slot, the last one to decrement `remaining` reduces and fulfils
+/// the promise.  Tasks never wait on each other, so a saturated pool
+/// cannot deadlock.
 struct EncodingService::InFlight {
   CanonicalJob job;
   std::promise<JobResult> promise;
   std::shared_future<JobResult> future;
-  std::vector<PicolaResult> results;
-  std::vector<long> costs;
+  std::vector<portfolio::BackendTask> plan;
+  std::vector<portfolio::BackendOutcome> outcomes;
   std::atomic<int> remaining{0};
   std::mutex error_mu;
   std::exception_ptr error;
@@ -67,7 +67,9 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
   // Captured before canonicalisation strips it from the cacheable form.
   std::shared_ptr<const CancelToken> cancel = job.options.cancel;
   CanonicalJob cj = canonicalize(job);
-  const int restarts = cj.restarts;
+  std::vector<portfolio::BackendTask> plan =
+      portfolio::portfolio_plan(cj.portfolio.backend, cj.restarts);
+  const int slots = static_cast<int>(plan.size());
   jobs_submitted_.add(1);
 
   std::shared_ptr<InFlight> fly;
@@ -95,6 +97,7 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
       JobResult r;
       r.picola = std::move(hit->picola);
       r.total_cubes = hit->total_cubes;
+      r.backend = hit->backend;
       r.cache_hit = true;
       ready.set_value(std::move(r));
       std::shared_future<JobResult> fut = ready.get_future().share();
@@ -104,13 +107,13 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
     }
 
     cache_misses_.add(1);
-    restart_tasks_.add(static_cast<uint64_t>(restarts));
+    restart_tasks_.add(static_cast<uint64_t>(slots));
     fly = std::make_shared<InFlight>();
     fly->job = std::move(cj);
     fly->future = fly->promise.get_future().share();
-    fly->results.resize(static_cast<size_t>(restarts));
-    fly->costs.assign(static_cast<size_t>(restarts), 0);
-    fly->remaining.store(restarts);
+    fly->plan = std::move(plan);
+    fly->outcomes.resize(static_cast<size_t>(slots));
+    fly->remaining.store(slots);
     fly->start_ns = obs::now_ns();
     fly->cancel = std::move(cancel);
     if (done) fly->callbacks.push_back(std::move(done));
@@ -119,8 +122,8 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
     pending_.emplace(fly->job.fingerprint, fly);
   }
 
-  for (int r = 0; r < restarts; ++r) {
-    auto run_restart = [this, fly, r]() {
+  for (int r = 0; r < slots; ++r) {
+    auto run_slot = [this, fly, r]() {
       try {
         PICOLA_OBS_SPAN(span_task, "service/restart_task");
         {
@@ -132,13 +135,9 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
         if (PICOLA_FAULT_POINT("service/job_alloc").kind ==
             fault::Kind::kThrow)
           throw std::bad_alloc();
-        PicolaOptions ro = picola_restart_options(fly->job.options, r);
-        ro.cancel = fly->cancel;
-        PicolaResult res = picola_encode(fly->job.set, ro);
-        long cost =
-            evaluate_constraints(fly->job.set, res.encoding).total_cubes;
-        fly->results[static_cast<size_t>(r)] = std::move(res);
-        fly->costs[static_cast<size_t>(r)] = cost;
+        fly->outcomes[static_cast<size_t>(r)] = portfolio::run_backend_task(
+            fly->job.set, fly->job.options, fly->job.portfolio,
+            fly->plan[static_cast<size_t>(r)], fly->cancel);
       } catch (...) {
         std::lock_guard<std::mutex> lock(fly->error_mu);
         if (!fly->error) fly->error = std::current_exception();
@@ -146,14 +145,14 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
       if (fly->remaining.fetch_sub(1) == 1) finish_job(fly);
     };
     try {
-      pool_.post(run_restart);
+      pool_.post(run_slot);
     } catch (...) {
       // The pool is shutting down: account for every task not posted.
       {
         std::lock_guard<std::mutex> lock(fly->error_mu);
         if (!fly->error) fly->error = std::current_exception();
       }
-      if (fly->remaining.fetch_sub(restarts - r) == restarts - r)
+      if (fly->remaining.fetch_sub(slots - r) == slots - r)
         finish_job(fly);
       break;
     }
@@ -173,17 +172,32 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
   const uint64_t dur_ns = obs::now_ns() - fly->start_ns;
   JobResult out;
   if (!fly->error) {
-    // Deterministic reduction — identical to sequential picola_encode_best.
-    RestartWinner winner;
-    for (int r = 0; r < static_cast<int>(fly->costs.size()); ++r)
-      winner.offer(fly->costs[static_cast<size_t>(r)], r);
-    out.picola = std::move(fly->results[static_cast<size_t>(winner.restart)]);
-    out.total_cubes = winner.cost;
-    out.wall_ms = static_cast<double>(dur_ns) / 1e6;
-    CachedResult memo;
-    memo.picola = out.picola;
-    memo.total_cubes = out.total_cubes;
-    cache_.insert(fly->job, std::move(memo));
+    // Deterministic reduction — lowest (cost, plan index), identical to
+    // sequential picola_encode_best / portfolio_encode.
+    int winner = portfolio::reduce_outcomes(fly->outcomes);
+    if (winner < 0) {
+      // Every slot degraded (e.g. the sat backend alone proving the
+      // requested length infeasible): the job fails, and is not cached.
+      std::string why = "no backend produced an encoding";
+      for (const portfolio::BackendOutcome& o : fly->outcomes)
+        if (!o.error.empty()) {
+          why += ": " + o.error;
+          break;
+        }
+      fly->error = std::make_exception_ptr(std::runtime_error(why));
+    } else {
+      portfolio::BackendOutcome& best =
+          fly->outcomes[static_cast<size_t>(winner)];
+      out.picola = std::move(best.result);
+      out.total_cubes = best.total_cubes;
+      out.backend = best.backend;
+      out.wall_ms = static_cast<double>(dur_ns) / 1e6;
+      CachedResult memo;
+      memo.picola = out.picola;
+      memo.total_cubes = out.total_cubes;
+      memo.backend = out.backend;
+      cache_.insert(fly->job, std::move(memo));
+    }
   }
   // Bookkeeping strictly before fulfilling the promise: a client that has
   // observed get() returning must find the result in the cache (not a

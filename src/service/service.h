@@ -3,14 +3,16 @@
 // `picola batch` / `picola serve` front-ends and the throughput bench.
 //
 // A submitted Job is canonicalised (job.h) and answered from the sharded
-// ResultCache when an equal job was already solved; otherwise its R
-// restarts (encoders/restart.h) fan out as independent ThreadPool tasks.
-// The last restart to finish reduces the candidates by espresso cube
-// count with deterministic tie-breaking (lowest cost, then lowest restart
-// index) — exactly the rule of the sequential picola_encode_best — so a
-// parallel run is bit-identical to a sequential one.  Identical jobs
-// submitted while the first is still in flight share its future instead
-// of being recomputed.
+// ResultCache when an equal job was already solved; otherwise its backend
+// plan (portfolio/backend.h — R picola restarts for the default backend,
+// plus the SAT and annealer slots when the job selects them) fans out as
+// independent ThreadPool tasks.  The last slot to finish reduces the
+// candidates by espresso cube count with deterministic tie-breaking
+// (lowest cost, then lowest plan index) — exactly the rule of the
+// sequential picola_encode_best and portfolio_encode — so a parallel run
+// is bit-identical to a sequential one.  Identical jobs submitted while
+// the first is still in flight share its future instead of being
+// recomputed.
 //
 // The service parallelises across jobs *and* within a job: a batch of B
 // jobs with R restarts each becomes B*R pool tasks, no task ever blocks
@@ -44,6 +46,9 @@ struct ServiceOptions {
 struct JobResult {
   PicolaResult picola;
   long total_cubes = 0;   ///< espresso-evaluated implementation cubes
+  /// Which backend produced the winning encoding (kPicola unless the job
+  /// selected another backend or the portfolio).
+  portfolio::BackendKind backend = portfolio::BackendKind::kPicola;
   /// Answered without computing: either a completed-result cache hit or
   /// an in-flight join (ServiceStats tells the two apart).
   bool cache_hit = false;

@@ -7,8 +7,12 @@
 #include <sstream>
 
 #include "cli/cli.h"
+#include "constraints/constraint_io.h"
 #include "kiss/benchmarks.h"
 #include "kiss/kiss_io.h"
+#include "sat/dimacs.h"
+#include "sat/encode.h"
+#include "sat/solver.h"
 
 namespace picola {
 namespace {
@@ -175,6 +179,81 @@ TEST_F(CliTest, EncodeSelfCheckFlag) {
   EXPECT_EQ(run({"encode", in, "--self-check", "--quiet"}), 0);
   EXPECT_NE(out_.str().find("satisfied 3/4"), std::string::npos)
       << out_.str();
+}
+
+TEST_F(CliTest, EncodeBackendPortfolio) {
+  std::string in = temp_path("backend.con");
+  write(in, kCon);
+  EXPECT_EQ(run({"encode", in, "--backend", "portfolio", "--restarts", "2",
+                 "--quiet"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("# backend portfolio winner "), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, EncodeBackendSatWinsOnOwnPlan) {
+  std::string in = temp_path("backend_sat.con");
+  write(in, ".n 6\n0 1 2\n2 3\n4 5\n1 3 5\n.e\n");
+  EXPECT_EQ(run({"encode", in, "--backend", "sat", "--quiet"}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("# backend sat winner sat"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, EncodeBackendRejectsBadValues) {
+  std::string in = temp_path("backend_bad.con");
+  write(in, kCon);
+  EXPECT_NE(run({"encode", in, "--backend", "cplex"}), 0);
+  EXPECT_NE(run({"encode", in, "--backend", "sat", "--algorithm", "picola"}),
+            0);
+  EXPECT_NE(run({"encode", in, "--backend", "sat", "--card", "magic"}), 0);
+}
+
+TEST_F(CliTest, BatchBackendReportsWinnerInJson) {
+  std::string in = temp_path("batch_backend.con");
+  write(in, kCon);
+  std::string list = temp_path("batch_backend.list");
+  write(list, in + "\n");
+  EXPECT_EQ(run({"batch", list, "--backend", "portfolio", "--restarts", "2",
+                 "--json"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("\"backend\":\""), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliTest, SatExportRoundTripReproducesVerdict) {
+  std::string in = temp_path("se.con");
+  write(in, kCon);
+  std::string cnfpath = temp_path("se.cnf");
+  EXPECT_EQ(run({"sat-export", in, "--bits", "4", "-o", cnfpath}), 0)
+      << err_.str();
+  std::string text = slurp(cnfpath);
+  EXPECT_EQ(text.rfind("c picola sat-export", 0), 0u) << text.substr(0, 80);
+
+  // The exported formula parses back and solves to the same verdict as
+  // the directly built reduction.
+  sat::DimacsParseResult parsed = sat::parse_dimacs(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ConstraintParseResult cs = parse_constraints(kCon);
+  ASSERT_TRUE(cs.ok());
+  sat::FaceCnf direct = sat::build_face_cnf(cs.set, 4);
+  EXPECT_EQ(parsed.cnf.num_vars, direct.cnf.num_vars);
+  EXPECT_EQ(parsed.cnf.clauses.size(), direct.cnf.clauses.size());
+  sat::Solver s_parsed(parsed.cnf);
+  sat::Solver s_direct(direct.cnf);
+  EXPECT_EQ(s_parsed.solve(), s_direct.solve());
+}
+
+TEST_F(CliTest, SatExportToStdoutAndErrors) {
+  std::string in = temp_path("se2.con");
+  write(in, kCon);
+  EXPECT_EQ(run({"sat-export", in}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("p cnf "), std::string::npos);
+  EXPECT_NE(run({"sat-export", temp_path("missing.con")}), 0);
+  EXPECT_NE(run({"sat-export", in, "--bits", "0"}), 0);
+  EXPECT_NE(run({"sat-export", in, "--card", "magic"}), 0);
 }
 
 TEST_F(CliTest, BatchSelfCheckFlag) {

@@ -221,6 +221,60 @@ TEST(NetServer, DeadlineExceededAnswersEarlyAndCancelsJob) {
   server.stop();
 }
 
+TEST(NetServer, BackendFieldSelectsBackendAndIsEchoed) {
+  Server server(base_options());
+  server.start();
+  Client c;
+  ASSERT_TRUE(c.connect("127.0.0.1", server.port()));
+
+  // Default: the picola backend answers and is named in the reply.
+  auto r = c.call(encode_request(example("overlap.con")));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(str_field(*r, "backend"), "picola");
+
+  // Explicit backend: the winning backend comes back.
+  JsonValue req = encode_request(example("overlap.con"));
+  req.set("backend", JsonValue::make_string("anneal"));
+  r = c.call(req);
+  ASSERT_TRUE(r);
+  EXPECT_FALSE(r->find("error")) << r->dump();
+  EXPECT_EQ(str_field(*r, "backend"), "anneal");
+
+  // An unknown backend is a typed bad_request, not a hang or a crash.
+  req.set("backend", JsonValue::make_string("cplex"));
+  r = c.call(req);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(str_field(*r, "error"), "bad_request");
+  server.stop();
+}
+
+TEST(NetServer, DeadlineCancelsLongSatRun) {
+  // The satellite requirement: a TCP deadline must unwind a long SAT
+  // solve through the solver's CancelToken hooks, freeing the admission
+  // slot — not leave the pool burning on an abandoned search.
+  ServerOptions o = base_options();
+  o.service.num_threads = 1;
+  Server server(o);
+  server.start();
+  Client c;
+  ASSERT_TRUE(c.connect("127.0.0.1", server.port()));
+
+  JsonValue req = inline_request(slow_con());
+  req.set("backend", JsonValue::make_string("sat"));
+  req.set("deadline_ms", JsonValue::make_int(1));
+  req.set("id", JsonValue::make_string("slow-sat"));
+  auto r = c.call(req);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(str_field(*r, "error"), "deadline_exceeded");
+  EXPECT_EQ(str_field(*r, "id"), "slow-sat");
+
+  EXPECT_TRUE(eventually([&] { return server.stats().inflight == 0; }));
+  NetStats s = server.stats();
+  EXPECT_EQ(s.deadline_misses, 1);
+  EXPECT_EQ(s.cancelled_jobs, 1);
+  server.stop();
+}
+
 TEST(NetServer, ShedsAboveMaxInflightWithRetryAfter) {
   ServerOptions o = base_options();
   o.service.num_threads = 1;

@@ -1,0 +1,150 @@
+// CDCL solver unit tests: known SAT/UNSAT formulas, pigeonhole proofs,
+// budgets, deadlines and cooperative cancellation.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "encoders/restart.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+
+namespace picola::sat {
+namespace {
+
+/// PHP(p, h): p pigeons into h holes, each pigeon in some hole, no two
+/// pigeons share a hole.  UNSAT iff p > h.
+Cnf pigeonhole(int pigeons, int holes) {
+  Cnf cnf;
+  std::vector<std::vector<int>> var(static_cast<size_t>(pigeons));
+  for (int p = 0; p < pigeons; ++p)
+    for (int h = 0; h < holes; ++h)
+      var[static_cast<size_t>(p)].push_back(cnf.new_var());
+  for (int p = 0; p < pigeons; ++p)
+    cnf.add_clause(var[static_cast<size_t>(p)]);
+  for (int h = 0; h < holes; ++h)
+    for (int p = 0; p < pigeons; ++p)
+      for (int q = p + 1; q < pigeons; ++q)
+        cnf.add_clause({-var[static_cast<size_t>(p)][static_cast<size_t>(h)],
+                        -var[static_cast<size_t>(q)][static_cast<size_t>(h)]});
+  return cnf;
+}
+
+TEST(Solver, TrivialSatAndModel) {
+  Cnf cnf;
+  int a = cnf.new_var(), b = cnf.new_var();
+  cnf.add_clause({a});
+  cnf.add_clause({-a, b});
+  Solver s(cnf);
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Solver, UnitConflictIsUnsat) {
+  Cnf cnf;
+  int a = cnf.new_var();
+  cnf.add_clause({a});
+  cnf.add_clause({-a});
+  Solver s(cnf);
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Solver, ImplicationChainPropagates) {
+  Cnf cnf;
+  constexpr int kN = 50;
+  for (int i = 0; i < kN; ++i) cnf.new_var();
+  cnf.add_clause({1});
+  for (int i = 1; i < kN; ++i) cnf.add_clause({-i, i + 1});
+  Solver s(cnf);
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  for (int i = 1; i <= kN; ++i) EXPECT_TRUE(s.model_value(i));
+}
+
+TEST(Solver, XorChainRequiresLearning) {
+  // x1 xor x2 xor ... parity chain forced to an odd total via units; the
+  // CNF of each xor is 4 ternary clauses over (a, b, out).
+  Cnf cnf;
+  int a = cnf.new_var();
+  int acc = a;
+  for (int i = 0; i < 8; ++i) {
+    int b = cnf.new_var();
+    int out = cnf.new_var();
+    cnf.add_clause({-acc, -b, -out});
+    cnf.add_clause({acc, b, -out});
+    cnf.add_clause({acc, -b, out});
+    cnf.add_clause({-acc, b, out});
+    acc = out;
+  }
+  cnf.add_clause({acc});  // parity = 1: satisfiable
+  Solver s(cnf);
+  EXPECT_EQ(s.solve(), SolveStatus::kSat);
+}
+
+TEST(Solver, PigeonholeSatWhenHolesSuffice) {
+  Solver s(pigeonhole(4, 4));
+  EXPECT_EQ(s.solve(), SolveStatus::kSat);
+}
+
+TEST(Solver, PigeonholeUnsatProof) {
+  Solver s5(pigeonhole(5, 4));
+  EXPECT_EQ(s5.solve(), SolveStatus::kUnsat);
+  Solver s7(pigeonhole(7, 6));
+  EXPECT_EQ(s7.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+  SolverOptions opt;
+  opt.max_conflicts = 1;
+  Solver s(pigeonhole(7, 6), opt);
+  EXPECT_EQ(s.solve(), SolveStatus::kUnknown);
+  EXPECT_GE(s.stats().conflicts, 1);
+}
+
+TEST(Solver, ExpiredDeadlineReturnsUnknown) {
+  SolverOptions opt;
+  opt.deadline_ns = 1;  // epoch + 1ns: long expired
+  Solver s(pigeonhole(8, 7), opt);
+  EXPECT_EQ(s.solve(), SolveStatus::kUnknown);
+}
+
+TEST(Solver, CancelledTokenThrows) {
+  auto token = std::make_shared<CancelToken>();
+  token->cancel();
+  SolverOptions opt;
+  opt.cancel = token;
+  Solver s(pigeonhole(5, 4), opt);
+  EXPECT_THROW(s.solve(), CancelledError);
+}
+
+TEST(Solver, RejectsMalformedCnf) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.add_clause({});
+  EXPECT_THROW(Solver{cnf}, std::invalid_argument);
+}
+
+TEST(Solver, DeterministicAcrossRuns) {
+  Cnf cnf = pigeonhole(6, 6);
+  Solver a(cnf), b(cnf);
+  ASSERT_EQ(a.solve(), SolveStatus::kSat);
+  ASSERT_EQ(b.solve(), SolveStatus::kSat);
+  for (int v = 1; v <= a.num_vars(); ++v)
+    EXPECT_EQ(a.model_value(v), b.model_value(v)) << "var " << v;
+  EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+}
+
+TEST(Solver, ResolveAfterSatIsIdempotent) {
+  Cnf cnf = pigeonhole(5, 5);
+  Solver s(cnf);
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  std::vector<bool> first;
+  for (int v = 1; v <= s.num_vars(); ++v) first.push_back(s.model_value(v));
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  for (int v = 1; v <= s.num_vars(); ++v)
+    EXPECT_EQ(s.model_value(v), first[static_cast<size_t>(v - 1)]);
+}
+
+}  // namespace
+}  // namespace picola::sat

@@ -7,6 +7,7 @@
 
 #include "encoders/restart.h"
 #include "eval/constraint_eval.h"
+#include "portfolio/portfolio.h"
 
 namespace picola {
 namespace {
@@ -215,6 +216,92 @@ TEST(EncodingServiceTest, SingleThreadServiceIsStillCorrect) {
   JobResult r = service.submit(std::move(job)).get();
   PicolaResult seq = picola_encode_best(paper_set(), 4);
   EXPECT_EQ(r.picola.encoding.codes, seq.encoding.codes);
+}
+
+TEST(EncodingServiceTest, BackendSelectionSeparatesCacheEntries) {
+  // The same constraint set under different backends must be distinct
+  // jobs: no false cache hits, and each result names its backend.
+  EncodingService service;
+  Job picola_job;
+  picola_job.set = paper_set();
+  picola_job.restarts = 2;
+  JobResult r1 = service.submit(std::move(picola_job)).get();
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_EQ(r1.backend, portfolio::BackendKind::kPicola);
+
+  Job anneal_job;
+  anneal_job.set = paper_set();
+  anneal_job.restarts = 2;
+  anneal_job.portfolio.backend = portfolio::BackendKind::kAnneal;
+  JobResult r2 = service.submit(std::move(anneal_job)).get();
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(r2.backend, portfolio::BackendKind::kAnneal);
+
+  // Different sat knobs are different jobs too (they change results).
+  Job sat_a;
+  sat_a.set = paper_set();
+  sat_a.portfolio.backend = portfolio::BackendKind::kSat;
+  JobResult r3 = service.submit(std::move(sat_a)).get();
+  EXPECT_FALSE(r3.cache_hit);
+  Job sat_b;
+  sat_b.set = paper_set();
+  sat_b.portfolio.backend = portfolio::BackendKind::kSat;
+  sat_b.portfolio.sat_card = sat::CardEncoding::kPairwise;
+  JobResult r4 = service.submit(std::move(sat_b)).get();
+  EXPECT_FALSE(r4.cache_hit);
+}
+
+TEST(EncodingServiceTest, CachedReplyReportsWinningBackend) {
+  EncodingService service;
+  auto make_job = [] {
+    Job j;
+    j.set = paper_set();
+    j.portfolio.backend = portfolio::BackendKind::kSat;
+    return j;
+  };
+  JobResult first = service.submit(make_job()).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.backend, portfolio::BackendKind::kSat);
+  JobResult second = service.submit(make_job()).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.backend, portfolio::BackendKind::kSat);
+  EXPECT_EQ(second.picola.encoding.codes, first.picola.encoding.codes);
+}
+
+TEST(EncodingServiceTest, PortfolioJobMatchesSequentialPortfolio) {
+  // The concurrent fan-out of a portfolio plan must reduce to the same
+  // winner as the sequential front-end, and never lose to picola alone.
+  const int kRestarts = 3;
+  for (const ConstraintSet& cs : {paper_set(), crowded_set()}) {
+    portfolio::PortfolioOptions fopt;
+    fopt.backend = portfolio::BackendKind::kPortfolio;
+    // The service canonicalises (sorts/normalises) the constraint set
+    // before running; the sat backend's model depends on constraint
+    // order, so the sequential reference must use the same form.
+    Job proto;
+    proto.set = cs;
+    proto.restarts = kRestarts;
+    proto.portfolio = fopt;
+    CanonicalJob canon = canonicalize(proto);
+    portfolio::PortfolioResult seq =
+        portfolio::portfolio_encode(canon.set, kRestarts, {}, fopt);
+
+    ServiceOptions so;
+    so.num_threads = 4;
+    EncodingService service(so);
+    Job job;
+    job.set = cs;
+    job.restarts = kRestarts;
+    job.portfolio = fopt;
+    JobResult r = service.submit(std::move(job)).get();
+    EXPECT_EQ(r.picola.encoding.codes, seq.picola.encoding.codes);
+    EXPECT_EQ(r.total_cubes, seq.total_cubes);
+    EXPECT_EQ(r.backend, seq.backend);
+
+    PicolaResult alone = picola_encode_best(cs, kRestarts);
+    long alone_cost = evaluate_constraints(cs, alone.encoding).total_cubes;
+    EXPECT_LE(r.total_cubes, alone_cost);
+  }
 }
 
 }  // namespace

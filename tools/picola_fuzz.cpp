@@ -17,11 +17,20 @@
 //  * sampled: espresso-evaluated total cubes never beat the oracle's
 //    minimum over all encodings.
 //
+// --portfolio switches to the portfolio-differential mode (ISSUE:
+// encoder portfolio subsystem): every instance runs through the full
+// backend portfolio (src/portfolio) with self-check on, must be
+// bit-identical across repeated runs and never worse than picola alone,
+// and on oracle-sized instances the sat_exact backend's verdict is
+// diffed against the brute-force oracle (proven results must hit the
+// exact optimum).
+//
 // Failures are shrunk to a minimal reproducer (drop constraints, drop
 // members, drop trailing unused symbols) and dumped in .con format.
 //
 // Usage: picola_fuzz [--seed S] [--iters N] [--max-n N] [--oracle-n N]
-//                    [--min-cube-every K] [--dump-dir DIR] [--verbose]
+//                    [--min-cube-every K] [--dump-dir DIR] [--portfolio]
+//                    [--verbose]
 
 #include <algorithm>
 #include <cstdint>
@@ -39,6 +48,8 @@
 #include "core/picola.h"
 #include "eval/constraint_eval.h"
 #include "obs/metrics.h"
+#include "portfolio/portfolio.h"
+#include "sat/encode.h"
 
 namespace picola {
 namespace {
@@ -50,6 +61,7 @@ struct FuzzOptions {
   int oracle_n = 8;
   long min_cube_every = 64;  ///< espresso-oracle sampling period (0 = off)
   std::string dump_dir = ".";
+  bool portfolio_mode = false;  ///< portfolio-differential checks instead
   bool verbose = false;
 };
 
@@ -88,12 +100,92 @@ bool flag_reason_is_sound(const FaceConstraint& c, const Encoding& enc,
   return (nv - dim) - pinned <= 0;
 }
 
+/// Portfolio-differential checks for one instance (--portfolio):
+/// determinism and the never-worse-than-picola guarantee of the full
+/// portfolio, plus the sat_exact-vs-oracle differential on small
+/// instances.
+std::vector<std::string> check_portfolio_instance(const ConstraintSet& cs,
+                                                  int num_bits, uint64_t iter,
+                                                  const FuzzOptions& fo,
+                                                  FuzzCounters* counters) {
+  std::vector<std::string> v;
+  PicolaOptions popt;
+  popt.num_bits = num_bits;
+  popt.self_check = true;  // every backend's output through the verifier
+  portfolio::PortfolioOptions all;
+  all.backend = portfolio::BackendKind::kPortfolio;
+  all.anneal_seed = iter + 1;
+  const int kRestarts = 2;
+
+  portfolio::PortfolioResult res;
+  try {
+    res = portfolio::portfolio_encode(cs, kRestarts, popt, all);
+  } catch (const check::SelfCheckError& e) {
+    v.push_back(std::string("self-check: ") + e.what());
+    return v;
+  } catch (const std::exception& e) {
+    v.push_back(std::string("unexpected throw: ") + e.what());
+    return v;
+  }
+  if (counters) ++counters->invariant_checked;
+
+  // The whole portfolio must be bit-identical across runs.
+  portfolio::PortfolioResult again =
+      portfolio::portfolio_encode(cs, kRestarts, popt, all);
+  if (again.picola.encoding.codes != res.picola.encoding.codes ||
+      again.backend != res.backend || again.total_cubes != res.total_cubes)
+    v.push_back("non-deterministic portfolio result");
+
+  // Structurally never worse than picola alone (the picola slots come
+  // first in the plan with identical seeds).
+  portfolio::PortfolioOptions alone;
+  alone.backend = portfolio::BackendKind::kPicola;
+  portfolio::PortfolioResult base =
+      portfolio::portfolio_encode(cs, kRestarts, popt, alone);
+  if (res.total_cubes > base.total_cubes)
+    v.push_back("portfolio reached " + std::to_string(res.total_cubes) +
+                " cubes, worse than picola alone at " +
+                std::to_string(base.total_cubes));
+
+  // sat_exact vs the brute-force oracle on small instances: a proven
+  // result must hit the exact optimum, any result must verify.
+  if (cs.num_symbols <= fo.oracle_n && cs.size() <= 20 && num_bits <= 8) {
+    sat::SatExactOptions so;
+    so.num_bits = num_bits;
+    try {
+      check::OracleResult oracle = check::oracle_solve(cs, num_bits);
+      sat::SatExactResult sres = sat::sat_exact_encode(cs, so);
+      if (counters) ++counters->oracle_checked;
+      if (!sres.feasible) {
+        v.push_back("sat backend found no encoding on a feasible instance");
+      } else {
+        check::VerifyReport rep = check::verify_encoding(cs, sres.encoding);
+        if (!rep.ok())
+          v.push_back("sat encoding fails verification: " + rep.to_string());
+        if (sres.satisfied > oracle.max_satisfied)
+          v.push_back("sat backend claims " + std::to_string(sres.satisfied) +
+                      " satisfied constraints, oracle optimum is " +
+                      std::to_string(oracle.max_satisfied));
+        if (sres.proven && sres.satisfied != oracle.max_satisfied)
+          v.push_back("sat backend proved " + std::to_string(sres.satisfied) +
+                      " satisfied constraints, oracle optimum is " +
+                      std::to_string(oracle.max_satisfied));
+      }
+    } catch (const std::invalid_argument&) {
+      // oracle or reduction over budget for this nv; skip the differential
+    }
+  }
+  return v;
+}
+
 /// All checks for one instance.  Returns the violations found (empty =
 /// clean).  `counters` may be null (the shrinker re-runs this predicate
 /// without counting).
 std::vector<std::string> check_instance(const ConstraintSet& cs, int num_bits,
                                         uint64_t iter, const FuzzOptions& fo,
                                         FuzzCounters* counters) {
+  if (fo.portfolio_mode)
+    return check_portfolio_instance(cs, num_bits, iter, fo, counters);
   std::vector<std::string> v;
   PicolaOptions opt;
   opt.num_bits = num_bits;
@@ -281,7 +373,7 @@ int fuzz_main(const FuzzOptions& fo) {
     std::cerr << "  repro: picola_fuzz --seed " << fo.seed << " --iters "
               << (i + 1) << " --max-n " << fo.max_n << " --oracle-n "
               << fo.oracle_n << " --min-cube-every " << fo.min_cube_every
-              << "\n";
+              << (fo.portfolio_mode ? " --portfolio" : "") << "\n";
     ConstraintSet minimal =
         shrink(inst.set, inst.num_bits, static_cast<uint64_t>(i), fo);
     std::string path = fo.dump_dir + "/fuzz_fail_seed" +
@@ -301,7 +393,8 @@ int fuzz_main(const FuzzOptions& fo) {
   }
 
   auto& reg = obs::MetricsRegistry::global();
-  std::cout << "picola_fuzz: " << fo.iters << " iterations, "
+  std::cout << "picola_fuzz" << (fo.portfolio_mode ? " (portfolio)" : "")
+            << ": " << fo.iters << " iterations, "
             << counters.invariant_checked << " invariant-checked, "
             << counters.oracle_checked << " oracle-checked, "
             << counters.prefix_checked << " prefix-differential, "
@@ -337,12 +430,14 @@ int main(int argc, char** argv) {
       fo.min_cube_every = *v;
     else if (a == "--dump-dir" && i + 1 < argc)
       fo.dump_dir = argv[++i];
+    else if (a == "--portfolio")
+      fo.portfolio_mode = true;
     else if (a == "--verbose")
       fo.verbose = true;
     else {
       std::cerr << "usage: picola_fuzz [--seed S] [--iters N] [--max-n N] "
                    "[--oracle-n N] [--min-cube-every K] [--dump-dir DIR] "
-                   "[--verbose]\n";
+                   "[--portfolio] [--verbose]\n";
       return 2;
     }
   }
