@@ -26,6 +26,7 @@
 #include "eval/constraint_eval.h"
 #include "eval/metrics.h"
 #include "kiss/kiss_io.h"
+#include "obs/build_info.h"
 #include "obs/obs.h"
 #include "pla/pla_io.h"
 #include "net/client.h"
@@ -68,6 +69,7 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                       "--blif", "--jobs", "--restarts",
                                       "--cache", "--trace",
                                       "--tcp", "--bind", "--max-inflight",
+                                      "--admin-port", "--slow-ms",
                                       "--idle-timeout-ms", "--max-frame-bytes",
                                       "--retry-after-ms", "--deadline-ms",
                                       "--retries", "--timeout-ms",
@@ -825,6 +827,16 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
     if (!v) return 2;
     o.retry_after_ms = *v;
   }
+  if (a.options.count("--admin-port")) {
+    auto v = parse_int_option(a, "--admin-port", 0, 65535, err);
+    if (!v) return 2;
+    o.admin_port = *v;
+  }
+  if (a.options.count("--slow-ms")) {
+    auto v = parse_int_option(a, "--slow-ms", 0, 86'400'000, err);
+    if (!v) return 2;
+    o.slow_request_ms = *v;
+  }
   o.use_poll = a.options.count("--poll") != 0;
   o.allow_paths = a.options.count("--no-paths") == 0;
 
@@ -853,6 +865,8 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
   sigaction(SIGPIPE, &sa_ign, &sa_old_pipe);
 
   out << "listening " << o.bind_address << ":" << server->port() << "\n";
+  if (o.admin_port >= 0)
+    out << "admin " << o.bind_address << ":" << server->admin_port() << "\n";
   out.flush();
   server->run();
 
@@ -932,6 +946,12 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
     copt.io_timeout_ms = *v;
     copt.connect_timeout_ms = *v;
   }
+
+  // --trace <file>: collect client-side spans and attach generated
+  // trace_id / parent_span fields so the server's spans correlate with
+  // ours in one exported timeline.
+  ObsSession obs_session(a);
+  copt.trace_requests = a.options.count("--trace") != 0;
 
   net::Client client(copt);
   std::string error;
@@ -1028,6 +1048,7 @@ int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
     }
     out.flush();
   }
+  if (!obs_session.write_trace(err)) return 1;
   return failures == 0 ? 0 : 1;
 }
 
@@ -1055,10 +1076,13 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
     if (line == "metrics") {
       // One JSON line: the service's own registry plus the process-wide
       // per-phase histograms (populated when serve ran with --metrics or
-      // --trace).
+      // --trace) and the build provenance.  Existing keys are a
+      // compatibility surface (tests/integration/test_serve_stdin.cpp) —
+      // add, never rename.
+      service.refresh_gauges();
       out << "metrics {\"service\":" << service.metrics().report_json()
           << ",\"process\":" << obs::MetricsRegistry::global().report_json()
-          << "}\n";
+          << ",\"build\":" << obs::build_info_json() << "}\n";
       out.flush();
       continue;
     }

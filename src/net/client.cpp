@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "net/sys.h"
+#include "obs/tracer.h"
 
 namespace picola::net {
 
@@ -22,6 +23,22 @@ namespace {
 
 void set_error(std::string* error, const std::string& msg) {
   if (error) *error = msg;
+}
+
+/// 1-16 hex digits -> uint64 (wire trace_id field); false on junk.
+bool parse_hex64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char ch : s) {
+    int d;
+    if (ch >= '0' && ch <= '9') d = ch - '0';
+    else if (ch >= 'a' && ch <= 'f') d = ch - 'a' + 10;
+    else if (ch >= 'A' && ch <= 'F') d = ch - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
 }
 
 uint64_t splitmix64(uint64_t x) {
@@ -237,6 +254,41 @@ std::optional<std::string> Client::recv(std::string* error) {
 
 std::optional<JsonValue> Client::call(const JsonValue& request,
                                       std::string* error) {
+  if (!opt_.trace_requests) return call_impl(request, error);
+
+  // Trace propagation (docs/SERVICE.md): attach a generated trace_id /
+  // parent_span unless the caller already set them, and time the whole
+  // round trip as a client/request span under that id — the same id the
+  // server stamps onto its net/request and service/* spans, so one
+  // Perfetto export shows the request end to end.
+  JsonValue traced = request;
+  uint64_t trace_id = 0;
+  if (const JsonValue* t = traced.find("trace_id")) {
+    if (t->is_string()) parse_hex64(t->as_string(), &trace_id);
+  }
+  if (trace_id == 0) {
+    do {
+      rng_ = splitmix64(rng_);
+      trace_id = rng_;
+    } while (trace_id == 0);
+    traced.set("trace_id",
+               JsonValue::make_string(obs::trace_id_hex(trace_id)));
+  }
+  if (!traced.find("parent_span")) {
+    rng_ = splitmix64(rng_);
+    traced.set("parent_span",
+               JsonValue::make_string(obs::trace_id_hex(rng_ ? rng_ : 1)));
+  }
+  last_trace_id_ = trace_id;
+  obs::ScopedTraceId scope(trace_id);
+  const uint64_t start_ns = obs::now_ns();
+  auto result = call_impl(traced, error);
+  obs::record_span("client/request", start_ns, obs::now_ns() - start_ns);
+  return result;
+}
+
+std::optional<JsonValue> Client::call_impl(const JsonValue& request,
+                                           std::string* error) {
   if (!send(request.dump(), error)) return std::nullopt;
   auto payload = recv(error);
   if (!payload) return std::nullopt;

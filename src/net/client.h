@@ -38,6 +38,10 @@ struct ClientOptions {
   uint64_t jitter_seed = 1;       ///< seeds the full-jitter draw
   int breaker_threshold = 8;      ///< consecutive transport failures to open
   int breaker_open_ms = 1000;     ///< fail-fast window before half-open probe
+  /// Attach a generated trace_id / parent_span to every call() request
+  /// that lacks them, and record a client/request span under that id
+  /// (trace propagation; see docs/SERVICE.md).
+  bool trace_requests = false;
 };
 
 class Client {
@@ -92,7 +96,13 @@ class Client {
   /// jitter".  Deterministic for one (jitter_seed, draw sequence).
   int backoff_delay_ms(int attempt);
 
+  /// Trace id attached to (or honored on) the most recent traced call();
+  /// 0 before any traced call or with trace_requests off.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
+  std::optional<JsonValue> call_impl(const JsonValue& request,
+                                     std::string* error);
   bool wait_io(short events, std::chrono::steady_clock::time_point deadline,
                std::string* error, const char* what);
   void record_failure();
@@ -106,6 +116,7 @@ class Client {
   uint16_t port_ = 0;
   bool have_addr_ = false;
   uint64_t rng_;
+  uint64_t last_trace_id_ = 0;
   int consecutive_failures_ = 0;
   std::chrono::steady_clock::time_point breaker_open_until_{};
   Stats stats_;

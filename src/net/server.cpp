@@ -25,6 +25,9 @@
 #include "net/frame.h"
 #include "net/json.h"
 #include "net/sys.h"
+#include "obs/build_info.h"
+#include "obs/export.h"
+#include "obs/tracer.h"
 #include "service/job.h"
 
 namespace picola::net {
@@ -47,6 +50,36 @@ void set_nonblocking(int fd) {
   if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/// 1-16 hex digits -> uint64 (wire trace_id / parent_span fields).
+bool parse_hex64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char ch : s) {
+    int d;
+    if (ch >= '0' && ch <= '9') d = ch - '0';
+    else if (ch >= 'a' && ch <= 'f') d = ch - 'a' + 10;
+    else if (ch >= 'A' && ch <= 'F') d = ch - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+/// Largest accepted admin HTTP request (request line + headers).
+constexpr size_t kAdminRequestMax = 8192;
+
+std::string http_response(int code, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string r = "HTTP/1.0 " + std::to_string(code) + " " + reason + "\r\n";
+  r += "Content-Type: " + content_type + "\r\n";
+  r += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  r += "Connection: close\r\n\r\n";
+  r += body;
+  return r;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -67,6 +100,19 @@ struct Server::Impl {
     size_t unsent() const { return wbuf.size() - woff; }
   };
 
+  /// One admin HTTP connection: read a GET request, write one response,
+  /// close.  Same poller, same loop thread, same sys:: fault points as
+  /// the frame protocol.
+  struct AdminConn {
+    int fd = -1;
+    std::string in;    ///< request bytes until the blank line
+    std::string out;   ///< full response; close once flushed
+    size_t off = 0;
+    bool responding = false;  ///< headers parsed, out holds the response
+    bool marked_close = false;
+    size_t unsent() const { return out.size() - off; }
+  };
+
   struct Request {
     uint64_t serial = 0;
     int conn_fd = -1;
@@ -77,6 +123,8 @@ struct Server::Impl {
     uint64_t deadline_ns = 0;  ///< absolute obs::now_ns() deadline, 0 = none
     int deadline_ms = 0;       ///< as requested, for the error frame
     uint64_t start_ns = 0;
+    uint64_t trace_id = 0;     ///< wire-propagated correlation id, 0 = none
+    uint64_t parent_span = 0;  ///< opaque client span id (slow log only)
     bool answered = false;  ///< deadline already produced the response
   };
 
@@ -97,20 +145,32 @@ struct Server::Impl {
         deadline_misses_(registry_.counter("net/deadline_misses")),
         cancelled_jobs_(registry_.counter("net/cancelled_jobs")),
         frame_errors_(registry_.counter("net/frame_errors")),
+        wakeups_(registry_.counter("net/wakeups")),
+        wakeup_reads_(registry_.counter("net/wakeup_reads")),
+        completions_(registry_.counter("net/completions")),
+        admin_requests_(registry_.counter("net/admin_requests")),
+        slow_requests_(registry_.counter("net/slow_requests")),
         active_(registry_.gauge("net/connections_active")),
         inflight_(registry_.gauge("net/inflight")),
-        request_ns_(registry_.histogram("net/request")) {
+        uptime_seconds_(registry_.gauge("net/uptime_seconds")),
+        request_ns_(registry_.histogram("net/request")),
+        start_ns_(obs::now_ns()) {
     open_listener();
     open_wake_pipe();
+    if (opt_.admin_port >= 0) open_admin_listener();
     poller_.add(listen_fd_, /*read=*/true, /*write=*/false);
     poller_.add(wake_rd_, /*read=*/true, /*write=*/false);
+    if (admin_listen_fd_ >= 0)
+      poller_.add(admin_listen_fd_, /*read=*/true, /*write=*/false);
   }
 
   ~Impl() {
     if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
     if (wake_rd_ >= 0) ::close(wake_rd_);
     if (wake_wr_ >= 0) ::close(wake_wr_);
     for (auto& [fd, conn] : conns_) ::close(fd);
+    for (auto& [fd, conn] : admin_conns_) ::close(fd);
   }
 
   static ServerOptions sanitized(ServerOptions o) {
@@ -153,6 +213,33 @@ struct Server::Impl {
     bound_port_ = ntohs(bound.sin_port);
   }
 
+  void open_admin_listener() {
+    admin_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (admin_listen_fd_ < 0)
+      throw std::runtime_error("admin socket: " +
+                               std::string(strerror(errno)));
+    int one = 1;
+    ::setsockopt(admin_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(opt_.admin_port));
+    if (::inet_pton(AF_INET, opt_.bind_address.c_str(), &addr.sin_addr) != 1)
+      throw std::runtime_error("bad bind address " + opt_.bind_address);
+    if (::bind(admin_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0)
+      throw std::runtime_error("admin bind " + opt_.bind_address + ":" +
+                               std::to_string(opt_.admin_port) + ": " +
+                               strerror(errno));
+    if (::listen(admin_listen_fd_, 64) != 0)
+      throw std::runtime_error("admin listen: " +
+                               std::string(strerror(errno)));
+    set_nonblocking(admin_listen_fd_);
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(admin_listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    admin_port_ = ntohs(bound.sin_port);
+  }
+
   void open_wake_pipe() {
     int fds[2];
     if (::pipe(fds) != 0)
@@ -163,10 +250,13 @@ struct Server::Impl {
     set_nonblocking(wake_wr_);
   }
 
-  /// Async-signal-safe: one relaxed store and one write(2).  Raw
+  /// Async-signal-safe: one relaxed fetch_add and one write(2).  Raw
   /// ::write on purpose — the sys:: shim takes a mutex and must not run
-  /// inside a signal handler.
+  /// inside a signal handler; wake_calls_ is a raw atomic (not a striped
+  /// Counter, whose thread-local stripe pick is not signal-safe) that the
+  /// loop folds into net/wakeups when it drains the pipe.
   void wake() noexcept {
+    wake_calls_.fetch_add(1, std::memory_order_relaxed);
     char b = 'w';
     [[maybe_unused]] ssize_t n = ::write(wake_wr_, &b, 1);
     // EAGAIN means a wake byte is already pending — good enough.
@@ -198,6 +288,18 @@ struct Server::Impl {
           accept_all();
           continue;
         }
+        if (admin_listen_fd_ >= 0 && e.fd == admin_listen_fd_) {
+          accept_admin();
+          continue;
+        }
+        auto ait = admin_conns_.find(e.fd);
+        if (ait != admin_conns_.end()) {
+          AdminConn* ac = ait->second.get();
+          if (e.hangup) ac->marked_close = true;
+          if (e.writable && !ac->marked_close) admin_flush(ac);
+          if (e.readable && !ac->marked_close) admin_readable(ac);
+          continue;
+        }
         auto it = conns_.find(e.fd);
         if (it == conns_.end()) continue;
         Conn* conn = it->second.get();
@@ -209,6 +311,7 @@ struct Server::Impl {
       expire_deadlines(now);
       sweep_idle(now);
       process_deferred_closes();
+      process_admin_closes();
       check_drain_done(now);
     }
   }
@@ -231,6 +334,10 @@ struct Server::Impl {
   }
 
   void drain_wake_pipe() {
+    // One pipe read may coalesce many wake() calls — net/wakeups vs
+    // net/wakeup_reads is the coalescing ratio (docs/OBSERVABILITY.md).
+    wakeup_reads_.add(1);
+    wakeups_.add(wake_calls_.exchange(0, std::memory_order_relaxed));
     char buf[256];
     for (;;) {
       ssize_t k = sys::read(wake_rd_, buf, sizeof buf);
@@ -262,6 +369,171 @@ struct Server::Impl {
       accepted_.add(1);
       active_.set(static_cast<int64_t>(conns_.size()));
     }
+  }
+
+  // ---- admin HTTP plane ------------------------------------------------
+
+  /// Unlike accept_all this keeps accepting during drain: health probes
+  /// must see the 503 while the server is still answering work.
+  void accept_admin() {
+    for (;;) {
+      int fd = sys::accept(admin_listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == ECONNABORTED) continue;
+        break;
+      }
+      set_nonblocking(fd);
+      auto conn = std::make_unique<AdminConn>();
+      conn->fd = fd;
+      poller_.add(fd, /*read=*/true, /*write=*/false);
+      admin_conns_.emplace(fd, std::move(conn));
+    }
+  }
+
+  void admin_readable(AdminConn* ac) {
+    char buf[4096];
+    for (;;) {
+      ssize_t k = sys::read(ac->fd, buf, sizeof buf);
+      if (k > 0) {
+        if (ac->responding) continue;  // pipelined bytes are ignored
+        ac->in.append(buf, static_cast<size_t>(k));
+        if (ac->in.size() > kAdminRequestMax) {
+          admin_respond(ac, http_response(400, "Bad Request", "text/plain",
+                                          "request too large\n"));
+          return;
+        }
+        if (ac->in.find("\r\n\r\n") != std::string::npos ||
+            ac->in.find("\n\n") != std::string::npos) {
+          handle_admin_request(ac);
+          return;
+        }
+        continue;
+      }
+      if (k == 0) {
+        ac->marked_close = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) ac->marked_close = true;
+      break;
+    }
+  }
+
+  void handle_admin_request(AdminConn* ac) {
+    admin_requests_.add(1);
+    // Request line: METHOD SP PATH SP VERSION.  Headers are ignored.
+    size_t eol = ac->in.find_first_of("\r\n");
+    std::string line = ac->in.substr(0, eol);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 <= sp1) {
+      admin_respond(ac, http_response(400, "Bad Request", "text/plain",
+                                      "malformed request line\n"));
+      return;
+    }
+    std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (size_t q = path.find('?'); q != std::string::npos) path.resize(q);
+    if (method != "GET") {
+      admin_respond(ac, http_response(405, "Method Not Allowed", "text/plain",
+                                      "only GET is supported\n"));
+      return;
+    }
+    if (path == "/healthz") {
+      admin_respond(ac, draining_
+                            ? http_response(503, "Service Unavailable",
+                                            "text/plain", "draining\n")
+                            : http_response(200, "OK", "text/plain", "ok\n"));
+      return;
+    }
+    if (path == "/metrics") {
+      refresh_gauges();
+      std::string body = obs::prometheus_text(
+          {&registry_, &service_.metrics(), &obs::MetricsRegistry::global()});
+      admin_respond(ac,
+                    http_response(200, "OK",
+                                  "text/plain; version=0.0.4; charset=utf-8",
+                                  body));
+      return;
+    }
+    if (path == "/statusz") {
+      admin_respond(ac, http_response(200, "OK", "application/json",
+                                      statusz_json()));
+      return;
+    }
+    admin_respond(ac, http_response(404, "Not Found", "text/plain",
+                                    "try /metrics, /healthz or /statusz\n"));
+  }
+
+  void admin_respond(AdminConn* ac, std::string response) {
+    ac->responding = true;
+    ac->in.clear();
+    ac->out = std::move(response);
+    ac->off = 0;
+    admin_flush(ac);
+  }
+
+  void admin_flush(AdminConn* ac) {
+    while (ac->off < ac->out.size()) {
+      ssize_t k = sys::send_nosig(ac->fd, ac->out.data() + ac->off,
+                                  ac->out.size() - ac->off);
+      if (k > 0) {
+        ac->off += static_cast<size_t>(k);
+        continue;
+      }
+      if (k < 0 && errno == EINTR) continue;
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        poller_.set(ac->fd, /*read=*/false, /*write=*/true);
+        return;
+      }
+      ac->marked_close = true;  // broken pipe etc.
+      return;
+    }
+    if (ac->responding) ac->marked_close = true;  // one response, then close
+  }
+
+  void process_admin_closes() {
+    for (auto it = admin_conns_.begin(); it != admin_conns_.end();) {
+      if (!it->second->marked_close) {
+        ++it;
+        continue;
+      }
+      poller_.remove(it->second->fd);
+      sys::close(it->second->fd);
+      it = admin_conns_.erase(it);
+    }
+  }
+
+  void refresh_gauges() {
+    service_.refresh_gauges();
+    uint64_t now = obs::now_ns();
+    uint64_t up = now > start_ns_ ? now - start_ns_ : 0;
+    uptime_seconds_.set(static_cast<int64_t>(up / 1'000'000'000ULL));
+  }
+
+  std::string statusz_json() {
+    refresh_gauges();
+    const ResultCache& cache = service_.cache();
+    const obs::MetricsRegistry& sm = service_.metrics();
+    std::string j = "{";
+    j += "\"uptime_seconds\":" +
+         std::to_string(uptime_seconds_.value()) + ",";
+    j += "\"build\":" + obs::build_info_json() + ",";
+    j += std::string("\"draining\":") + (draining_ ? "true" : "false") + ",";
+    j += "\"inflight\":" + std::to_string(requests_.size()) + ",";
+    j += "\"connections_active\":" + std::to_string(conns_.size()) + ",";
+    j += "\"cache\":{\"entries\":" + std::to_string(cache.size()) +
+         ",\"capacity\":" + std::to_string(cache.capacity()) +
+         ",\"shards\":" + std::to_string(cache.num_shards()) + "},";
+    j += "\"backends\":{\"picola\":" +
+         std::to_string(sm.counter_value("service/backend_picola")) +
+         ",\"sat\":" +
+         std::to_string(sm.counter_value("service/backend_sat")) +
+         ",\"anneal\":" +
+         std::to_string(sm.counter_value("service/backend_anneal")) + "},";
+    j += "\"service\":" + service_stats_json(service_.stats()) + "}";
+    return j;
   }
 
   void on_readable(Conn* conn) {
@@ -352,9 +624,11 @@ struct Server::Impl {
       return;
     }
     if (cmd == "metrics") {
+      refresh_gauges();
       std::string body = "{";
       if (!id.is_null()) body += "\"id\":" + id.dump() + ",";
-      body += "\"ok\":true,\"net\":" + registry_.report_json() +
+      body += "\"ok\":true,\"build\":" + obs::build_info_json() +
+              ",\"net\":" + registry_.report_json() +
               ",\"service\":" + service_.metrics().report_json() +
               ",\"process\":" + obs::MetricsRegistry::global().report_json() +
               "}";
@@ -450,6 +724,22 @@ struct Server::Impl {
       }
       deadline_ms = static_cast<int>(d->as_int());
     }
+    uint64_t trace_id = 0;
+    if (const JsonValue* t = req.find("trace_id")) {
+      if (!t->is_string() || !parse_hex64(t->as_string(), &trace_id)) {
+        send_error(conn, id, "bad_request",
+                   "trace_id must be 1-16 hex digits");
+        return;
+      }
+    }
+    uint64_t parent_span = 0;
+    if (const JsonValue* p = req.find("parent_span")) {
+      if (!p->is_string() || !parse_hex64(p->as_string(), &parent_span)) {
+        send_error(conn, id, "bad_request",
+                   "parent_span must be 1-16 hex digits");
+        return;
+      }
+    }
 
     Request r;
     r.serial = ++request_serial_;
@@ -460,6 +750,8 @@ struct Server::Impl {
     r.cancel = std::make_shared<CancelToken>();
     r.start_ns = obs::now_ns();
     r.deadline_ms = deadline_ms;
+    r.trace_id = trace_id;
+    r.parent_span = parent_span;
     if (deadline_ms > 0)
       r.deadline_ns =
           r.start_ns + static_cast<uint64_t>(deadline_ms) * 1'000'000;
@@ -472,6 +764,7 @@ struct Server::Impl {
     job.portfolio = pf;
     job.restarts = restarts;
     job.tag = path && path->is_string() ? path->as_string() : "<inline>";
+    job.trace_id = trace_id;
 
     const uint64_t serial = r.serial;
     if (r.deadline_ns) deadlines_.emplace(r.deadline_ns, serial);
@@ -522,6 +815,7 @@ struct Server::Impl {
       std::lock_guard<std::mutex> lock(done_mu_);
       done.swap(done_);
     }
+    completions_.add(static_cast<uint64_t>(done.size()));
     for (auto& [serial, fut] : done) finish_request(serial, fut);
   }
 
@@ -532,7 +826,10 @@ struct Server::Impl {
     Request req = std::move(it->second);
     requests_.erase(it);
     inflight_.set(static_cast<int64_t>(requests_.size()));
-    request_ns_.record(obs::now_ns() - req.start_ns);
+    const uint64_t wall_ns = obs::now_ns() - req.start_ns;
+    obs::ScopedTraceId trace_scope(req.trace_id);
+    request_ns_.record(wall_ns);
+    obs::record_span("net/request", req.start_ns, wall_ns);
     if (req.cancel->cancelled()) cancelled_jobs_.add(1);
 
     Conn* conn = nullptr;
@@ -540,7 +837,11 @@ struct Server::Impl {
     if (cit != conns_.end() && cit->second->serial == req.conn_serial)
       conn = cit->second.get();
     if (conn) conn->pending--;
-    if (req.answered || !conn) return;  // deadline spoke, or client left
+    if (req.answered || !conn) {  // deadline spoke, or client left
+      maybe_slow_log(req, wall_ns, nullptr,
+                     req.answered ? "deadline_exceeded" : "client_gone");
+      return;
+    }
 
     try {
       const JobResult r = fut.get();
@@ -558,13 +859,62 @@ struct Server::Impl {
                               portfolio::backend_kind_name(r.backend)));
       resp.set("cached", JsonValue::make_int(r.cache_hit ? 1 : 0));
       resp.set("wall_ms", JsonValue::make_double(r.wall_ms));
+      if (req.trace_id)
+        resp.set("trace_id",
+                 JsonValue::make_string(obs::trace_id_hex(req.trace_id)));
       send_json(conn, resp.dump());
       responses_ok_.add(1);
+      maybe_slow_log(req, wall_ns, &r, nullptr);
     } catch (const CancelledError&) {
       send_error(conn, req.id, "cancelled", "job cancelled");
+      maybe_slow_log(req, wall_ns, nullptr, "cancelled");
     } catch (const std::exception& e) {
       send_error(conn, req.id, "encode_failed", e.what());
+      maybe_slow_log(req, wall_ns, nullptr, "encode_failed");
     }
+  }
+
+  /// One structured JSON line per request slower than --slow-ms, with the
+  /// wall time split into queue wait vs encode time (plus the PICOLA
+  /// phase breakdown when the winning backend recorded one).
+  void maybe_slow_log(const Request& req, uint64_t wall_ns,
+                      const JobResult* r, const char* error) {
+    if (opt_.slow_request_ms <= 0) return;
+    if (wall_ns < static_cast<uint64_t>(opt_.slow_request_ms) * 1'000'000)
+      return;
+    slow_requests_.add(1);
+    const double wall_ms = static_cast<double>(wall_ns) / 1e6;
+    JsonValue line = JsonValue::make_object();
+    line.set("event", JsonValue::make_string("slow_request"));
+    line.set("serial", JsonValue::make_int(static_cast<int64_t>(req.serial)));
+    if (req.trace_id)
+      line.set("trace_id",
+               JsonValue::make_string(obs::trace_id_hex(req.trace_id)));
+    if (req.parent_span)
+      line.set("parent_span",
+               JsonValue::make_string(obs::trace_id_hex(req.parent_span)));
+    line.set("wall_ms", JsonValue::make_double(wall_ms));
+    if (r) {
+      const double queue_ms = r->queue_wait_ms;
+      line.set("queue_wait_ms", JsonValue::make_double(queue_ms));
+      line.set("encode_ms", JsonValue::make_double(
+                                queue_ms < wall_ms ? wall_ms - queue_ms : 0));
+      line.set("backend", JsonValue::make_string(
+                              portfolio::backend_kind_name(r->backend)));
+      line.set("cached", JsonValue::make_int(r->cache_hit ? 1 : 0));
+      const PicolaStats& ps = r->picola.stats;
+      if (ps.classify_ms > 0 || ps.guide_ms > 0 || ps.solve_ms > 0) {
+        line.set("classify_ms", JsonValue::make_double(ps.classify_ms));
+        line.set("guide_ms", JsonValue::make_double(ps.guide_ms));
+        line.set("solve_ms", JsonValue::make_double(ps.solve_ms));
+      }
+    }
+    if (error) line.set("error", JsonValue::make_string(error));
+    const std::string text = line.dump();
+    if (opt_.slow_log)
+      opt_.slow_log(text);
+    else
+      std::fprintf(stderr, "%s\n", text.c_str());
   }
 
   void expire_deadlines(uint64_t now) {
@@ -627,6 +977,15 @@ struct Server::Impl {
       return;
     for (auto& [fd, conn] : conns_) conn->marked_close = true;
     process_deferred_closes();
+    // The admin plane served 503s during the drain; it goes down with the
+    // loop.
+    for (auto& [fd, ac] : admin_conns_) ac->marked_close = true;
+    process_admin_closes();
+    if (admin_listen_fd_ >= 0) {
+      poller_.remove(admin_listen_fd_);
+      ::close(admin_listen_fd_);
+      admin_listen_fd_ = -1;
+    }
     finished_ = true;
   }
 
@@ -797,17 +1156,27 @@ struct Server::Impl {
   obs::Counter& deadline_misses_;
   obs::Counter& cancelled_jobs_;
   obs::Counter& frame_errors_;
+  obs::Counter& wakeups_;        ///< wake() calls folded in at drain time
+  obs::Counter& wakeup_reads_;   ///< wake-pipe drains (coalescing denominator)
+  obs::Counter& completions_;    ///< job completions delivered to the loop
+  obs::Counter& admin_requests_;
+  obs::Counter& slow_requests_;
   obs::Gauge& active_;
   obs::Gauge& inflight_;
+  obs::Gauge& uptime_seconds_;
   obs::Histogram& request_ns_;
+  uint64_t start_ns_ = 0;
 
   int listen_fd_ = -1;
   int wake_rd_ = -1;
   int wake_wr_ = -1;
   uint16_t bound_port_ = 0;
+  int admin_listen_fd_ = -1;
+  uint16_t admin_port_ = 0;
 
   // Loop-thread state.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<int, std::unique_ptr<AdminConn>> admin_conns_;
   std::unordered_map<uint64_t, Request> requests_;
   std::multimap<uint64_t, uint64_t> deadlines_;  ///< deadline_ns -> serial
   uint64_t conn_serial_ = 0;
@@ -818,6 +1187,10 @@ struct Server::Impl {
 
   // Cross-thread state.
   std::atomic<bool> shutdown_requested_{false};
+  /// wake() runs in signal context, so it may not touch the striped
+  /// Counter (thread_local stripe selection is not async-signal-safe);
+  /// it bumps this raw atomic and the loop folds it into net/wakeups.
+  std::atomic<uint64_t> wake_calls_{0};
   std::mutex done_mu_;
   std::vector<std::pair<uint64_t, std::shared_future<JobResult>>> done_;
   std::thread loop_thread_;
@@ -831,6 +1204,8 @@ Server::~Server() {
 }
 
 uint16_t Server::port() const { return impl_->bound_port_; }
+
+uint16_t Server::admin_port() const { return impl_->admin_port_; }
 
 void Server::run() { impl_->run(); }
 

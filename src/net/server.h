@@ -33,6 +33,7 @@
 //     answers every admitted job, flushes, then exits the loop.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -70,6 +71,17 @@ struct ServerOptions {
   bool allow_paths = true;
   /// Force the poll(2) backend (tests; epoll is the Linux default).
   bool use_poll = false;
+  /// Admin HTTP listener (GET /metrics, /healthz, /statusz) on the same
+  /// event loop; -1 disables, 0 binds an ephemeral port (read it back
+  /// from admin_port()).  It binds to `bind_address` and keeps serving
+  /// during graceful drain — that is how /healthz reports 503.
+  int admin_port = -1;
+  /// Log one structured JSON line per encoding request slower than this
+  /// (queue-wait / encode breakdown); 0 disables.
+  int slow_request_ms = 0;
+  /// Sink for slow-request lines; stderr when empty.  The callback runs
+  /// on the event-loop thread and must not block.
+  std::function<void(const std::string&)> slow_log;
   /// The embedded EncodingService (threads, cache).  max_queue is forced
   /// to 0: admission control bounds work *before* the pool, and a
   /// bounded pool queue would block the event loop in post().
@@ -106,6 +118,9 @@ class Server {
 
   /// The bound port (resolves port 0).
   uint16_t port() const;
+
+  /// The bound admin port (resolves admin_port 0); 0 when disabled.
+  uint16_t admin_port() const;
 
   /// Run the event loop on the calling thread until a graceful shutdown
   /// completes.

@@ -1,0 +1,76 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "obs/build_info.h"
+
+namespace picola::obs {
+
+namespace {
+
+// Bucket i of the log2 histogram counts values with bit_width(v) == i
+// (v == 0 in bucket 0), so its inclusive upper bound is 2^i - 1.
+uint64_t bucket_upper_bound(int b) {
+  return b == 0 ? 0 : (1ULL << b) - 1;
+}
+
+void render_histogram(const std::string& name,
+                      const Histogram::Snapshot& s, std::ostringstream& os) {
+  os << "# TYPE " << name << " histogram\n";
+  // Emit cumulative buckets up to the highest occupied one; an empty
+  // histogram still gets its +Inf bucket so the family parses.
+  int top = -1;
+  for (int b = 0; b < kHistogramBuckets; ++b)
+    if (s.buckets[static_cast<size_t>(b)] != 0) top = b;
+  uint64_t cum = 0;
+  for (int b = 0; b <= top; ++b) {
+    cum += s.buckets[static_cast<size_t>(b)];
+    os << name << "_bucket{le=\"" << bucket_upper_bound(b) << "\"} " << cum
+       << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+  os << name << "_sum " << s.sum << "\n";
+  os << name << "_count " << s.count << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "picola_";
+  out.reserve(out.size() + name.size());
+  for (char ch : name) {
+    bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+              (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const std::vector<const MetricsRegistry*>& regs) {
+  std::ostringstream os;
+  os << "# TYPE picola_build_info gauge\n";
+  os << "picola_build_info{" << build_info_labels() << "} 1\n";
+  std::set<std::string> seen;
+  for (const MetricsRegistry* reg : regs) {
+    if (!reg) continue;
+    for (const auto& [name, value] : reg->counter_snapshots()) {
+      if (!seen.insert(name).second) continue;
+      std::string pn = prometheus_name(name) + "_total";
+      os << "# TYPE " << pn << " counter\n" << pn << " " << value << "\n";
+    }
+    for (const auto& [name, value] : reg->gauge_snapshots()) {
+      if (!seen.insert(name).second) continue;
+      std::string pn = prometheus_name(name);
+      os << "# TYPE " << pn << " gauge\n" << pn << " " << value << "\n";
+    }
+    for (const auto& [name, snap] : reg->histogram_snapshots()) {
+      if (!seen.insert(name).second) continue;
+      render_histogram(prometheus_name(name) + "_ns", snap, os);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace picola::obs

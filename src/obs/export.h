@@ -1,0 +1,32 @@
+#pragma once
+// Prometheus text exposition (format 0.0.4) for MetricsRegistry.
+//
+// Name mangling: the repo's `subsystem/name` convention maps to
+// `picola_subsystem_name`; any character outside [a-zA-Z0-9_] becomes
+// '_'.  Counters get the conventional `_total` suffix; histograms (which
+// record nanoseconds by convention, see obs/metrics.h) are exported as
+// `<name>_ns` families with cumulative `_bucket{le="..."}` series over
+// the log2 buckets plus `_sum` and `_count`.
+//
+// Several registries can be merged into one scrape (the admin endpoint
+// combines the net, service and global registries).  Registries are
+// rendered in the order given and a metric name that already appeared is
+// skipped — first registry wins — so the exposition never emits a
+// duplicate family even when e.g. `service/job` exists both as the
+// service's own histogram and as a global tracer span histogram.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace picola::obs {
+
+/// `subsystem/name` -> `picola_subsystem_name`.
+std::string prometheus_name(const std::string& name);
+
+/// Render counters, gauges and histograms of `regs` (merged, first
+/// occurrence of a name wins) plus the `picola_build_info` info-gauge.
+std::string prometheus_text(const std::vector<const MetricsRegistry*>& regs);
+
+}  // namespace picola::obs

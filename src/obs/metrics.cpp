@@ -152,6 +152,24 @@ uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counter_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>>
+MetricsRegistry::gauge_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
 std::vector<std::pair<std::string, Histogram::Snapshot>>
 MetricsRegistry::histogram_snapshots() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -192,6 +210,7 @@ std::string MetricsRegistry::report_text() const {
     os << name << " count=" << s.count << " total_ms=" << fmt(ms(s.sum))
        << " mean_ms=" << fmt(s.mean() / 1e6)
        << " p50_ms=" << fmt(ms(s.percentile(0.5)))
+       << " p95_ms=" << fmt(ms(s.percentile(0.95)))
        << " p99_ms=" << fmt(ms(s.percentile(0.99)))
        << " max_ms=" << fmt(ms(s.max)) << "\n";
   }
@@ -221,10 +240,18 @@ std::string MetricsRegistry::report_json() const {
     if (!first) os << ",";
     first = false;
     Histogram::Snapshot s = h->snapshot();
+    uint64_t p50 = s.percentile(0.5), p90 = s.percentile(0.9);
+    uint64_t p95 = s.percentile(0.95), p99 = s.percentile(0.99);
+    // Nanosecond keys predate the ms duals; both units are emitted so
+    // humans and dashboards read the same report (ISSUE 7 satellite).
     os << "\"" << name << "\":{\"count\":" << s.count << ",\"sum_ns\":"
        << s.sum << ",\"max_ns\":" << s.max << ",\"mean_ns\":" << fmt(s.mean())
-       << ",\"p50_ns\":" << s.percentile(0.5) << ",\"p90_ns\":"
-       << s.percentile(0.9) << ",\"p99_ns\":" << s.percentile(0.99) << "}";
+       << ",\"p50_ns\":" << p50 << ",\"p90_ns\":" << p90 << ",\"p95_ns\":"
+       << p95 << ",\"p99_ns\":" << p99 << ",\"sum_ms\":" << fmt(ms(s.sum))
+       << ",\"max_ms\":" << fmt(ms(s.max)) << ",\"mean_ms\":"
+       << fmt(s.mean() / 1e6) << ",\"p50_ms\":" << fmt(ms(p50))
+       << ",\"p90_ms\":" << fmt(ms(p90)) << ",\"p95_ms\":" << fmt(ms(p95))
+       << ",\"p99_ms\":" << fmt(ms(p99)) << "}";
   }
   os << "}}";
   return os.str();

@@ -138,6 +138,10 @@ class MetricsRegistry {
   /// Current value of a counter, 0 if it was never created.
   uint64_t counter_value(const std::string& name) const;
 
+  /// Value of every counter / gauge, sorted by name (exporters).
+  std::vector<std::pair<std::string, uint64_t>> counter_snapshots() const;
+  std::vector<std::pair<std::string, int64_t>> gauge_snapshots() const;
+
   /// Snapshot of every histogram, sorted by name.
   std::vector<std::pair<std::string, Histogram::Snapshot>>
   histogram_snapshots() const;
@@ -148,7 +152,10 @@ class MetricsRegistry {
   /// Human-readable report, one metric per line, sorted by name.
   std::string report_text() const;
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum_ns,
-  /// max_ns,mean_ns,p50_ns,p90_ns,p99_ns}}} — keys sorted.
+  /// max_ns,mean_ns,p50_ns,p90_ns,p95_ns,p99_ns, and the same durations
+  /// as *_ms}}} — keys sorted.  Existing keys are stable; new fields are
+  /// only ever added (tests/integration/test_serve_stdin.cpp locks the
+  /// set).
   std::string report_json() const;
 
  private:

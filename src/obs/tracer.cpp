@@ -22,6 +22,8 @@ SpanTls& span_tls() {
   return tls;
 }
 
+thread_local uint64_t t_trace_id = 0;
+
 std::string fmt_us(uint64_t ns) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
@@ -29,6 +31,17 @@ std::string fmt_us(uint64_t ns) {
 }
 
 }  // namespace
+
+uint64_t current_trace_id() { return t_trace_id; }
+
+void set_current_trace_id(uint64_t id) { t_trace_id = id; }
+
+std::string trace_id_hex(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 Tracer& Tracer::global() {
   static Tracer* t = new Tracer();  // leaked: thread buffers must outlive
@@ -51,7 +64,7 @@ void Tracer::record(const char* name, uint64_t start_ns, uint64_t dur_ns,
                     int depth) {
   ThreadBuf& b = buf_for_this_thread();
   std::lock_guard<std::mutex> lock(b.mu);
-  b.events.push_back(TraceEvent{name, start_ns, dur_ns, b.tid,
+  b.events.push_back(TraceEvent{name, start_ns, dur_ns, t_trace_id, b.tid,
                                 static_cast<uint16_t>(depth)});
 }
 
@@ -95,7 +108,10 @@ std::string Tracer::chrome_trace_json() const {
     std::string cat = name.substr(0, name.find('/'));
     os << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
        << "\",\"ph\":\"X\",\"ts\":" << fmt_us(e.start_ns) << ",\"dur\":"
-       << fmt_us(e.dur_ns) << ",\"pid\":1,\"tid\":" << e.tid << "}";
+       << fmt_us(e.dur_ns) << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.trace_id != 0)
+      os << ",\"args\":{\"trace_id\":\"" << trace_id_hex(e.trace_id) << "\"}";
+    os << "}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();

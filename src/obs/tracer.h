@@ -35,9 +35,34 @@ struct TraceEvent {
   const char* name = nullptr;  ///< static string (span site literal)
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  uint64_t trace_id = 0;  ///< request correlation id, 0 = none
   uint32_t tid = 0;
   uint16_t depth = 0;  ///< nesting depth on the recording thread
 };
+
+/// The trace id stamped onto spans recorded by the current thread
+/// (request correlation across client -> server -> service -> restart
+/// task; see docs/SERVICE.md).  0 means "no request context".
+uint64_t current_trace_id();
+void set_current_trace_id(uint64_t id);
+
+/// Sets the thread's trace id for a scope, restoring the previous one on
+/// exit (worker threads interleave slots of different requests).
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t id) : prev_(current_trace_id()) {
+    set_current_trace_id(id);
+  }
+  ~ScopedTraceId() { set_current_trace_id(prev_); }
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+/// Canonical wire rendering of a trace id: 16 lowercase hex digits.
+std::string trace_id_hex(uint64_t id);
 
 class Tracer {
  public:

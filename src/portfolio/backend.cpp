@@ -86,6 +86,8 @@ BackendOutcome run_sat(const ConstraintSet& cs, const PicolaOptions& popt,
   so.max_conflicts = fopt.sat_max_conflicts;
   so.cancel = std::move(cancel);
   sat::SatExactResult res = sat::sat_exact_encode(cs, so);
+  out.sat_stats = res.stats;
+  out.sat_solver_calls = res.solver_calls;
   if (!res.feasible) {
     out.error = res.proven ? "sat: no encoding at this length"
                            : "sat: conflict budget exhausted";

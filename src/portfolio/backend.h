@@ -25,6 +25,7 @@
 
 #include "core/picola.h"
 #include "sat/cnf.h"
+#include "sat/solver.h"
 
 namespace picola::portfolio {
 
@@ -75,6 +76,12 @@ struct BackendOutcome {
   BackendKind backend = BackendKind::kPicola;
   bool feasible = false;
   std::string error;
+  /// kSat only: aggregated CDCL statistics and the number of Solver calls
+  /// across the at-least-t sweep, surfaced as sat/* service counters so
+  /// the solver is no longer a black box (zeros for other backends, and
+  /// for sat slots that fail before reaching the solver).
+  sat::SolverStats sat_stats;
+  long sat_solver_calls = 0;
 };
 
 /// Run one slot.  `popt` supplies num_bits / tie_break_seed / self_check

@@ -34,6 +34,10 @@ struct Job {
   /// Free-form label (e.g. the source file path); not part of the
   /// fingerprint.
   std::string tag;
+  /// Request-correlation id propagated from the wire (see docs/SERVICE.md);
+  /// stamped onto every span this job records.  Like `tag` it carries
+  /// provenance, not content, so it is not part of the fingerprint.
+  uint64_t trace_id = 0;
 };
 
 /// A job in canonical form, with its fingerprint.

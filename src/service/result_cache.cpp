@@ -7,7 +7,8 @@
 
 namespace picola {
 
-ResultCache::ResultCache(size_t capacity, int num_shards) {
+ResultCache::ResultCache(size_t capacity, int num_shards,
+                         obs::MetricsRegistry* metrics) {
   int n = std::max(1, num_shards);
   // Never shard finer than one entry per shard.
   n = static_cast<int>(
@@ -17,11 +18,35 @@ ResultCache::ResultCache(size_t capacity, int num_shards) {
                               static_cast<size_t>(n));
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  if (metrics) {
+    lock_wait_ns_ = &metrics->histogram("cache/lock_wait");
+    for (int i = 0; i < n; ++i) {
+      std::string base = "cache/shard" + std::to_string(i);
+      shards_[static_cast<size_t>(i)]->hit_heat =
+          &metrics->counter(base + "_hits");
+      shards_[static_cast<size_t>(i)]->op_heat =
+          &metrics->counter(base + "_ops");
+    }
+  }
+}
+
+std::unique_lock<std::mutex> ResultCache::lock_shard(Shard& s) {
+  if (!lock_wait_ns_) return std::unique_lock<std::mutex>(s.mu);
+  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  if (lock.owns_lock()) {
+    lock_wait_ns_->record(0);
+  } else {
+    uint64_t t0 = obs::now_ns();
+    lock.lock();
+    lock_wait_ns_->record(obs::now_ns() - t0);
+  }
+  if (s.op_heat) s.op_heat->add(1);
+  return lock;
 }
 
 std::optional<CachedResult> ResultCache::lookup(const CanonicalJob& job) {
   Shard& s = shard_of(job.fingerprint);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::unique_lock<std::mutex> lock = lock_shard(s);
   auto it = s.index.find(job.fingerprint);
   if (it == s.index.end()) {
     ++s.misses;
@@ -34,12 +59,13 @@ std::optional<CachedResult> ResultCache::lookup(const CanonicalJob& job) {
   }
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
   ++s.hits;
+  if (s.hit_heat) s.hit_heat->add(1);
   return it->second->result;
 }
 
 void ResultCache::insert(const CanonicalJob& job, CachedResult result) {
   Shard& s = shard_of(job.fingerprint);
-  std::lock_guard<std::mutex> lock(s.mu);
+  std::unique_lock<std::mutex> lock = lock_shard(s);
   if (PICOLA_FAULT_POINT("cache/insert").kind == fault::Kind::kFail) {
     // Simulated insert failure: the result is simply not memoised, and
     // the next equal job recomputes.  Correctness must not notice.

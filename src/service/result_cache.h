@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/job.h"
 
 namespace picola {
@@ -32,8 +33,14 @@ struct CachedResult {
 class ResultCache {
  public:
   /// `capacity` entries in total, split evenly over `num_shards` shards
-  /// (each shard holds at least one entry).
-  explicit ResultCache(size_t capacity, int num_shards = 8);
+  /// (each shard holds at least one entry).  When `metrics` is given the
+  /// cache keeps per-shard heat counters (cache/shard<i>_hits,
+  /// cache/shard<i>_ops) and a cache/lock_wait histogram of shard-mutex
+  /// acquisition latency in it — the contention evidence for the scaling
+  /// analysis in docs/OBSERVABILITY.md (the registry must outlive the
+  /// cache).
+  explicit ResultCache(size_t capacity, int num_shards = 8,
+                       obs::MetricsRegistry* metrics = nullptr);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -59,6 +66,7 @@ class ResultCache {
   Stats stats() const;
 
   size_t size() const;
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
@@ -75,14 +83,22 @@ class ResultCache {
     long collisions = 0;
     long evictions = 0;
     long insert_drops = 0;
+    obs::Counter* hit_heat = nullptr;  ///< optional, see constructor
+    obs::Counter* op_heat = nullptr;   ///< lookups + inserts on this shard
   };
 
   Shard& shard_of(uint64_t fingerprint) {
     return *shards_[fingerprint % shards_.size()];
   }
 
+  /// Lock s.mu, timing the acquisition into cache/lock_wait when metrics
+  /// are attached (uncontended acquisitions record 0 so the histogram's
+  /// count doubles as an op count for computing a contention ratio).
+  std::unique_lock<std::mutex> lock_shard(Shard& s);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t per_shard_capacity_;
+  obs::Histogram* lock_wait_ns_ = nullptr;
 };
 
 }  // namespace picola

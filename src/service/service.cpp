@@ -9,6 +9,7 @@
 #include "eval/constraint_eval.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
+#include "obs/tracer.h"
 
 namespace picola {
 
@@ -36,6 +37,12 @@ struct EncodingService::InFlight {
   std::mutex error_mu;
   std::exception_ptr error;
   uint64_t start_ns = 0;  ///< obs::now_ns() at submission
+  /// When the first slot was dequeued by a worker (0 until then) — the
+  /// job-level queue-wait stamp behind JobResult::queue_wait_ms.
+  std::atomic<uint64_t> first_dequeue_ns{0};
+  /// Wire-propagated correlation id (0 = none), stamped onto every span
+  /// the slots record via obs::ScopedTraceId.
+  uint64_t trace_id = 0;
   /// The first submitter's cancel token (canonicalize strips it from
   /// `job`); re-attached to every restart's options.
   std::shared_ptr<const CancelToken> cancel;
@@ -47,14 +54,27 @@ struct EncodingService::InFlight {
 EncodingService::EncodingService(const ServiceOptions& options)
     : pool_(default_threads(options.num_threads), options.max_queue,
             &registry_),
-      cache_(options.cache_capacity, options.cache_shards),
+      cache_(options.cache_capacity, options.cache_shards, &registry_),
       jobs_submitted_(registry_.counter("service/jobs_submitted")),
       jobs_completed_(registry_.counter("service/jobs_completed")),
       cache_hits_(registry_.counter("service/cache_hits")),
       inflight_joins_(registry_.counter("service/inflight_joins")),
       cache_misses_(registry_.counter("service/cache_misses")),
       restart_tasks_(registry_.counter("service/restart_tasks")),
-      job_wall_ns_(registry_.histogram("service/job")) {}
+      job_wall_ns_(registry_.histogram("service/job")),
+      backend_picola_ns_(registry_.histogram("portfolio/picola")),
+      backend_sat_ns_(registry_.histogram("portfolio/sat")),
+      backend_anneal_ns_(registry_.histogram("portfolio/anneal")),
+      wins_picola_(registry_.counter("service/backend_picola")),
+      wins_sat_(registry_.counter("service/backend_sat")),
+      wins_anneal_(registry_.counter("service/backend_anneal")),
+      sat_conflicts_(registry_.counter("sat/conflicts")),
+      sat_propagations_(registry_.counter("sat/propagations")),
+      sat_decisions_(registry_.counter("sat/decisions")),
+      sat_solver_calls_(registry_.counter("sat/solver_calls")),
+      uptime_seconds_(registry_.gauge("service/uptime_seconds")),
+      cache_entries_(registry_.gauge("cache/entries")),
+      start_ns_(obs::now_ns()) {}
 
 EncodingService::~EncodingService() {
   // Drain and join before any other member is destroyed: restart tasks
@@ -66,6 +86,7 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
                                                       DoneCallback done) {
   // Captured before canonicalisation strips it from the cacheable form.
   std::shared_ptr<const CancelToken> cancel = job.options.cancel;
+  const uint64_t trace_id = job.trace_id;
   CanonicalJob cj = canonicalize(job);
   std::vector<portfolio::BackendTask> plan =
       portfolio::portfolio_plan(cj.portfolio.backend, cj.restarts);
@@ -115,6 +136,7 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
     fly->outcomes.resize(static_cast<size_t>(slots));
     fly->remaining.store(slots);
     fly->start_ns = obs::now_ns();
+    fly->trace_id = trace_id;
     fly->cancel = std::move(cancel);
     if (done) fly->callbacks.push_back(std::move(done));
     // emplace, not operator[]: when a different job collides on the
@@ -124,6 +146,14 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
 
   for (int r = 0; r < slots; ++r) {
     auto run_slot = [this, fly, r]() {
+      // The request's trace id covers the whole slot including the
+      // finish_job reduction below, so service/restart_task,
+      // portfolio/*, picola/* and service/job spans all correlate.
+      obs::ScopedTraceId trace_scope(fly->trace_id);
+      uint64_t dequeued_ns = obs::now_ns();
+      uint64_t expected = 0;
+      fly->first_dequeue_ns.compare_exchange_strong(
+          expected, dequeued_ns, std::memory_order_relaxed);
       try {
         PICOLA_OBS_SPAN(span_task, "service/restart_task");
         {
@@ -135,9 +165,23 @@ std::shared_future<JobResult> EncodingService::submit(Job job,
         if (PICOLA_FAULT_POINT("service/job_alloc").kind ==
             fault::Kind::kThrow)
           throw std::bad_alloc();
-        fly->outcomes[static_cast<size_t>(r)] = portfolio::run_backend_task(
-            fly->job.set, fly->job.options, fly->job.portfolio,
-            fly->plan[static_cast<size_t>(r)], fly->cancel);
+        const portfolio::BackendTask task = fly->plan[static_cast<size_t>(r)];
+        uint64_t slot_start_ns = obs::now_ns();
+        portfolio::BackendOutcome outcome = portfolio::run_backend_task(
+            fly->job.set, fly->job.options, fly->job.portfolio, task,
+            fly->cancel);
+        backend_histogram(task.kind).record(obs::now_ns() - slot_start_ns);
+        if (task.kind == portfolio::BackendKind::kSat) {
+          sat_conflicts_.add(
+              static_cast<uint64_t>(outcome.sat_stats.conflicts));
+          sat_propagations_.add(
+              static_cast<uint64_t>(outcome.sat_stats.propagations));
+          sat_decisions_.add(
+              static_cast<uint64_t>(outcome.sat_stats.decisions));
+          sat_solver_calls_.add(
+              static_cast<uint64_t>(outcome.sat_solver_calls));
+        }
+        fly->outcomes[static_cast<size_t>(r)] = std::move(outcome);
       } catch (...) {
         std::lock_guard<std::mutex> lock(fly->error_mu);
         if (!fly->error) fly->error = std::current_exception();
@@ -192,6 +236,17 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
       out.total_cubes = best.total_cubes;
       out.backend = best.backend;
       out.wall_ms = static_cast<double>(dur_ns) / 1e6;
+      uint64_t first_deq =
+          fly->first_dequeue_ns.load(std::memory_order_relaxed);
+      if (first_deq > fly->start_ns)
+        out.queue_wait_ms =
+            static_cast<double>(first_deq - fly->start_ns) / 1e6;
+      switch (out.backend) {
+        case portfolio::BackendKind::kPicola: wins_picola_.add(1); break;
+        case portfolio::BackendKind::kSat: wins_sat_.add(1); break;
+        case portfolio::BackendKind::kAnneal: wins_anneal_.add(1); break;
+        case portfolio::BackendKind::kPortfolio: break;  // not a slot kind
+      }
       CachedResult memo;
       memo.picola = out.picola;
       memo.total_cubes = out.total_cubes;
@@ -229,12 +284,29 @@ void EncodingService::run_callbacks(
   for (DoneCallback& cb : callbacks) cb(future);
 }
 
+obs::Histogram& EncodingService::backend_histogram(
+    portfolio::BackendKind kind) {
+  switch (kind) {
+    case portfolio::BackendKind::kSat: return backend_sat_ns_;
+    case portfolio::BackendKind::kAnneal: return backend_anneal_ns_;
+    default: return backend_picola_ns_;
+  }
+}
+
+void EncodingService::refresh_gauges() const {
+  uint64_t now = obs::now_ns();  // fake test clocks may lag start_ns_
+  uint64_t up = now > start_ns_ ? now - start_ns_ : 0;
+  uptime_seconds_.set(static_cast<int64_t>(up / 1'000'000'000ULL));
+  cache_entries_.set(static_cast<int64_t>(cache_.size()));
+}
+
 void EncodingService::wait_all() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this]() { return pending_.empty(); });
 }
 
 ServiceStats EncodingService::stats() const {
+  refresh_gauges();
   ServiceStats s;
   s.jobs_submitted = static_cast<long>(jobs_submitted_.value());
   s.jobs_completed = static_cast<long>(jobs_completed_.value());

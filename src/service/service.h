@@ -53,6 +53,11 @@ struct JobResult {
   /// an in-flight join (ServiceStats tells the two apart).
   bool cache_hit = false;
   double wall_ms = 0;     ///< submit-to-completion wall time (0 on hits)
+  /// Submission-to-first-slot-dequeue latency — how long the job sat in
+  /// the pool queue before any backend slot started (0 on hits).  The
+  /// server's slow-request log uses it to split wall time into queue wait
+  /// vs encode time.
+  double queue_wait_ms = 0;
 };
 
 class EncodingService {
@@ -90,8 +95,14 @@ class EncodingService {
   ServiceStats stats() const;
 
   /// The live per-instance registry behind stats(): service/* counters,
-  /// pool/* counters, and the service/job wall-time histogram (ns).
+  /// pool/* contention metrics, cache/* shard heat, portfolio/* backend
+  /// latency histograms, sat/* solver counters, and the service/job
+  /// wall-time histogram (ns).
   const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// Bring the point-in-time gauges (service/uptime_seconds,
+  /// cache/entries) up to date; call before snapshotting the registry.
+  void refresh_gauges() const;
 
   int num_threads() const { return pool_.num_threads(); }
   const ResultCache& cache() const { return cache_; }
@@ -116,6 +127,23 @@ class EncodingService {
   obs::Counter& cache_misses_;
   obs::Counter& restart_tasks_;
   obs::Histogram& job_wall_ns_;  ///< "service/job" wall time, nanoseconds
+  // Per-backend visibility (ISSUE 7): slot latency histograms, winner
+  // counters, and the SAT solver's conflict/propagation tallies.
+  obs::Histogram& backend_picola_ns_;  ///< "portfolio/picola" slot latency
+  obs::Histogram& backend_sat_ns_;     ///< "portfolio/sat"
+  obs::Histogram& backend_anneal_ns_;  ///< "portfolio/anneal"
+  obs::Counter& wins_picola_;          ///< "service/backend_picola" winners
+  obs::Counter& wins_sat_;
+  obs::Counter& wins_anneal_;
+  obs::Counter& sat_conflicts_;
+  obs::Counter& sat_propagations_;
+  obs::Counter& sat_decisions_;
+  obs::Counter& sat_solver_calls_;
+  obs::Gauge& uptime_seconds_;  ///< "service/uptime_seconds"
+  obs::Gauge& cache_entries_;   ///< "cache/entries" live occupancy
+  uint64_t start_ns_ = 0;       ///< construction time (uptime base)
+
+  obs::Histogram& backend_histogram(portfolio::BackendKind kind);
 
   mutable std::mutex mu_;
   std::condition_variable cv_done_;

@@ -15,7 +15,10 @@ ThreadPool::ThreadPool(int num_threads, size_t max_queue,
     tasks_executed_ = &metrics->counter("pool/tasks_executed");
     tasks_failed_ = &metrics->counter("pool/tasks_failed");
     task_exceptions_ = &metrics->counter("pool/task_exceptions");
-    queue_depth_hwm_ = &metrics->gauge("pool/queue_depth");
+    queue_depth_ = &metrics->gauge("pool/queue_depth");
+    queue_depth_hwm_ = &metrics->gauge("pool/queue_depth_hwm");
+    active_threads_ = &metrics->gauge("pool/active_threads");
+    queue_wait_ns_ = &metrics->histogram("pool/queue_wait");
   }
   int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
@@ -33,8 +36,12 @@ void ThreadPool::post(std::function<void()> task) {
     });
     if (shutting_down_)
       throw std::runtime_error("ThreadPool: post() after shutdown");
-    queue_.push_back(std::move(task));
+    Queued q;
+    if (queue_wait_ns_) q.enqueue_ns = obs::now_ns();
+    q.fn = std::move(task);
+    queue_.push_back(std::move(q));
     queue_hwm_ = std::max(queue_hwm_, queue_.size());
+    if (queue_depth_) queue_depth_->set(static_cast<int64_t>(queue_.size()));
     if (queue_depth_hwm_)
       queue_depth_hwm_->max_of(static_cast<int64_t>(queue_.size()));
   }
@@ -72,7 +79,7 @@ size_t ThreadPool::queue_high_water() const {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Queued task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock,
@@ -81,7 +88,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++executing_;
+      if (queue_depth_) queue_depth_->set(static_cast<int64_t>(queue_.size()));
     }
+    if (queue_wait_ns_)
+      queue_wait_ns_->record(obs::now_ns() - task.enqueue_ns);
+    if (active_threads_) active_threads_->add(1);
     cv_space_.notify_one();
     // submit() routes exceptions into the task's future before they reach
     // this frame; an exception escaping a raw post()ed task must not
@@ -89,7 +100,7 @@ void ThreadPool::worker_loop() {
     try {
       fault::Action fa = PICOLA_FAULT_POINT("pool/task");
       fault::apply_delay(fa);
-      task();
+      task.fn();
       // Injected AFTER the task body so a submit() future is already
       // satisfied: a pool fault may never orphan a waiter.
       if (fa.kind == fault::Kind::kThrow)
@@ -98,6 +109,7 @@ void ThreadPool::worker_loop() {
       if (tasks_failed_) tasks_failed_->add(1);
       if (task_exceptions_) task_exceptions_->add(1);
     }
+    if (active_threads_) active_threads_->add(-1);
     if (tasks_executed_) tasks_executed_->add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -33,9 +33,12 @@ class ThreadPool {
   /// Spawns `num_threads` workers (minimum 1).  `max_queue` bounds the
   /// number of tasks waiting to run (not counting the ones executing);
   /// 0 means unbounded.  When `metrics` is given, the pool keeps
-  /// pool/tasks_posted and pool/tasks_executed counters and the
-  /// pool/queue_depth high-water gauge in it (the registry must outlive
-  /// the pool).
+  /// pool/tasks_posted and pool/tasks_executed counters, the live
+  /// pool/queue_depth and pool/active_threads gauges, the
+  /// pool/queue_depth_hwm high-water gauge, and the pool/queue_wait
+  /// histogram (enqueue->dequeue nanoseconds per task — the contention
+  /// signal behind the scaling plateau, see docs/OBSERVABILITY.md) in it
+  /// (the registry must outlive the pool).
   explicit ThreadPool(int num_threads, size_t max_queue = 0,
                       obs::MetricsRegistry* metrics = nullptr);
 
@@ -85,11 +88,16 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  struct Queued {
+    uint64_t enqueue_ns = 0;  ///< stamped only when metrics are attached
+    std::function<void()> fn;
+  };
+
   mutable std::mutex mu_;
   std::condition_variable cv_task_;   ///< workers wait for work
   std::condition_variable cv_space_;  ///< producers wait for queue space
   std::condition_variable cv_idle_;   ///< wait_idle() waiters
-  std::deque<std::function<void()>> queue_;
+  std::deque<Queued> queue_;
   std::vector<std::thread> workers_;
   size_t max_queue_;
   size_t queue_hwm_ = 0;
@@ -99,7 +107,10 @@ class ThreadPool {
   obs::Counter* tasks_executed_ = nullptr;
   obs::Counter* tasks_failed_ = nullptr;  ///< raw post()ed tasks that threw
   obs::Counter* task_exceptions_ = nullptr;  ///< every task body that threw
+  obs::Gauge* queue_depth_ = nullptr;        ///< live waiting-task count
   obs::Gauge* queue_depth_hwm_ = nullptr;
+  obs::Gauge* active_threads_ = nullptr;  ///< workers inside a task body
+  obs::Histogram* queue_wait_ns_ = nullptr;  ///< enqueue->dequeue latency
 };
 
 }  // namespace picola

@@ -1,0 +1,125 @@
+// obs/export.h — Prometheus text exposition: name mangling, cumulative
+// log2 histogram rendering, multi-registry merge with first-wins dedup,
+// and the build-info gauge.
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+
+namespace picola::obs {
+namespace {
+
+TEST(PrometheusName, ManglesSlashesAndOddCharacters) {
+  EXPECT_EQ(prometheus_name("net/frames_in"), "picola_net_frames_in");
+  EXPECT_EQ(prometheus_name("pool/queue_wait"), "picola_pool_queue_wait");
+  EXPECT_EQ(prometheus_name("weird-name.v2"), "picola_weird_name_v2");
+  EXPECT_EQ(prometheus_name("plain"), "picola_plain");
+}
+
+TEST(PrometheusText, CountersGaugesAndTypeLines) {
+  MetricsRegistry r;
+  r.counter("net/frames_in").add(3);
+  r.gauge("net/inflight").set(2);
+  std::string text = prometheus_text({&r});
+  EXPECT_NE(text.find("# TYPE picola_net_frames_in_total counter\n"
+                      "picola_net_frames_in_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE picola_net_inflight gauge\n"
+                      "picola_net_inflight 2\n"),
+            std::string::npos);
+  // Exposition ends with a newline (required by the format).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PrometheusText, BuildInfoGaugeLeadsTheScrape) {
+  MetricsRegistry r;
+  std::string text = prometheus_text({&r});
+  EXPECT_EQ(text.rfind("# TYPE picola_build_info gauge\npicola_build_info{",
+                       0),
+            0u)
+      << text;
+  const BuildInfo& b = build_info();
+  EXPECT_NE(text.find(std::string("version=\"") + b.version + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find(std::string("git_sha=\"") + b.git_sha + "\""),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("svc/lat");
+  h.record(0);   // bucket 0 (le="0")
+  h.record(1);   // bucket 1 (le="1")
+  h.record(2);   // bucket 2 (le="3")
+  h.record(3);   // bucket 2 (le="3")
+  std::string text = prometheus_text({&r});
+  EXPECT_NE(text.find("picola_svc_lat_ns_bucket{le=\"0\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("picola_svc_lat_ns_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("picola_svc_lat_ns_bucket{le=\"3\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("picola_svc_lat_ns_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("picola_svc_lat_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("picola_svc_lat_ns_count 4\n"), std::string::npos);
+  // The +Inf bucket equals _count — the Prometheus invariant.
+}
+
+TEST(PrometheusText, MergeIsFirstRegistryWins) {
+  MetricsRegistry a, b;
+  a.counter("service/job").add(10);
+  b.counter("service/job").add(99);
+  b.counter("only/b").add(7);
+  std::string text = prometheus_text({&a, &b});
+  // The duplicate family appears exactly once, with a's value.
+  EXPECT_NE(text.find("picola_service_job_total 10\n"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("picola_service_job_total 99"), std::string::npos);
+  size_t first = text.find("# TYPE picola_service_job_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE picola_service_job_total counter", first + 1),
+            std::string::npos);
+  // Non-colliding metrics from the later registry still appear.
+  EXPECT_NE(text.find("picola_only_b_total 7\n"), std::string::npos);
+}
+
+TEST(PrometheusText, DedupAppliesAcrossMetricKinds) {
+  MetricsRegistry a, b;
+  a.histogram("svc/lat").record(5);
+  b.counter("svc/lat").add(3);  // same raw name, different kind
+  std::string text = prometheus_text({&a, &b});
+  // The first registry's histogram claims the name; the counter from the
+  // second registry is dropped rather than emitting a clashing family.
+  EXPECT_NE(text.find("picola_svc_lat_ns_count 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("picola_svc_lat_total"), std::string::npos) << text;
+}
+
+TEST(BuildInfo, JsonAndLabelsAgree) {
+  const BuildInfo& b = build_info();
+  EXPECT_NE(std::string(b.version), "");
+  std::string json = build_info_json();
+  EXPECT_NE(json.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"sanitizer\":\""), std::string::npos);
+  std::string labels = build_info_labels();
+  EXPECT_NE(labels.find("version=\""), std::string::npos);
+  EXPECT_EQ(labels.find('{'), std::string::npos);  // body only, no braces
+#ifdef PICOLA_OBS_DISABLED
+  EXPECT_FALSE(b.obs_compiled);
+#else
+  EXPECT_TRUE(b.obs_compiled);
+#endif
+}
+
+}  // namespace
+}  // namespace picola::obs

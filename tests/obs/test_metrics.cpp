@@ -154,6 +154,44 @@ TEST(MetricsRegistryTest, ReportsContainEveryMetricSorted) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, HistogramJsonCarriesNsAndMsDualsWithP95) {
+  MetricsRegistry r;
+  r.histogram("lat").record(2'000'000);  // 2 ms
+  std::string json = r.report_json();
+  // Every duration appears twice — raw nanoseconds and the millisecond
+  // dual — and p95 sits alongside the existing percentiles.
+  for (const char* key :
+       {"\"count\":", "\"sum_ns\":", "\"max_ns\":", "\"mean_ns\":",
+        "\"p50_ns\":", "\"p90_ns\":", "\"p95_ns\":", "\"p99_ns\":",
+        "\"sum_ms\":", "\"max_ms\":", "\"mean_ms\":", "\"p50_ms\":",
+        "\"p90_ms\":", "\"p95_ms\":", "\"p99_ms\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  // The text report shows p95 too.
+  std::string text = r.report_text();
+  EXPECT_NE(text.find("p95_ms="), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, CounterAndGaugeSnapshotsAreSortedViews) {
+  MetricsRegistry r;
+  r.counter("b").add(2);
+  r.counter("a").add(1);
+  r.gauge("g2").set(-5);
+  r.gauge("g1").set(7);
+  auto counters = r.counter_snapshots();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[0].second, 1u);
+  EXPECT_EQ(counters[1].first, "b");
+  EXPECT_EQ(counters[1].second, 2u);
+  auto gauges = r.gauge_snapshots();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0].first, "g1");
+  EXPECT_EQ(gauges[0].second, 7);
+  EXPECT_EQ(gauges[1].first, "g2");
+  EXPECT_EQ(gauges[1].second, -5);
+}
+
 TEST(ObsSwitchTest, EnabledDefaultsOffAndToggles) {
   // Other tests must leave the switch off; this test restores it too.
   EXPECT_FALSE(enabled());

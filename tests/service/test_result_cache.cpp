@@ -209,5 +209,39 @@ TEST(ResultCacheStressTest, ConcurrentReinsertsOfSameKeyKeepOneEntry) {
   EXPECT_EQ(cache.stats().entries, 1u);
 }
 
+TEST(ResultCacheMetricsTest, ShardHeatAndLockWaitAreRecorded) {
+  obs::MetricsRegistry metrics;
+  ResultCache cache(16, 4, &metrics);
+  const CanonicalJob job = canonicalize(make_job({{0, 1, 2}}, 8, 3));
+  cache.insert(job, make_result(5));
+  ASSERT_TRUE(cache.lookup(job));
+  EXPECT_FALSE(cache.lookup(canonicalize(make_job({{3, 4, 5}}, 8, 3))));
+
+  // Every shard operation bumped exactly one shard's op counter, the hit
+  // bumped its shard's hit counter, and every op recorded a lock-wait
+  // sample (0 ns on an uncontended try_lock) — the counts must agree.
+  uint64_t ops = 0, hits = 0;
+  for (int i = 0; i < 4; ++i) {
+    ops += metrics.counter_value("cache/shard" + std::to_string(i) + "_ops");
+    hits +=
+        metrics.counter_value("cache/shard" + std::to_string(i) + "_hits");
+  }
+  EXPECT_EQ(ops, 3u);   // insert + 2 lookups
+  EXPECT_EQ(hits, 1u);
+  uint64_t lock_waits = 0;
+  for (const auto& [name, snap] : metrics.histogram_snapshots())
+    if (name == "cache/lock_wait") lock_waits = snap.count;
+  EXPECT_EQ(lock_waits, 3u);
+}
+
+TEST(ResultCacheMetricsTest, WorksWithoutARegistry) {
+  // The metrics argument is optional; the no-registry path must not
+  // dereference anything.
+  ResultCache cache(8, 2);
+  const CanonicalJob job = canonicalize(make_job({{0, 1}}, 8, 2));
+  cache.insert(job, make_result(3));
+  ASSERT_TRUE(cache.lookup(job));
+}
+
 }  // namespace
 }  // namespace picola

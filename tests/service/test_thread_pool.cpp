@@ -166,5 +166,45 @@ TEST(ThreadPoolTest, SubmitExceptionStillPropagatesThroughFuture) {
   EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
 }
 
+TEST(ThreadPoolTest, ContentionMetricsTrackQueueAndActiveThreads) {
+  obs::MetricsRegistry metrics;
+  ThreadPool pool(1, 0, &metrics);
+
+  // Park the single worker so posted tasks must wait in the queue.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> entered;
+  pool.post([&entered, gate]() {
+    entered.set_value();
+    gate.wait();
+  });
+  entered.get_future().wait();
+  // The worker is inside the task; two more tasks sit in the queue.
+  pool.post([gate]() { gate.wait(); });
+  pool.post([gate]() { gate.wait(); });
+  EXPECT_EQ(metrics.gauge("pool/active_threads").value(), 1);
+  EXPECT_EQ(metrics.gauge("pool/queue_depth").value(), 2);
+  EXPECT_GE(metrics.gauge("pool/queue_depth_hwm").value(), 2);
+
+  release.set_value();
+  pool.wait_idle();
+  // Idle again: the live gauges fall back to zero, the high-water stays.
+  EXPECT_EQ(metrics.gauge("pool/active_threads").value(), 0);
+  EXPECT_EQ(metrics.gauge("pool/queue_depth").value(), 0);
+  EXPECT_GE(metrics.gauge("pool/queue_depth_hwm").value(), 2);
+  EXPECT_EQ(pool.queue_high_water(), 2u);  // ServiceStats view unchanged
+
+  // Every executed task recorded one queue-wait sample, and the parked
+  // tasks demonstrably waited.
+  uint64_t count = 0, max = 0;
+  for (const auto& [name, snap] : metrics.histogram_snapshots())
+    if (name == "pool/queue_wait") {
+      count = snap.count;
+      max = snap.max;
+    }
+  EXPECT_EQ(count, 3u);
+  EXPECT_GT(max, 0u);
+}
+
 }  // namespace
 }  // namespace picola

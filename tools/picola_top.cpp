@@ -1,0 +1,318 @@
+// picola_top — terminal dashboard for a running picola TCP server.
+//
+// Polls the admin exporter's GET /metrics (Prometheus text exposition,
+// docs/OBSERVABILITY.md) once per interval and renders the numbers an
+// operator reaches for first: request rate and latency percentiles,
+// pool queue depth / queue-wait, cache hit rate and shard heat, shed
+// and slow-request rates, and the wake-pipe coalescing ratio.
+//
+// Rates are deltas between consecutive scrapes; percentiles come from
+// the cumulative histogram buckets, so they are lifetime percentiles
+// (the exporter publishes no windowed histograms).
+//
+// Usage:
+//   picola_top HOST:PORT [--once] [--interval-ms N] [--iterations N]
+//
+// --once prints a single scrape and exits 0; --raw switches stdout to
+// the unparsed exposition — the CI telemetry step uses both to archive
+// a scrape as a job artifact.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Histogram {
+  // (upper bound, cumulative count), in exposition order; +Inf last.
+  std::vector<std::pair<double, uint64_t>> buckets;
+  double sum = 0;
+  uint64_t count = 0;
+
+  /// Percentile from the cumulative buckets: the upper bound of the
+  /// first bucket whose cumulative count reaches q*count.
+  double percentile(double q) const {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    for (const auto& [ub, c] : buckets)
+      if (static_cast<double>(c) >= target) return ub;
+    return buckets.empty() ? 0 : buckets.back().first;
+  }
+};
+
+struct Scrape {
+  std::map<std::string, double> scalars;     ///< counters + gauges
+  std::map<std::string, Histogram> histograms;
+  bool ok = false;
+
+  double value(const std::string& name) const {
+    auto it = scalars.find(name);
+    return it == scalars.end() ? 0 : it->second;
+  }
+};
+
+/// One blocking HTTP/1.0 GET; nullopt on any transport error.
+std::optional<std::string> http_get(const std::string& host, uint16_t port,
+                                    const std::string& path) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res) !=
+          0 ||
+      !res)
+    return std::nullopt;
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return std::nullopt;
+  }
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  freeaddrinfo(res);
+  if (rc != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return std::nullopt;
+  if (resp.rfind("HTTP/", 0) != 0) return std::nullopt;
+  size_t sp = resp.find(' ');
+  if (sp == std::string::npos || resp.compare(sp + 1, 3, "200") != 0)
+    return std::nullopt;
+  return resp.substr(hdr_end + 4);
+}
+
+/// `le` label value of a _bucket sample; empty when absent.
+std::string le_of(const std::string& labels) {
+  size_t p = labels.find("le=\"");
+  if (p == std::string::npos) return "";
+  size_t q = labels.find('"', p + 4);
+  if (q == std::string::npos) return "";
+  return labels.substr(p + 4, q - p - 4);
+}
+
+Scrape parse_exposition(const std::string& text) {
+  Scrape s;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) continue;
+    std::string name = line.substr(0, name_end);
+    std::string labels;
+    size_t value_at = name_end;
+    if (line[name_end] == '{') {
+      size_t close = line.find('}', name_end);
+      if (close == std::string::npos) continue;
+      labels = line.substr(name_end + 1, close - name_end - 1);
+      value_at = close + 1;
+    }
+    while (value_at < line.size() && line[value_at] == ' ') ++value_at;
+    if (value_at >= line.size()) continue;
+    double value = 0;
+    try {
+      value = std::stod(line.substr(value_at));
+    } catch (...) {
+      continue;
+    }
+
+    auto ends_with = [&name](const char* suffix) {
+      size_t n = std::strlen(suffix);
+      return name.size() > n && name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (ends_with("_bucket")) {
+      std::string base = name.substr(0, name.size() - 7);
+      std::string le = le_of(labels);
+      double ub = le == "+Inf" ? 1e300 : (le.empty() ? 0 : std::stod(le));
+      s.histograms[base].buckets.emplace_back(
+          ub, static_cast<uint64_t>(value));
+    } else if (ends_with("_sum") &&
+               s.histograms.count(name.substr(0, name.size() - 4))) {
+      s.histograms[name.substr(0, name.size() - 4)].sum = value;
+    } else if (ends_with("_count") &&
+               s.histograms.count(name.substr(0, name.size() - 6))) {
+      s.histograms[name.substr(0, name.size() - 6)].count =
+          static_cast<uint64_t>(value);
+    } else {
+      s.scalars[name] = value;
+    }
+  }
+  s.ok = true;
+  return s;
+}
+
+double ms(double ns) { return ns / 1e6; }
+
+void render(const Scrape& cur, const Scrape* prev, double interval_s) {
+  auto rate = [&](const std::string& name) -> double {
+    if (!prev || interval_s <= 0) return 0;
+    return (cur.value(name) - prev->value(name)) / interval_s;
+  };
+
+  const auto& req = cur.histograms.count("picola_net_request_ns")
+                        ? cur.histograms.at("picola_net_request_ns")
+                        : Histogram{};
+  const auto& qwait = cur.histograms.count("picola_pool_queue_wait_ns")
+                          ? cur.histograms.at("picola_pool_queue_wait_ns")
+                          : Histogram{};
+
+  std::printf("picola_top — uptime %.0fs  inflight %.0f  conns %.0f\n",
+              cur.value("picola_net_uptime_seconds"),
+              cur.value("picola_net_inflight"),
+              cur.value("picola_net_connections_active"));
+  std::printf(
+      "requests   ok %.0f (%.1f/s)  err %.0f  shed %.0f (%.1f/s)  slow %.0f\n",
+      cur.value("picola_net_responses_ok_total"),
+      rate("picola_net_responses_ok_total"),
+      cur.value("picola_net_responses_error_total"),
+      cur.value("picola_net_sheds_total"), rate("picola_net_sheds_total"),
+      cur.value("picola_net_slow_requests_total"));
+  std::printf("latency    p50 %.3fms  p95 %.3fms  p99 %.3fms  (n=%llu)\n",
+              ms(req.percentile(0.50)), ms(req.percentile(0.95)),
+              ms(req.percentile(0.99)),
+              static_cast<unsigned long long>(req.count));
+  std::printf(
+      "pool       depth %.0f (hwm %.0f)  active %.0f  queue-wait p95 %.3fms\n",
+      cur.value("picola_pool_queue_depth"),
+      cur.value("picola_pool_queue_depth_hwm"),
+      cur.value("picola_pool_active_threads"), ms(qwait.percentile(0.95)));
+
+  // Cache: hit rate plus per-shard op heat (relative load balance).
+  double hits = 0, ops = 0;
+  std::string heat;
+  for (int i = 0; i < 64; ++i) {
+    std::string h = "picola_cache_shard" + std::to_string(i) + "_hits_total";
+    std::string o = "picola_cache_shard" + std::to_string(i) + "_ops_total";
+    if (!cur.scalars.count(o)) break;
+    hits += cur.value(h);
+    ops += cur.value(o);
+    if (!heat.empty()) heat += " ";
+    heat += std::to_string(static_cast<long>(cur.value(o)));
+  }
+  std::printf("cache      entries %.0f  hits %.0f/%.0f ops  shard-ops [%s]\n",
+              cur.value("picola_cache_entries"), hits, ops, heat.c_str());
+
+  // Wake-pipe coalescing: completions delivered per loop wakeup read.
+  double wakeups = cur.value("picola_net_wakeups_total");
+  double reads = cur.value("picola_net_wakeup_reads_total");
+  std::printf(
+      "loop       wakeups %.0f  reads %.0f  coalescing %.2fx  "
+      "completions %.0f\n",
+      wakeups, reads, reads > 0 ? wakeups / reads : 0,
+      cur.value("picola_net_completions_total"));
+  std::printf(
+      "backends   picola %.0f  sat %.0f  anneal %.0f  (winner counts)\n",
+      cur.value("picola_service_backend_picola_total"),
+      cur.value("picola_service_backend_sat_total"),
+      cur.value("picola_service_backend_anneal_total"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: picola_top HOST:PORT [--once] [--raw] "
+                 "[--interval-ms N] [--iterations N]\n");
+    return 2;
+  }
+  std::string hp = argv[1];
+  size_t colon = hp.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "picola_top: need HOST:PORT, got %s\n", hp.c_str());
+    return 2;
+  }
+  std::string host = hp.substr(0, colon);
+  int port = std::atoi(hp.c_str() + colon + 1);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "picola_top: bad port in %s\n", hp.c_str());
+    return 2;
+  }
+
+  bool once = false, raw = false;
+  int interval_ms = 1000;
+  long iterations = -1;  // forever
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--once") {
+      once = true;
+    } else if (a == "--raw") {
+      raw = true;
+    } else if (a == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+      if (interval_ms < 1) interval_ms = 1;
+    } else if (a == "--iterations" && i + 1 < argc) {
+      iterations = std::atol(argv[++i]);
+    } else {
+      std::fprintf(stderr, "picola_top: unknown option %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (once) iterations = 1;
+
+  std::optional<Scrape> prev;
+  long done = 0;
+  while (iterations < 0 || done < iterations) {
+    auto body = http_get(host, static_cast<uint16_t>(port), "/metrics");
+    if (!body) {
+      std::fprintf(stderr, "picola_top: scrape of %s failed\n", hp.c_str());
+      return 1;
+    }
+    if (raw) {
+      // Raw mode is for archiving: the exposition itself, nothing else,
+      // on stdout — pipe or redirect it straight into a .prom file.
+      std::fwrite(body->data(), 1, body->size(), stdout);
+      std::fflush(stdout);
+    } else {
+      Scrape cur = parse_exposition(*body);
+      if (!once) std::printf("\033[H\033[2J");  // clear between refreshes
+      render(cur, prev ? &*prev : nullptr,
+             static_cast<double>(interval_ms) / 1000.0);
+      std::fflush(stdout);
+      prev = std::move(cur);
+    }
+    ++done;
+    if (iterations < 0 || done < iterations)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
