@@ -1,21 +1,38 @@
 // Per-backend comparison of the encoder portfolio (src/portfolio).
 //
-// Workload: the Table I input-encoding problems (IWLS'93-profile
-// reconstructions) plus deterministic adversarial instances from every
-// generator family (check/instance_gen.h: random, nested, packing,
-// overlap).  Every problem runs through each backend alone — picola,
-// sat_exact (conflict-budgeted), anneal — and through the full
-// portfolio; the table and BENCH_portfolio.json record per-backend wall
-// time, cube counts, code length, win rates, and the result of the
-// never-worse-than-picola gate.
+// Workload: the FULL Table I input-encoding suite (IWLS'93-profile
+// reconstructions — including the big instances: tbk at 106
+// constraints, planet at 48 states, scf at 121) plus deterministic
+// adversarial instances from every generator family
+// (check/instance_gen.h: random, nested, packing, overlap).  The old
+// n <= 32 cap is gone: the difference distinctness encoding is
+// polynomial in n and the at-least-t sweep is incremental, so the sat
+// column finishes in seconds even on scf.  Every problem runs through
+// each backend alone — picola, sat_exact (conflict-budgeted), anneal —
+// and through the full portfolio; the table and BENCH_portfolio.json
+// record per-backend wall time, cube counts, code length, win rates,
+// and the result of the never-worse-than-picola gate.
+//
+// Flags:
+//   --table1-full   Table I suite only (skip the generator families) —
+//                   the CI smoke configuration.
+//   --timeout-ms N  per backend-run watchdog: cancels the run through
+//                   the cooperative CancelToken after N ms and scores
+//                   it "t/o" (0 = no watchdog, the default).
 //
 // The gate is the bench's pass/fail: on every problem where both
 // finished, the portfolio's cube count must be <= picola-alone's (the
 // portfolio plan runs the picola slots first with identical seeds, so
 // anything else is a reduction bug).  Exit code 1 on violation.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/instance_gen.h"
@@ -30,29 +47,25 @@ namespace {
 
 constexpr int kRestarts = 4;
 /// Conflict budget of the sat backend slots: deterministic and small
-/// enough that big Table I instances stay in bench-scale time.
-constexpr long kSatConflicts = 5'000;
+/// enough that big Table I instances stay in bench-scale time (tbk, the
+/// hardest, answers identically at 2k and 5k conflicts per call).
+constexpr long kSatConflicts = 2'000;
 
 struct Problem {
   std::string name;
   ConstraintSet set;
 };
 
-std::vector<Problem> make_workload() {
+std::vector<Problem> make_workload(bool table1_only) {
   std::vector<Problem> problems;
   for (const std::string& name : table1_benchmarks()) {
     Problem p;
     p.name = name;
     p.set = derive_face_constraints(make_benchmark(name)).set;
     if (p.set.num_symbols < 2 || p.set.size() == 0) continue;
-    // Keep the sat column bench-scale: past ~32 symbols the CNF
-    // reduction is research-scale work, not a per-PR gate, and the
-    // descending at-least-t sweep makes one budgeted solver call per
-    // constraint-count target, so constraint-heavy instances (tbk: 106
-    // constraints) take minutes even at n=32.
-    if (p.set.num_symbols > 32 || p.set.size() > 64) continue;
     problems.push_back(std::move(p));
   }
+  if (table1_only) return problems;
   // Three instances per adversarial family, deterministic stream.
   check::GeneratorOptions g;
   g.min_symbols = 8;
@@ -75,6 +88,7 @@ struct BackendRun {
   long cubes = -1;  ///< -1 = no encoding produced
   int bits = 0;
   bool ok = false;
+  bool timed_out = false;  ///< the --timeout-ms watchdog fired
 };
 
 struct Row {
@@ -88,37 +102,79 @@ constexpr portfolio::BackendKind kBackends[4] = {
     portfolio::BackendKind::kPicola, portfolio::BackendKind::kSat,
     portfolio::BackendKind::kAnneal, portfolio::BackendKind::kPortfolio};
 
-BackendRun run_backend(const ConstraintSet& cs, portfolio::BackendKind kind) {
+BackendRun run_backend(const ConstraintSet& cs, portfolio::BackendKind kind,
+                       long timeout_ms) {
   BackendRun r;
   portfolio::PortfolioOptions fopt;
   fopt.backend = kind;
   fopt.sat_max_conflicts = kSatConflicts;
+  PicolaOptions popt;
+  auto token = std::make_shared<CancelToken>();
+  popt.cancel = token;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool run_done = false;
+  std::thread watchdog;
+  if (timeout_ms > 0)
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      if (!cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return run_done; }))
+        token->cancel();
+    });
+
   Stopwatch sw;
   try {
     portfolio::PortfolioResult res =
-        portfolio::portfolio_encode(cs, kRestarts, {}, fopt);
+        portfolio::portfolio_encode(cs, kRestarts, popt, fopt);
     r.cubes = res.total_cubes;
     r.bits = res.picola.encoding.num_bits;
     r.ok = true;
+  } catch (const CancelledError&) {
+    r.timed_out = true;
   } catch (const std::exception&) {
     // e.g. the sat backend alone exhausting its conflict budget — a
     // legitimate outcome, scored as "no result".
   }
   r.ms = sw.elapsed_ms();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      run_done = true;
+    }
+    cv.notify_all();
+    watchdog.join();
+  }
   return r;
 }
 
 }  // namespace
 
-int main() {
-  std::vector<Problem> problems = make_workload();
+int main(int argc, char** argv) {
+  bool table1_only = false;
+  long timeout_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--table1-full") == 0) {
+      table1_only = true;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_ms = std::atol(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: portfolio_bench [--table1-full] [--timeout-ms N]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Problem> problems = make_workload(table1_only);
   std::vector<Row> rows;
   int wins[4] = {0, 0, 0, 0};
   int gate_violations = 0;
 
   std::printf("portfolio bench: %zu problems, %d restarts, sat budget %ld "
-              "conflicts\n\n",
-              problems.size(), kRestarts, kSatConflicts);
+              "conflicts%s\n\n",
+              problems.size(), kRestarts, kSatConflicts,
+              table1_only ? ", Table I only" : "");
   std::printf("%-12s %4s | %9s %9s %9s %9s | %6s\n", "problem", "n",
               "picola", "sat", "anneal", "portfolio", "winner");
   std::printf("%.*s\n", 78,
@@ -129,7 +185,8 @@ int main() {
     Row row;
     row.name = p.name;
     row.n = p.set.num_symbols;
-    for (int b = 0; b < 4; ++b) row.runs[b] = run_backend(p.set, kBackends[b]);
+    for (int b = 0; b < 4; ++b)
+      row.runs[b] = run_backend(p.set, kBackends[b], timeout_ms);
 
     // The portfolio's winning backend, re-derived from the single-backend
     // cube counts with the plan-order tie-break (picola, sat, anneal).
@@ -154,7 +211,7 @@ int main() {
       if (r.ok)
         std::snprintf(buf, len, "%ld/%.0fms", r.cubes, r.ms);
       else
-        std::snprintf(buf, len, "-/%.0fms", r.ms);
+        std::snprintf(buf, len, "%s/%.0fms", r.timed_out ? "t/o" : "-", r.ms);
     };
     char c0[32], c1[32], c2[32], c3[32];
     cell(row.runs[0], c0, sizeof c0);
@@ -180,8 +237,9 @@ int main() {
   }
   std::fprintf(f,
                "{\"problems\":%zu,\"restarts\":%d,\"sat_max_conflicts\":%ld,"
-               "\"rows\":[",
-               rows.size(), kRestarts, kSatConflicts);
+               "\"table1_full\":%s,\"timeout_ms\":%ld,\"rows\":[",
+               rows.size(), kRestarts, kSatConflicts,
+               table1_only ? "true" : "false", timeout_ms);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f, "%s{\"name\":\"%s\",\"n\":%d,\"winner\":\"%s\"",
@@ -191,9 +249,10 @@ int main() {
       const BackendRun& br = r.runs[b];
       std::fprintf(f,
                    ",\"%s\":{\"ms\":%.3f,\"cubes\":%ld,\"bits\":%d,"
-                   "\"feasible\":%s}",
+                   "\"feasible\":%s,\"timed_out\":%s}",
                    portfolio::backend_kind_name(kBackends[b]), br.ms, br.cubes,
-                   br.bits, br.ok ? "true" : "false");
+                   br.bits, br.ok ? "true" : "false",
+                   br.timed_out ? "true" : "false");
     }
     std::fprintf(f, "}");
   }

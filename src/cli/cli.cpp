@@ -73,8 +73,8 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                       "--idle-timeout-ms", "--max-frame-bytes",
                                       "--retry-after-ms", "--deadline-ms",
                                       "--retries", "--timeout-ms",
-                                      "--backend", "--card",
-                                      "--sat-conflicts"};
+                                      "--backend", "--card", "--distinct",
+                                      "--sweep", "--sat-conflicts"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -564,7 +564,8 @@ std::string hex64(uint64_t v) {
 
 /// Parses the backend-selection knobs shared by encode, batch, serve and
 /// client: --backend picola|sat|anneal|portfolio, --card
-/// pairwise|sequential|commander, --sat-conflicts N.
+/// pairwise|sequential|commander, --distinct difference|indicator|lazy,
+/// --sweep descending|binary|scratch, --sat-conflicts N.
 bool parse_portfolio_args(const ParsedArgs& a, portfolio::PortfolioOptions* p,
                           std::ostream& err) {
   if (a.options.count("--backend")) {
@@ -582,6 +583,22 @@ bool parse_portfolio_args(const ParsedArgs& a, portfolio::PortfolioOptions* p,
       return false;
     }
     p->sat_card = *c;
+  }
+  if (a.options.count("--distinct")) {
+    auto d = sat::parse_distinct_encoding(a.options.at("--distinct"));
+    if (!d) {
+      err << "bad --distinct value (difference indicator lazy)\n";
+      return false;
+    }
+    p->sat_distinct = *d;
+  }
+  if (a.options.count("--sweep")) {
+    auto s = sat::parse_sweep_mode(a.options.at("--sweep"));
+    if (!s) {
+      err << "bad --sweep value (descending binary scratch)\n";
+      return false;
+    }
+    p->sat_sweep = *s;
   }
   if (a.options.count("--sat-conflicts")) {
     auto v = parse_int(a.options.at("--sat-conflicts"));
@@ -1189,9 +1206,11 @@ int cmd_info(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   }
 }
 
-/// `picola sat-export FILE [--bits N] [--card E] [--selectors] [-o OUT]`
-/// — write the SAT reduction of an encoding problem as DIMACS CNF, for
-/// diffing the in-tree solver against external ones.
+/// `picola sat-export FILE [--bits N] [--card E] [--distinct D]
+/// [--selectors] [-o OUT]` — write the SAT reduction of an encoding
+/// problem as DIMACS CNF, for diffing the in-tree solver against
+/// external ones.  --distinct difference (default) | indicator; lazy has
+/// no static clause form, so it cannot be exported.
 int cmd_sat_export(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   if (a.positional.size() != 1) {
     err << "sat-export needs one input file\n";
@@ -1214,6 +1233,14 @@ int cmd_sat_export(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
     }
     ro.card = *c;
   }
+  if (a.options.count("--distinct")) {
+    auto d = sat::parse_distinct_encoding(a.options.at("--distinct"));
+    if (!d || *d == sat::DistinctEncoding::kLazy) {
+      err << "bad --distinct value (difference indicator)\n";
+      return 2;
+    }
+    ro.distinct = *d;
+  }
   ro.with_selectors = a.options.count("--selectors") != 0;
   sat::FaceCnf fc;
   try {
@@ -1227,7 +1254,8 @@ int cmd_sat_export(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   {
     std::ostringstream c;
     c << "n=" << problem->set.num_symbols << " bits=" << bits << " card="
-      << sat::card_encoding_name(ro.card) << " constraints="
+      << sat::card_encoding_name(ro.card) << " distinct="
+      << sat::distinct_encoding_name(ro.distinct) << " constraints="
       << problem->set.size();
     comments.push_back(c.str());
   }

@@ -39,6 +39,10 @@ bool FrameReader::feed(const char* data, size_t n) {
       if (len > max_frame_bytes_) {
         error_ = true;
         oversized_length_ = len;
+        // Poisoned means framing is lost for good: nothing buffered will
+        // ever be decoded, so release the memory instead of pinning it
+        // for the (possibly long) remainder of the connection teardown.
+        std::string().swap(buffer_);
         return false;
       }
       continue;

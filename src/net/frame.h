@@ -32,7 +32,9 @@ class FrameReader {
   explicit FrameReader(size_t max_frame_bytes);
 
   /// Consume `n` raw stream bytes.  Returns false once an oversized
-  /// frame header was seen (sticky; further feeds are ignored).
+  /// frame header was seen (sticky; further feeds are ignored).  The
+  /// partial-frame buffer is released on poisoning — buffered_bytes()
+  /// is 0 from then on.
   bool feed(const char* data, size_t n);
 
   /// Next complete payload in arrival order, nullopt when none pending.

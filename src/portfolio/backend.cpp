@@ -30,6 +30,7 @@ std::optional<BackendKind> parse_backend_kind(std::string_view name) {
 bool portfolio_options_equal(const PortfolioOptions& a,
                              const PortfolioOptions& b) {
   return a.backend == b.backend && a.sat_card == b.sat_card &&
+         a.sat_distinct == b.sat_distinct && a.sat_sweep == b.sat_sweep &&
          a.sat_max_conflicts == b.sat_max_conflicts &&
          a.anneal_seed == b.anneal_seed;
 }
@@ -83,6 +84,8 @@ BackendOutcome run_sat(const ConstraintSet& cs, const PicolaOptions& popt,
   sat::SatExactOptions so;
   so.num_bits = popt.num_bits;
   so.card = fopt.sat_card;
+  so.distinct = fopt.sat_distinct;
+  so.sweep = fopt.sat_sweep;
   so.max_conflicts = fopt.sat_max_conflicts;
   so.cancel = std::move(cancel);
   sat::SatExactResult res = sat::sat_exact_encode(cs, so);

@@ -25,6 +25,7 @@
 
 #include "core/picola.h"
 #include "sat/cnf.h"
+#include "sat/encode.h"
 #include "sat/solver.h"
 
 namespace picola::portfolio {
@@ -45,6 +46,10 @@ struct PortfolioOptions {
   BackendKind backend = BackendKind::kPicola;
   /// Cardinality encoding of the SAT reduction.
   sat::CardEncoding sat_card = sat::CardEncoding::kSequential;
+  /// Distinctness encoding of the SAT reduction.
+  sat::DistinctEncoding sat_distinct = sat::DistinctEncoding::kDifference;
+  /// Search strategy of the SAT backend's at-least-t sweep.
+  sat::SweepMode sat_sweep = sat::SweepMode::kDescending;
   /// Deterministic conflict budget per SAT solver call; 0 = unlimited.
   long sat_max_conflicts = 200'000;
   /// Base seed of the annealer slots (slot r uses restart_seed(seed, r)).

@@ -63,4 +63,14 @@ void add_at_most_k(Cnf& cnf, const std::vector<int>& lits, int k,
 void add_at_least_k(Cnf& cnf, const std::vector<int>& lits, int k,
                     CardEncoding e);
 
+/// Bailleux–Boutaouche totalizer over `lits`, counting direction only:
+/// returns outputs o[0..n-1] with clauses forcing o[j] whenever at least
+/// j+1 of `lits` are true.  Assuming ¬o[c] therefore caps the true count
+/// at c — one totalizer supports every cardinality bound via a single
+/// assumption literal, which is what makes the sat backend's at-least-t
+/// sweep incremental (O(n²) clauses once instead of a fresh counter per
+/// target).  Any model of the original variables extends to the
+/// auxiliaries (set o[j] = "at least j+1 true" bottom-up).
+std::vector<int> add_totalizer(Cnf& cnf, const std::vector<int>& lits);
+
 }  // namespace picola::sat

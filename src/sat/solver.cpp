@@ -74,14 +74,121 @@ Solver::Solver(const Cnf& cnf, SolverOptions opt)
       continue;
     }
     clauses_.push_back(lits);
+    meta_.push_back({});
     attach(static_cast<int>(clauses_.size()) - 1);
   }
+  // Let the learned DB grow to a third of the problem before the first
+  // reduction (MiniSat's learntsize_factor), with a floor so tiny
+  // formulas still keep a useful lemma set.
+  reduce_limit_ =
+      std::max<long>(4'000, static_cast<long>(clauses_.size()) / 3);
 }
 
 void Solver::attach(int ci) {
   const std::vector<int>& c = clauses_[static_cast<size_t>(ci)];
   watches_[static_cast<size_t>(c[0])].push_back(ci);
   watches_[static_cast<size_t>(c[1])].push_back(ci);
+}
+
+void Solver::detach(int ci) {
+  const std::vector<int>& c = clauses_[static_cast<size_t>(ci)];
+  for (int w = 0; w < 2; ++w) {
+    std::vector<int>& list = watches_[static_cast<size_t>(c[w])];
+    // Order-preserving erase: watch-list order drives propagation order,
+    // so a swap-with-back removal would perturb determinism.
+    list.erase(std::find(list.begin(), list.end(), ci));
+  }
+}
+
+void Solver::bump_clause(int ci) {
+  float& a = meta_[static_cast<size_t>(ci)].act;
+  a += static_cast<float>(cla_inc_);
+  if (a > 1e20f) {
+    for (ClauseMeta& m : meta_) m.act *= 1e-20f;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::reduce_db() {
+  // Candidates: learned, still attached, longer than binary, and not the
+  // reason of a current assignment (a locked clause's asserting literal
+  // sits at c[0] — propagate() never swaps a true c[0] away).
+  std::vector<std::pair<float, int>> cand;
+  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+    const std::vector<int>& c = clauses_[static_cast<size_t>(ci)];
+    if (!meta_[static_cast<size_t>(ci)].learned || c.size() <= 2) continue;
+    int v0 = c[0] >> 1;
+    if (reason_[static_cast<size_t>(v0)] == ci && lit_value(c[0]) == 1)
+      continue;
+    cand.push_back({meta_[static_cast<size_t>(ci)].act, ci});
+  }
+  // Lowest activity first; index breaks ties, so older lemmas go first
+  // and the pass is deterministic.
+  std::sort(cand.begin(), cand.end());
+  for (size_t i = 0; i < cand.size() / 2; ++i) {
+    int ci = cand[i].second;
+    detach(ci);
+    clauses_[static_cast<size_t>(ci)].clear();
+    clauses_[static_cast<size_t>(ci)].shrink_to_fit();
+    meta_[static_cast<size_t>(ci)].learned = false;
+    --live_learned_;
+  }
+  ++stats_.db_reductions;
+}
+
+int Solver::add_var() {
+  int v = num_vars_++;
+  value_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  polarity_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  push_order(v);
+  return v + 1;
+}
+
+bool Solver::add_clause(const std::vector<int>& dimacs_lits) {
+  backtrack(0);
+  std::vector<int> lits;
+  lits.reserve(dimacs_lits.size());
+  for (int d : dimacs_lits) {
+    if (d == 0 || std::abs(d) > num_vars_)
+      throw std::invalid_argument("sat: add_clause literal " +
+                                  std::to_string(d) + " out of range");
+    lits.push_back(internal(d));
+  }
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (size_t i = 0; i + 1 < lits.size(); ++i)
+    if ((lits[i] ^ 1) == lits[i + 1]) return true;  // tautology
+  // Simplify against the root trail (everything assigned after
+  // backtrack(0) is permanent): drop falsified literals, skip satisfied
+  // clauses — this keeps the watch invariant without re-propagating.
+  std::vector<int> kept;
+  kept.reserve(lits.size());
+  for (int l : lits) {
+    int v = lit_value(l);
+    if (v == 1) return true;  // already satisfied at the root
+    if (v == -1) kept.push_back(l);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (kept.size() == 1) {
+    if (!enqueue(kept[0], -1) || propagate() >= 0) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  clauses_.push_back(std::move(kept));
+  meta_.push_back({});
+  attach(static_cast<int>(clauses_.size()) - 1);
+  return true;
 }
 
 bool Solver::enqueue(int lit, int reason) {
@@ -169,7 +276,10 @@ void Solver::push_order(int v) {
   std::push_heap(order_.begin(), order_.end());
 }
 
-void Solver::decay() { var_inc_ /= opt_.var_decay; }
+void Solver::decay() {
+  var_inc_ /= opt_.var_decay;
+  cla_inc_ /= 0.999;  // clause-activity decay (MiniSat's clause_decay)
+}
 
 void Solver::analyze(int confl, std::vector<int>* learnt, int* bt_level) {
   learnt->clear();
@@ -181,6 +291,7 @@ void Solver::analyze(int confl, std::vector<int>* learnt, int* bt_level) {
   std::vector<int> to_clear;
 
   do {
+    if (meta_[static_cast<size_t>(confl)].learned) bump_clause(confl);
     const std::vector<int>& c = clauses_[static_cast<size_t>(confl)];
     for (int q : c) {
       if (q == p) continue;
@@ -255,12 +366,26 @@ int Solver::pick_branch() {
   return -1;
 }
 
-SolveStatus Solver::solve() {
-  PICOLA_OBS_SPAN(span, "sat/solve");
-  if (!ok_) return SolveStatus::kUnsat;
-  backtrack(0);
-  deadline_countdown_ = 0;
+SolveStatus Solver::solve() { return solve({}); }
 
+SolveStatus Solver::solve(const std::vector<int>& assumptions) {
+  PICOLA_OBS_SPAN(span, "sat/solve");
+  backtrack(0);
+  conflict_floor_ = stats_.conflicts;
+  deadline_countdown_ = 0;
+  if (!ok_) return finish(SolveStatus::kUnsat);
+  assumptions_.clear();
+  assumptions_.reserve(assumptions.size());
+  for (int d : assumptions) {
+    if (d == 0 || std::abs(d) > num_vars_)
+      throw std::invalid_argument("sat: assumption literal " +
+                                  std::to_string(d) + " out of range");
+    assumptions_.push_back(internal(d));
+  }
+  return search();
+}
+
+SolveStatus Solver::search() {
   long conflicts_since_restart = 0;
   long restart_limit = static_cast<long>(opt_.restart_base) * luby(0);
   std::vector<int> learnt;
@@ -270,7 +395,10 @@ SolveStatus Solver::solve() {
     if (confl >= 0) {
       ++stats_.conflicts;
       ++conflicts_since_restart;
-      if (trail_lim_.empty()) return finish(SolveStatus::kUnsat);
+      if (trail_lim_.empty()) {
+        ok_ = false;  // root-level conflict: unsat regardless of assumptions
+        return finish(SolveStatus::kUnsat);
+      }
       int bt_level = 0;
       analyze(confl, &learnt, &bt_level);
       backtrack(bt_level);
@@ -281,14 +409,21 @@ SolveStatus Solver::solve() {
         }
       } else {
         clauses_.push_back(learnt);
+        meta_.push_back({static_cast<float>(cla_inc_), true});
         int ci = static_cast<int>(clauses_.size()) - 1;
         attach(ci);
         ++stats_.learned_clauses;
         stats_.learned_literals += static_cast<long>(learnt.size());
+        ++live_learned_;
         enqueue(learnt[0], ci);
+        if (live_learned_ >= reduce_limit_) {
+          reduce_db();
+          reduce_limit_ += reduce_limit_ / 10;  // geometric headroom growth
+        }
       }
       decay();
-      if (opt_.max_conflicts > 0 && stats_.conflicts >= opt_.max_conflicts)
+      if (opt_.max_conflicts > 0 &&
+          stats_.conflicts - conflict_floor_ >= opt_.max_conflicts)
         return finish(SolveStatus::kUnknown);
       if (deadline_expired()) return finish(SolveStatus::kUnknown);
     } else {
@@ -298,6 +433,17 @@ SolveStatus Solver::solve() {
         restart_limit =
             static_cast<long>(opt_.restart_base) * luby(stats_.restarts);
         backtrack(0);
+        continue;
+      }
+      // Assumptions go in as the first decisions; a restart or backjump
+      // below them lands here again and re-establishes the missing ones.
+      if (trail_lim_.size() < assumptions_.size()) {
+        int p = assumptions_[trail_lim_.size()];
+        int v = lit_value(p);
+        if (v == 0)  // falsified by the formula: unsat under assumptions
+          return finish(SolveStatus::kUnsat);
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        if (v == -1) enqueue(p, -1);
         continue;
       }
       int lit = pick_branch();
@@ -311,12 +457,19 @@ SolveStatus Solver::solve() {
 }
 
 SolveStatus Solver::finish(SolveStatus s) {
-  // One bulk update per solve keeps the hot loops free of obs branches.
-  PICOLA_OBS_COUNT("sat/decisions", stats_.decisions);
-  PICOLA_OBS_COUNT("sat/propagations", stats_.propagations);
-  PICOLA_OBS_COUNT("sat/conflicts", stats_.conflicts);
-  PICOLA_OBS_COUNT("sat/restarts", stats_.restarts);
-  PICOLA_OBS_COUNT("sat/learned_clauses", stats_.learned_clauses);
+  // One bulk update per solve keeps the hot loops free of obs branches;
+  // deltas since the previous finish, so incremental re-solves on the
+  // same Solver never double-count.
+  PICOLA_OBS_COUNT("sat/decisions", stats_.decisions - reported_.decisions);
+  PICOLA_OBS_COUNT("sat/propagations",
+                   stats_.propagations - reported_.propagations);
+  PICOLA_OBS_COUNT("sat/conflicts", stats_.conflicts - reported_.conflicts);
+  PICOLA_OBS_COUNT("sat/restarts", stats_.restarts - reported_.restarts);
+  PICOLA_OBS_COUNT("sat/learned_clauses",
+                   stats_.learned_clauses - reported_.learned_clauses);
+  PICOLA_OBS_COUNT("sat/db_reductions",
+                   stats_.db_reductions - reported_.db_reductions);
+  reported_ = stats_;
   return s;
 }
 

@@ -2,9 +2,25 @@
 // Small in-tree CDCL SAT solver: two-watched-literal propagation,
 // first-UIP clause learning, VSIDS-lite branching (activity decay with
 // deterministic lowest-index tie-breaking), phase saving, and Luby
-// restarts.  Deliberately deterministic: the same CNF and options always
-// produce the same verdict and model, so the sat backend slots into the
-// bit-identical-results contract of the encoding service.
+// restarts.  Deliberately deterministic: the same CNF, options and call
+// sequence always produce the same verdict and model, so the sat backend
+// slots into the bit-identical-results contract of the encoding service.
+//
+// The solver is incremental (the MiniSat lifecycle model):
+//   * solve(assumptions) solves under a conjunction of assumption
+//     literals, placed as the first decisions; kUnsat then means
+//     "unsatisfiable under these assumptions", kSat models include them.
+//     Learned clauses, variable activities and saved phases persist
+//     across calls, so a sweep over related queries (the sat backend's
+//     descending at-least-t search) reuses everything the refutations of
+//     earlier targets taught the solver.
+//   * add_var() / add_clause() grow the formula between calls (the lazy
+//     distinctness encoding adds difference clauses only on conflict).
+//   * max_conflicts is a per-call budget: each solve() call gets the
+//     full budget regardless of what earlier calls consumed.
+//   * the learned-clause database is reduced periodically (lowest
+//     clause activity first, locked and binary clauses kept), so a long
+//     incremental sweep does not drown propagation in stale lemmas.
 //
 // Effort bounds, in line with the rest of the tree's cooperative
 // machinery (encoders/restart.h):
@@ -31,7 +47,8 @@ enum class SolveStatus { kSat, kUnsat, kUnknown };
 const char* solve_status_name(SolveStatus s);
 
 struct SolverOptions {
-  /// Conflict budget; 0 = unlimited.  Exceeding it returns kUnknown.
+  /// Conflict budget per solve() call; 0 = unlimited.  Exceeding it
+  /// returns kUnknown.
   long max_conflicts = 0;
   /// std::chrono::steady_clock deadline in ns since epoch; 0 = none.
   uint64_t deadline_ns = 0;
@@ -51,6 +68,7 @@ struct SolverStats {
   long restarts = 0;
   long learned_clauses = 0;
   long learned_literals = 0;
+  long db_reductions = 0;  ///< learned-clause database reductions
 };
 
 class Solver {
@@ -61,6 +79,21 @@ class Solver {
 
   /// Solve (idempotent: a second call re-solves from the root).
   SolveStatus solve();
+
+  /// Solve under `assumptions` (DIMACS literals, each asserted true).
+  /// kUnsat means unsatisfiable *under the assumptions*; everything the
+  /// call learned (clauses, activity, phases) is kept for later calls.
+  SolveStatus solve(const std::vector<int>& assumptions);
+
+  /// Allocate a fresh variable; returns its DIMACS number.  Usable
+  /// between solve() calls (the lazy distinctness refinement).
+  int add_var();
+
+  /// Add one clause (DIMACS literals) to the live formula.  Backtracks
+  /// to the root first; the clause is simplified against root-level
+  /// assignments.  Returns false when it makes the formula unsatisfiable
+  /// outright (subsequent solve() calls report kUnsat).
+  bool add_clause(const std::vector<int>& dimacs_lits);
 
   /// Truth value of DIMACS variable `var` in the model; only meaningful
   /// after solve() returned kSat.
@@ -86,9 +119,13 @@ class Solver {
   int propagate();  ///< clause index of a conflict, or -1
   void analyze(int confl, std::vector<int>* learnt, int* bt_level);
   void backtrack(int level);
+  SolveStatus search();  ///< the CDCL loop of one solve() call
   int pick_branch();  ///< decision literal, or -1 when all assigned
   void attach(int clause_index);
+  void detach(int clause_index);
+  void reduce_db();  ///< drop the low-activity half of the learned DB
   void bump(int var);
+  void bump_clause(int clause_index);
   void decay();
   void push_order(int var);
   void check_cancel() const;
@@ -99,8 +136,15 @@ class Solver {
   bool ok_ = true;  ///< false once a top-level conflict is known
   SolverOptions opt_;
   SolverStats stats_;
+  SolverStats reported_;  ///< snapshot at the last finish() (obs deltas)
+
+  struct ClauseMeta {
+    float act = 0.f;       ///< activity (bumped when used in analyze)
+    bool learned = false;  ///< eligible for reduce_db()
+  };
 
   std::vector<std::vector<int>> clauses_;  ///< internal-literal clauses
+  std::vector<ClauseMeta> meta_;           ///< parallel to clauses_
   std::vector<std::vector<int>> watches_;  ///< lit -> clause indices
   std::vector<int8_t> value_;              ///< var -> -1/0/1
   std::vector<int> level_;                 ///< var -> decision level
@@ -111,9 +155,14 @@ class Solver {
 
   std::vector<double> activity_;
   double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  long live_learned_ = 0;   ///< learned clauses currently attached
+  long reduce_limit_ = 0;   ///< live_learned_ threshold for reduce_db()
   std::vector<std::pair<double, int>> order_;  ///< max-heap (activity, -var)
   std::vector<uint8_t> polarity_;              ///< saved phase (1 = true)
   std::vector<uint8_t> seen_;                  ///< analyze() scratch
+  std::vector<int> assumptions_;  ///< internal lits of the current call
+  long conflict_floor_ = 0;       ///< stats_.conflicts at call start
   long deadline_countdown_ = 0;
 };
 

@@ -99,7 +99,9 @@ CanonicalJob canonicalize(const Job& job) {
   // answer each other's cache lookups).
   c.portfolio = job.portfolio;
   h.mix(static_cast<uint64_t>(c.portfolio.backend) |
-        (static_cast<uint64_t>(c.portfolio.sat_card) << 8));
+        (static_cast<uint64_t>(c.portfolio.sat_card) << 8) |
+        (static_cast<uint64_t>(c.portfolio.sat_distinct) << 16) |
+        (static_cast<uint64_t>(c.portfolio.sat_sweep) << 24));
   h.mix(static_cast<uint64_t>(c.portfolio.sat_max_conflicts));
   h.mix(c.portfolio.anneal_seed);
   for (const FaceConstraint& f : c.set.constraints) {

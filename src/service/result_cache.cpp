@@ -9,15 +9,22 @@ namespace picola {
 
 ResultCache::ResultCache(size_t capacity, int num_shards,
                          obs::MetricsRegistry* metrics) {
+  capacity_ = std::max<size_t>(1, capacity);
   int n = std::max(1, num_shards);
   // Never shard finer than one entry per shard.
-  n = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(n), std::max<size_t>(1, capacity)));
-  per_shard_capacity_ =
-      std::max<size_t>(1, (capacity + static_cast<size_t>(n) - 1) /
-                              static_cast<size_t>(n));
+  n = static_cast<int>(std::min<size_t>(static_cast<size_t>(n), capacity_));
+  // Distribute the quota so the per-shard slices sum to exactly
+  // capacity_: base entries each, one extra for the first (capacity_
+  // mod n) shards.  The old round-up (ceil(capacity / n) per shard) let
+  // capacity() exceed the requested bound — e.g. 10 entries over 8
+  // shards reported 16.
+  const size_t base = capacity_ / static_cast<size_t>(n);
+  const size_t extra = capacity_ % static_cast<size_t>(n);
   shards_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (static_cast<size_t>(i) < extra ? 1 : 0);
+  }
   if (metrics) {
     lock_wait_ns_ = &metrics->histogram("cache/lock_wait");
     for (int i = 0; i < n; ++i) {
@@ -74,13 +81,16 @@ void ResultCache::insert(const CanonicalJob& job, CachedResult result) {
   }
   auto it = s.index.find(job.fingerprint);
   if (it != s.index.end()) {
-    // Refresh (or replace the victim of a fingerprint collision).
+    // Refresh, or replace the victim of a fingerprint collision — the
+    // latter displaces a live entry for a different job, which is an
+    // eviction as far as the accounting is concerned.
+    if (!it->second->job.equivalent(job)) ++s.evictions;
     it->second->job = job;
     it->second->result = std::move(result);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  if (s.lru.size() >= per_shard_capacity_) {
+  if (s.lru.size() >= s.capacity) {
     s.index.erase(s.lru.back().job.fingerprint);
     s.lru.pop_back();
     ++s.evictions;

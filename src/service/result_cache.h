@@ -32,8 +32,11 @@ struct CachedResult {
 
 class ResultCache {
  public:
-  /// `capacity` entries in total, split evenly over `num_shards` shards
-  /// (each shard holds at least one entry).  When `metrics` is given the
+  /// `capacity` entries in total (clamped to >= 1), split over
+  /// `num_shards` shards so the per-shard quotas sum to exactly
+  /// `capacity` — capacity() never reports more than was requested.
+  /// Shards in excess of the capacity are not created (each live shard
+  /// holds at least one entry).  When `metrics` is given the
   /// cache keeps per-shard heat counters (cache/shard<i>_hits,
   /// cache/shard<i>_ops) and a cache/lock_wait histogram of shard-mutex
   /// acquisition latency in it — the contention evidence for the scaling
@@ -50,7 +53,11 @@ class ResultCache {
   std::optional<CachedResult> lookup(const CanonicalJob& job);
 
   /// Memoise `result`; evicts the shard's least-recently-used entry when
-  /// the shard is full.  Re-inserting an existing key refreshes it.
+  /// the shard is full.  Re-inserting an existing key refreshes it; a
+  /// fingerprint collision replaces the older entry and counts as an
+  /// eviction (an entry was lost to make room, exactly like an LRU
+  /// eviction — stats().evictions == entries displaced, so
+  /// inserts - drops - refreshes - evictions == entries).
   /// Best-effort: an insert may be dropped (fault point "cache/insert")
   /// — the cache is a memo, never the source of truth.
   void insert(const CanonicalJob& job, CachedResult result);
@@ -66,7 +73,7 @@ class ResultCache {
   Stats stats() const;
 
   size_t size() const;
-  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t capacity() const { return capacity_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
@@ -76,6 +83,7 @@ class ResultCache {
   };
   struct Shard {
     std::mutex mu;
+    size_t capacity = 1;   ///< this shard's slice of the total
     std::list<Entry> lru;  ///< front = most recently used
     std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
     long hits = 0;
@@ -97,7 +105,7 @@ class ResultCache {
   std::unique_lock<std::mutex> lock_shard(Shard& s);
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  size_t per_shard_capacity_;
+  size_t capacity_;
   obs::Histogram* lock_wait_ns_ = nullptr;
 };
 

@@ -72,8 +72,8 @@ TEST(Frame, OversizedHeaderPoisonsBeforeBuffering) {
   EXPECT_TRUE(r.error());
   EXPECT_EQ(r.oversized_length(), 1000u);
   // The guard fired on the 4 header bytes; the kilobyte body was never
-  // copied into the partial-frame buffer.
-  EXPECT_LE(r.buffered_bytes(), kFrameHeaderBytes);
+  // copied, and the partial-frame buffer is released on poisoning.
+  EXPECT_EQ(r.buffered_bytes(), 0u);
   // Sticky: further feeds are rejected too.
   EXPECT_FALSE(r.feed("\0\0\0\1a", 5));
   EXPECT_FALSE(r.next());
@@ -89,6 +89,21 @@ TEST(Frame, OversizeDetectedFromPartialHeader) {
   EXPECT_TRUE(r.feed(f.data() + 2, 1));
   EXPECT_FALSE(r.feed(f.data() + 3, 1));
   EXPECT_TRUE(r.error());
+}
+
+TEST(Frame, PoisonReleasesThePartialBuffer) {
+  // A poisoned reader lives until its connection is torn down; it must
+  // not pin the dribbled-in header bytes (or anything else) meanwhile.
+  FrameReader r(16);
+  std::string f = encode_frame(std::string(100, 'z'));
+  ASSERT_TRUE(r.feed(f.data(), 3));
+  EXPECT_EQ(r.buffered_bytes(), 3u);
+  EXPECT_FALSE(r.feed(f.data() + 3, f.size() - 3));
+  EXPECT_TRUE(r.error());
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+  // Still poisoned and still empty after another feed attempt.
+  EXPECT_FALSE(r.feed("abcd", 4));
+  EXPECT_EQ(r.buffered_bytes(), 0u);
 }
 
 TEST(Frame, EncodeRejectsAbsurdPayload) {

@@ -94,6 +94,56 @@ TEST(Cnf, AtLeastKAllEncodings) {
   }
 }
 
+TEST(Cnf, TotalizerForcesOutputsUpToTheTrueCount) {
+  // Counting direction only: o[j] must be forced whenever >= j+1 inputs
+  // are true, and nothing may force any o[j] on its own (the formula
+  // with inputs pinned is always satisfiable, even with all outputs
+  // negated above the count).
+  for (int n = 1; n <= 6; ++n) {
+    Cnf cnf;
+    std::vector<int> lits;
+    for (int i = 0; i < n; ++i) lits.push_back(cnf.new_var());
+    std::vector<int> out = add_totalizer(cnf, lits);
+    ASSERT_EQ(out.size(), static_cast<size_t>(n));
+    ASSERT_EQ(cnf.validate(), "");
+    for (unsigned a = 0; a < (1u << n); ++a) {
+      int trues = __builtin_popcount(a);
+      Cnf work = cnf;
+      for (int i = 0; i < n; ++i)
+        work.add_clause({(a >> i) & 1u ? lits[size_t(i)] : -lits[size_t(i)]});
+      // Negating every output above the count must stay satisfiable...
+      for (int j = trues; j < n; ++j) work.add_clause({-out[size_t(j)]});
+      Solver solver(work);
+      ASSERT_EQ(solver.solve(), SolveStatus::kSat)
+          << "n=" << n << " assignment=" << a;
+      // ...and every output below it must come out forced true.
+      for (int j = 0; j < trues; ++j)
+        EXPECT_TRUE(solver.model_value(out[size_t(j)]))
+            << "n=" << n << " assignment=" << a << " output " << j;
+    }
+  }
+}
+
+TEST(Cnf, TotalizerAssumptionCapsTheCount) {
+  // The incremental-sweep contract: one totalizer, every bound.  For
+  // each cap c, adding the single unit -o[c] must make the formula
+  // satisfiable exactly for the assignments with <= c true inputs.
+  constexpr int kN = 5;
+  Cnf cnf;
+  std::vector<int> lits;
+  for (int i = 0; i < kN; ++i) lits.push_back(cnf.new_var());
+  std::vector<int> out = add_totalizer(cnf, lits);
+  for (int cap = 0; cap < kN; ++cap) {
+    Cnf bounded = cnf;
+    bounded.add_clause({-out[size_t(cap)]});
+    for (unsigned a = 0; a < (1u << kN); ++a) {
+      int trues = __builtin_popcount(a);
+      EXPECT_EQ(solvable_with(bounded, kN, a), trues <= cap)
+          << "cap=" << cap << " assignment=" << a;
+    }
+  }
+}
+
 TEST(Cnf, ParseCardEncodingRoundTrip) {
   for (CardEncoding e : kAll)
     EXPECT_EQ(parse_card_encoding(card_encoding_name(e)), e);

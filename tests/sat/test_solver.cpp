@@ -135,6 +135,110 @@ TEST(Solver, DeterministicAcrossRuns) {
   EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
 }
 
+TEST(Solver, AssumptionsRestrictOnlyThatCall) {
+  Cnf cnf;
+  int a = cnf.new_var(), b = cnf.new_var();
+  cnf.add_clause({a, b});
+  cnf.add_clause({-a, b});
+  Solver s(cnf);
+  // b = false forces both a and -a: unsat *under the assumption* only.
+  EXPECT_EQ(s.solve({-b}), SolveStatus::kUnsat);
+  // The assumption was never a clause: the same solver is SAT again.
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(Solver, ModelsIncludeTheAssumptions) {
+  Cnf cnf = pigeonhole(4, 4);
+  Solver s(cnf);
+  ASSERT_EQ(s.solve({3}), SolveStatus::kSat);
+  EXPECT_TRUE(s.model_value(3));
+  ASSERT_EQ(s.solve({-3}), SolveStatus::kSat);
+  EXPECT_FALSE(s.model_value(3));
+}
+
+TEST(Solver, RejectsOutOfRangeAssumption) {
+  Cnf cnf;
+  cnf.new_var();
+  cnf.add_clause({1});
+  Solver s(cnf);
+  EXPECT_THROW(s.solve({2}), std::invalid_argument);
+  EXPECT_THROW(s.solve({0}), std::invalid_argument);
+}
+
+TEST(Solver, ConflictBudgetIsPerCallAndLearningPersists) {
+  // The incremental sweep's contract: every solve() call gets the full
+  // budget, and whatever earlier calls learned stays.  A budget far too
+  // small for one-shot refutation must still converge over repeated
+  // calls on the same solver.
+  SolverOptions opt;
+  opt.max_conflicts = 60;
+  Solver s(pigeonhole(6, 5), opt);
+  int calls = 0;
+  SolveStatus st = SolveStatus::kUnknown;
+  while (st == SolveStatus::kUnknown && calls < 400) {
+    st = s.solve();
+    ++calls;
+  }
+  EXPECT_EQ(st, SolveStatus::kUnsat);
+  EXPECT_GT(calls, 1) << "instance refuted within one budget";
+  // Total conflicts exceed a single allowance: later calls demonstrably
+  // got a fresh budget instead of inheriting an exhausted one.
+  EXPECT_GT(s.stats().conflicts, opt.max_conflicts);
+}
+
+TEST(Solver, GrowsIncrementally) {
+  Cnf cnf;
+  int a = cnf.new_var(), b = cnf.new_var();
+  cnf.add_clause({a, b});
+  Solver s(cnf);
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  int c = s.add_var();
+  EXPECT_EQ(c, 3);
+  EXPECT_TRUE(s.add_clause({-a, c}));
+  EXPECT_TRUE(s.add_clause({-b, c}));
+  ASSERT_EQ(s.solve(), SolveStatus::kSat);
+  EXPECT_TRUE(s.model_value(c)) << "a|b plus the implications force c";
+  // The unit -c propagates to a root conflict with everything above.
+  EXPECT_FALSE(s.add_clause({-c}));
+  EXPECT_EQ(s.solve(), SolveStatus::kUnsat);
+}
+
+TEST(Solver, LearnedDbReductionKeepsSoundnessAndDeterminism) {
+  // Drive the solver past the first reduce_db() threshold (4000 live
+  // learned clauses) and check the verdict is still sound and the whole
+  // trajectory — including the reductions — replays identically.
+  SolverOptions opt;
+  opt.max_conflicts = 12'000;
+  Cnf cnf = pigeonhole(9, 8);
+  Solver a(cnf, opt), b(cnf, opt);
+  SolveStatus sa = a.solve(), sb = b.solve();
+  EXPECT_NE(sa, SolveStatus::kSat) << "PHP(9,8) is unsatisfiable";
+  EXPECT_GE(a.stats().db_reductions, 1)
+      << "budget never reached the reduction threshold; raise it";
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+  EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+  EXPECT_EQ(a.stats().db_reductions, b.stats().db_reductions);
+}
+
+TEST(Solver, ReductionUnderAssumptionSweepStaysExact) {
+  // Mimic the sat backend's descending sweep on a formula small enough
+  // to answer by inspection: force many reductions (tiny budget spread
+  // over many calls is not enough — use the conflict-heavy PHP core) and
+  // then check easy queries on the same solver still answer exactly.
+  SolverOptions opt;
+  opt.max_conflicts = 12'000;
+  Solver s(pigeonhole(9, 8), opt);
+  (void)s.solve();  // burn through reductions
+  ASSERT_GE(s.stats().db_reductions, 1);
+  // The pigeon-0 clause under "pigeon 0 nowhere" is immediately unsat —
+  // an exact answer the reduced clause database must still deliver.
+  std::vector<int> no_holes;
+  for (int h = 1; h <= 8; ++h) no_holes.push_back(-h);
+  EXPECT_EQ(s.solve(no_holes), SolveStatus::kUnsat);
+}
+
 TEST(Solver, ResolveAfterSatIsIdempotent) {
   Cnf cnf = pigeonhole(5, 5);
   Solver s(cnf);

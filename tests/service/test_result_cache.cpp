@@ -131,6 +131,63 @@ TEST(ResultCacheTest, ShardsSplitCapacity) {
   EXPECT_LE(cache.size(), 8u);
 }
 
+TEST(ResultCacheTest, CapacityNeverExceedsTheRequest) {
+  // Regression: the old per-shard rounding (ceil(capacity / shards))
+  // inflated ResultCache(10, 8) to 16 slots.  The quotas must now sum to
+  // exactly what was asked for.
+  EXPECT_EQ(ResultCache(10, 8).capacity(), 10u);
+  EXPECT_EQ(ResultCache(7, 3).capacity(), 7u);
+  EXPECT_EQ(ResultCache(1, 8).capacity(), 1u);
+  // Surplus shards are not created: each live shard holds >= 1 entry.
+  EXPECT_LE(ResultCache(3, 8).num_shards(), 3);
+
+  // And the bound is enforced, not just reported: flood a 10-slot cache
+  // with 40 distinct jobs.
+  ResultCache cache(10, 8);
+  for (int i = 0; i < 40; ++i)
+    cache.insert(canonicalize(make_job({{i % 7, (i % 7) + 1}}, 64, i + 1)),
+                 make_result(i));
+  EXPECT_LE(cache.size(), 10u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(ResultCacheTest, EvictionAccountingBalances) {
+  // Single shard, capacity 4: inserting k distinct jobs must report
+  // exactly k - 4 evictions, and the books must balance —
+  // new inserts - evictions == entries (no drops, no refreshes here).
+  ResultCache cache(4, 1);
+  constexpr int kJobs = 11;
+  for (int i = 0; i < kJobs; ++i)
+    cache.insert(canonicalize(make_job({{i % 7, (i % 7) + 1}}, 32, i + 1)),
+                 make_result(i));
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 4u);
+  EXPECT_EQ(s.evictions, kJobs - 4);
+  EXPECT_EQ(s.insert_drops, 0);
+  EXPECT_EQ(kJobs - s.evictions - s.insert_drops,
+            static_cast<long>(s.entries));
+}
+
+TEST(ResultCacheTest, CollisionReplacementCountsAsEviction) {
+  // A colliding insert displaces a live entry exactly like an LRU
+  // eviction does; it must be counted as one or the accounting identity
+  // (inserts - drops - refreshes - evictions == entries) breaks.
+  ResultCache cache(8, 1);
+  CanonicalJob a = canonicalize(make_job({{0, 1, 2}}));
+  CanonicalJob forged = canonicalize(make_job({{4, 5}}));
+  forged.fingerprint = a.fingerprint;
+  cache.insert(a, make_result(3));
+  EXPECT_EQ(cache.stats().evictions, 0);
+  cache.insert(forged, make_result(9));  // displaces a without LRU pressure
+  ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 1);
+  // Re-inserting the surviving key is a refresh, not an eviction.
+  cache.insert(forged, make_result(9));
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
 
 // ---- concurrency: mixed hit/miss/evict traffic on a tiny cache --------
 
