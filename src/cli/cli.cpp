@@ -74,7 +74,8 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                       "--retry-after-ms", "--deadline-ms",
                                       "--retries", "--timeout-ms",
                                       "--backend", "--card", "--distinct",
-                                      "--sweep", "--sat-conflicts"};
+                                      "--sweep", "--sat-conflicts",
+                                      "--cache-dir", "--snapshot-interval"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -646,8 +647,32 @@ std::optional<ServiceArgs> parse_service_args(const ParsedArgs& a,
     s.bits = *v;
   }
   s.self_check = a.options.count("--self-check") != 0;
+  if (a.options.count("--cache-dir"))
+    s.service.cache_dir = a.options.at("--cache-dir");
+  if (a.options.count("--snapshot-interval")) {
+    auto v = parse_int(a.options.at("--snapshot-interval"));
+    if (!v) { err << "bad --snapshot-interval value\n"; return std::nullopt; }
+    s.service.snapshot_interval_s = *v;
+    if (s.service.cache_dir.empty()) {
+      err << "--snapshot-interval needs --cache-dir\n";
+      return std::nullopt;
+    }
+  }
   if (!parse_portfolio_args(a, &s.portfolio, err)) return std::nullopt;
   return s;
+}
+
+/// Construct the service, surfacing a recovery refusal (--cache-dir
+/// pointing at a corrupt store throws from the constructor) as an error
+/// message + nullptr instead of an escaped exception.
+std::unique_ptr<EncodingService> make_service(const ServiceOptions& o,
+                                              std::ostream& err) {
+  try {
+    return std::make_unique<EncodingService>(o);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return nullptr;
+  }
 }
 
 /// The deterministic per-file summary (identical for every --jobs value):
@@ -703,7 +728,9 @@ int cmd_batch(const ParsedArgs& a, std::ostream& out, std::ostream& err) {
   }
 
   ObsSession obs_session(a);
-  EncodingService service(sa->service);
+  std::unique_ptr<EncodingService> service_ptr = make_service(sa->service, err);
+  if (!service_ptr) return 1;
+  EncodingService& service = *service_ptr;
   Stopwatch sw;
   for (Item& item : items) {
     if (!item.problem) continue;
@@ -1079,7 +1106,9 @@ int cmd_serve(const ParsedArgs& a, std::istream& in, std::ostream& out,
   if (!sa) return 2;
   if (a.options.count("--tcp")) return cmd_serve_tcp(a, *sa, out, err);
   ObsSession obs_session(a);
-  EncodingService service(sa->service);
+  std::unique_ptr<EncodingService> service_ptr = make_service(sa->service, err);
+  if (!service_ptr) return 1;
+  EncodingService& service = *service_ptr;
 
   std::string line;
   while (std::getline(in, line)) {

@@ -57,6 +57,7 @@ const char* kind_name(Kind k) {
     case Kind::kDelay: return "delay";
     case Kind::kThrow: return "throw";
     case Kind::kFail: return "fail";
+    case Kind::kCrash: return "crash";
   }
   return "?";
 }
@@ -122,6 +123,8 @@ std::string FaultPlan::describe() const {
     if (r.action.kind == Kind::kShortIo)
       os << "(" << r.action.max_bytes << "B)";
     if (r.action.kind == Kind::kDelay) os << "(" << r.action.delay_ms << "ms)";
+    if (r.action.kind == Kind::kCrash && r.action.max_bytes > 0)
+      os << "(after " << r.action.max_bytes << "B)";
     os << " after=" << r.after_calls << " every=" << r.every;
     if (r.probability < 1.0)
       os << " p=" << r.probability;
@@ -205,6 +208,59 @@ FaultPlan FaultPlan::random(uint64_t seed) {
     r.after_calls = next() % 40;
     r.every = 1 + next() % 6;
     r.max_fires = 1 + next() % 6;
+    plan.add(std::move(r));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_persist(uint64_t seed) {
+  /// Every point the persist/io.h shim consults, with the failures its
+  /// call sites must survive.  kCrash entries simulate kill -9 at that
+  /// exact syscall; a max_bytes > 0 crash on persist/write first lands a
+  /// partial write, manufacturing the torn tail records recovery must
+  /// tolerate.  See docs/PERSISTENCE.md for the recovery matrix.
+  struct CatalogEntry {
+    const char* point;
+    std::vector<Action> menu;
+  };
+  static const std::vector<CatalogEntry> kCatalog = {
+      {"persist/open", {{Kind::kErrno, EMFILE, 0, 0}}},
+      {"persist/read",
+       {{Kind::kErrno, EINTR, 0, 0}, {Kind::kShortIo, 0, 1, 0}}},
+      {"persist/write",
+       {{Kind::kErrno, EINTR, 0, 0},
+        {Kind::kErrno, ENOSPC, 0, 0},
+        {Kind::kErrno, EIO, 0, 0},
+        {Kind::kShortIo, 0, 1, 0},
+        {Kind::kCrash, 0, 0, 0},
+        {Kind::kCrash, 0, 1, 0}}},  // torn record: 1..7B then _exit
+      {"persist/fsync",
+       {{Kind::kErrno, EIO, 0, 0}, {Kind::kCrash, 0, 0, 0}}},
+      {"persist/rename",
+       {{Kind::kErrno, EIO, 0, 0}, {Kind::kCrash, 0, 0, 0}}},
+      {"persist/rename_after", {{Kind::kCrash, 0, 0, 0}}},
+      {"persist/truncate", {{Kind::kErrno, EIO, 0, 0}}},
+  };
+
+  FaultPlan plan(seed);
+  uint64_t s = splitmix64(seed ^ 0x9E7515);
+  auto next = [&s]() { return s = splitmix64(s); };
+  int nrules = 1 + static_cast<int>(next() % 4);
+  for (int i = 0; i < nrules; ++i) {
+    const CatalogEntry& e = kCatalog[next() % kCatalog.size()];
+    Rule r;
+    r.point = e.point;
+    r.action = e.menu[next() % e.menu.size()];
+    if (r.action.kind == Kind::kShortIo)
+      r.action.max_bytes = 1 + next() % 7;
+    if (r.action.kind == Kind::kCrash && r.action.max_bytes > 0)
+      r.action.max_bytes = 1 + next() % 7;
+    // Wider spread than random(): the write point is consulted once per
+    // journal append and dozens of times per snapshot, so a large
+    // after_calls still lands mid-protocol.
+    r.after_calls = next() % 60;
+    r.every = 1 + next() % 6;
+    r.max_fires = 1 + next() % 4;
     plan.add(std::move(r));
   }
   return plan;

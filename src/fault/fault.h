@@ -37,6 +37,9 @@ enum class Kind : uint8_t {
   kDelay,    ///< sleep `delay_ms`, then proceed (slow peer / slow task)
   kThrow,    ///< site throws (task failure, allocation failure)
   kFail,     ///< site silently degrades (e.g. a cache insert is dropped)
+  kCrash,    ///< process _exit(137)s at the site — a kill -9 stand-in.
+             ///< With max_bytes > 0 a write site first writes that many
+             ///< bytes, so the crash leaves a torn record behind.
 };
 
 const char* kind_name(Kind k);
@@ -83,6 +86,14 @@ class FaultPlan {
   /// max_fires — so injected trouble is always finite and a retrying
   /// client must eventually succeed.  Same seed, same plan, always.
   static FaultPlan random(uint64_t seed);
+
+  /// Like random(), but over the persist/* point catalog (durable cache
+  /// I/O: short writes, EINTR, ENOSPC, fsync failure, and kCrash at
+  /// every stage of the snapshot/journal protocol).  Kept out of
+  /// random()'s catalog because a kCrash rule ends the process — only
+  /// harnesses that fork a sacrificial child (picola_chaos --restart)
+  /// want these schedules.  Same seed, same plan, always.
+  static FaultPlan random_persist(uint64_t seed);
 
   /// The decision for `point`'s next call (thread-safe; bumps the
   /// per-point call counter, and the fire counter when it fires).

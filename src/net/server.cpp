@@ -312,6 +312,12 @@ struct Server::Impl {
       sweep_idle(now);
       process_deferred_closes();
       process_admin_closes();
+      // Periodic cache durability: a no-op unless a snapshot interval
+      // elapsed with changes (persist/store.h).  Normally finish_job
+      // snapshots on the worker that completed a job; this sweep covers
+      // the traffic-went-quiet case so the last inserts still reach the
+      // snapshot without waiting for shutdown.
+      service_.maybe_snapshot();
       check_drain_done(now);
     }
   }
@@ -326,6 +332,13 @@ struct Server::Impl {
     }
     if (draining_)
       next = std::min<uint64_t>(next, obs::now_ns() + 100'000'000ULL);
+    // With persistence on, wake at least once per snapshot interval so
+    // the idle-sweep snapshot above actually runs on an idle server.
+    if (service_.store() && opt_.service.snapshot_interval_s > 0)
+      next = std::min<uint64_t>(
+          next, obs::now_ns() +
+                    static_cast<uint64_t>(opt_.service.snapshot_interval_s) *
+                        1'000'000'000ULL);
     if (next == UINT64_MAX) return -1;
     uint64_t now = obs::now_ns();
     if (next <= now) return 0;
@@ -532,6 +545,23 @@ struct Server::Impl {
          std::to_string(sm.counter_value("service/backend_sat")) +
          ",\"anneal\":" +
          std::to_string(sm.counter_value("service/backend_anneal")) + "},";
+    if (const persist::CacheStore* store = service_.store()) {
+      const persist::LoadStats& ls = store->load_stats();
+      j += "\"persist\":{\"dir\":" +
+           JsonValue::make_string(store->dir()).dump() +
+           ",\"epoch\":" + std::to_string(store->epoch()) +
+           ",\"snapshots\":" + std::to_string(store->snapshots_taken()) +
+           ",\"snapshot_age_seconds\":" +
+           std::to_string(static_cast<int64_t>(store->snapshot_age_s())) +
+           ",\"journal_bytes\":" + std::to_string(store->journal_bytes()) +
+           ",\"records_loaded\":" + std::to_string(ls.snapshot_records) +
+           ",\"journal_replayed\":" +
+           std::to_string(ls.journal_inserts + ls.journal_evicts) +
+           ",\"torn_tail_recovered\":" +
+           (ls.torn_tail ? std::string("true") : std::string("false")) +
+           ",\"recovery\":\"" +
+           persist::recovery_outcome_name(ls.outcome) + "\"},";
+    }
     j += "\"service\":" + service_stats_json(service_.stats()) + "}";
     return j;
   }

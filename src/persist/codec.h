@@ -1,0 +1,84 @@
+#pragma once
+// Binary serialisation for the durable cache (persist/store.h): a
+// little-endian fixed-width Writer/Reader pair, CRC32C (Castagnoli,
+// software table — the polynomial every storage format uses), and the
+// record codec for one cache entry (CanonicalJob + CachedResult).
+//
+// A record carries the FULL canonical job — constraint set, every
+// fingerprinted PicolaOptions/PortfolioOptions field, restart count —
+// next to the result, so the collision-safe deep comparison the
+// in-memory cache does on lookup (job.equivalent) keeps working across
+// a restart.  decode_record() re-canonicalises the decoded job and
+// rejects the record if the recomputed fingerprint disagrees with the
+// stored one: a record that passes CRC but decodes to a job that hashes
+// differently is format drift, and serving it would poison the cache.
+//
+// Format stability: bump persist::kFormatVersion (store.h) whenever the
+// field list here changes; load hard-fails on any other version.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/result_cache.h"
+
+namespace picola::persist {
+
+/// CRC32C (iSCSI/Castagnoli polynomial 0x1EDC6F41, reflected), seedable
+/// for incremental use: crc32c(b, crc32c(a)) == crc32c(a + b).
+uint32_t crc32c(std::string_view data, uint32_t crc = 0);
+
+/// Little-endian append-only byte sink.
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void f64(double v);                 // IEEE-754 bit pattern
+  void bytes(std::string_view data);  // raw, no length prefix
+
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader.  Every getter returns false once
+/// the buffer under-runs, and fail() latches — callers may decode a
+/// whole struct and check once at the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u8(uint8_t* v);
+  bool u32(uint32_t* v);
+  bool u64(uint64_t* v);
+  bool i32(int32_t* v);
+  bool i64(int64_t* v);
+  bool f64(double* v);
+
+  bool failed() const { return failed_; }
+  /// True when every byte was consumed (trailing garbage = corrupt).
+  bool done() const { return !failed_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(size_t n, const char** p);
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Serialise one cache entry.
+std::string encode_record(const CanonicalJob& job, const CachedResult& result);
+
+/// Decode one cache entry; false + *err on any structural problem,
+/// including a fingerprint that fails re-canonicalisation (see top
+/// comment).  The caller has already CRC-checked the payload.
+bool decode_record(std::string_view payload, CanonicalJob* job,
+                   CachedResult* result, std::string* err);
+
+}  // namespace picola::persist

@@ -1,0 +1,237 @@
+#include "persist/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "fault/fault.h"
+
+namespace picola::persist::io {
+
+namespace {
+
+void set_err(std::string* err, const char* what, const std::string& detail) {
+  if (err) *err = std::string(what) + ": " + detail;
+}
+
+void set_errno_err(std::string* err, const char* what, int e) {
+  set_err(err, what, std::strerror(e));
+}
+
+/// Handle the non-I/O outcomes of a consulted action: sleep for kDelay,
+/// die for a plain kCrash.  Returns the action for the caller to apply
+/// kErrno/kShortIo/payload-bearing kCrash semantics.
+fault::Action consult(const char* point) {
+  fault::Action a = PICOLA_FAULT_POINT(point);
+  fault::apply_delay(a);
+  if (a.kind == fault::Kind::kCrash && a.max_bytes == 0) ::_exit(137);
+  return a;
+}
+
+}  // namespace
+
+File& File::operator=(File&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void File::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+namespace {
+
+File open_with(const std::string& path, int flags, mode_t mode,
+               std::string* err) {
+  fault::Action a = consult("persist/open");
+  if (a.kind == fault::Kind::kErrno) {
+    set_errno_err(err, path.c_str(), a.error);
+    return File();
+  }
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    set_errno_err(err, path.c_str(), errno);
+    return File();
+  }
+  return File(fd);
+}
+
+}  // namespace
+
+File open_read(const std::string& path, std::string* err) {
+  return open_with(path, O_RDONLY, 0, err);
+}
+
+File create_trunc(const std::string& path, std::string* err) {
+  return open_with(path, O_WRONLY | O_CREAT | O_TRUNC, 0644, err);
+}
+
+File open_append(const std::string& path, std::string* err) {
+  return open_with(path, O_WRONLY | O_CREAT | O_APPEND, 0644, err);
+}
+
+bool write_all(File& f, const void* data, size_t n, std::string* err) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    size_t chunk = n;
+    fault::Action a = consult("persist/write");
+    if (a.kind == fault::Kind::kErrno) {
+      if (a.error == EINTR) continue;  // retried exactly like a real EINTR
+      set_errno_err(err, "write", a.error);
+      return false;
+    }
+    if (a.kind == fault::Kind::kCrash) {
+      // Torn-record crash: land the first max_bytes of this chunk (best
+      // effort), then die as if kill -9'd mid-append.
+      (void)!::write(f.fd(), p, std::min(chunk, a.max_bytes));
+      ::_exit(137);
+    }
+    if (a.kind == fault::Kind::kShortIo && a.max_bytes > 0)
+      chunk = std::min(chunk, a.max_bytes);
+    ssize_t w = ::write(f.fd(), p, chunk);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      set_errno_err(err, "write", errno);
+      return false;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(File& f, std::string* out, std::string* err) {
+  char buf[1 << 16];
+  for (;;) {
+    size_t want = sizeof(buf);
+    fault::Action a = consult("persist/read");
+    if (a.kind == fault::Kind::kErrno) {
+      if (a.error == EINTR) continue;
+      set_errno_err(err, "read", a.error);
+      return false;
+    }
+    if (a.kind == fault::Kind::kShortIo && a.max_bytes > 0)
+      want = std::min(want, a.max_bytes);
+    ssize_t r = ::read(f.fd(), buf, want);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      set_errno_err(err, "read", errno);
+      return false;
+    }
+    if (r == 0) return true;
+    out->append(buf, static_cast<size_t>(r));
+  }
+}
+
+bool fsync_file(File& f, std::string* err) {
+  fault::Action a = consult("persist/fsync");
+  if (a.kind == fault::Kind::kErrno) {
+    set_errno_err(err, "fsync", a.error);
+    return false;
+  }
+  if (::fsync(f.fd()) != 0) {
+    set_errno_err(err, "fsync", errno);
+    return false;
+  }
+  return true;
+}
+
+bool truncate_file(File& f, uint64_t len, std::string* err) {
+  fault::Action a = consult("persist/truncate");
+  if (a.kind == fault::Kind::kErrno) {
+    set_errno_err(err, "ftruncate", a.error);
+    return false;
+  }
+  if (::ftruncate(f.fd(), static_cast<off_t>(len)) != 0) {
+    set_errno_err(err, "ftruncate", errno);
+    return false;
+  }
+  return true;
+}
+
+bool rename_file(const std::string& from, const std::string& to,
+                 std::string* err) {
+  fault::Action a = consult("persist/rename");
+  if (a.kind == fault::Kind::kErrno) {
+    set_errno_err(err, "rename", a.error);
+    return false;
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    set_errno_err(err, "rename", errno);
+    return false;
+  }
+  consult("persist/rename_after");  // crash-after-rename injection site
+  return true;
+}
+
+bool fsync_dir(const std::string& dir, std::string* err) {
+  File f = open_with(dir, O_RDONLY | O_DIRECTORY, 0, err);
+  if (!f.valid()) return false;
+  return fsync_file(f, err);
+}
+
+bool unlink_file(const std::string& path, std::string* err) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    set_errno_err(err, "unlink", errno);
+    return false;
+  }
+  return true;
+}
+
+bool ensure_dir(const std::string& path, std::string* err) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return true;
+    set_err(err, path.c_str(), "exists but is not a directory");
+    return false;
+  }
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    set_errno_err(err, path.c_str(), errno);
+    return false;
+  }
+  return true;
+}
+
+bool exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+int64_t file_size(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_size);
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return names;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode))
+      names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace picola::persist::io

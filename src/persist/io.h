@@ -1,0 +1,111 @@
+#pragma once
+// The injectable seam between src/persist and the filesystem — the
+// durable-storage counterpart of net/sys.h.  Every open/read/write/
+// fsync/rename/ftruncate/unlink the snapshot + journal engine performs
+// goes through these wrappers, which consult a fault point
+// (fault/fault.h) before touching the syscall:
+//
+//   kErrno    — fail with the injected errno, syscall not performed
+//               (EINTR, ENOSPC, EIO, EMFILE...)
+//   kShortIo  — clamp the byte count, then perform the real syscall
+//               (partial writes / short reads; write_all keeps going)
+//   kDelay    — sleep, then perform the real syscall (slow disk)
+//   kCrash    — _exit(137) at the site, a kill -9 stand-in.  On
+//               write_all with max_bytes > 0 the first max_bytes land
+//               before the exit, manufacturing a torn record.
+//
+// With no plan installed each wrapper is the raw syscall plus one
+// relaxed atomic load; under -DPICOLA_FAULT_DISABLED even that load is
+// compiled out.  NOT async-signal-safe (consulting a plan takes a
+// mutex).
+//
+// Fault points: persist/open, persist/read, persist/write,
+// persist/fsync, persist/rename (consulted before the rename),
+// persist/rename_after (after it succeeded — crash-after-rename),
+// persist/truncate.  Catalog + recovery matrix: docs/PERSISTENCE.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace picola::persist::io {
+
+/// RAII file descriptor.  Close errors are swallowed — by the time a
+/// File dies every durability-relevant flush has been fsync'd (or the
+/// caller already treats the file as broken).
+class File {
+ public:
+  File() = default;
+  explicit File(int fd) : fd_(fd) {}
+  ~File() { close(); }
+  File(File&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  File& operator=(File&& o) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Open `path` read-only.  Fault "persist/open".  Returns an invalid
+/// File and sets *err on failure (ENOENT included — callers that treat
+/// absence as normal check exists() first).
+File open_read(const std::string& path, std::string* err);
+
+/// Create/truncate `path` for writing.  Fault "persist/open".
+File create_trunc(const std::string& path, std::string* err);
+
+/// Open `path` for appending, creating it if absent.  Fault
+/// "persist/open".
+File open_append(const std::string& path, std::string* err);
+
+/// Write all n bytes, retrying EINTR and continuing after short writes.
+/// Consults fault "persist/write" once per underlying syscall; a kCrash
+/// action _exit(137)s (after landing max_bytes bytes of this chunk when
+/// max_bytes > 0).  False + *err on unrecoverable errno (ENOSPC, EIO).
+bool write_all(File& f, const void* data, size_t n, std::string* err);
+
+/// Read the whole remainder of `f` into *out (appending).  Consults
+/// fault "persist/read" per syscall; EINTR retried, short reads
+/// continued.  False + *err on read error.
+bool read_all(File& f, std::string* out, std::string* err);
+
+/// fsync(2).  Fault "persist/fsync" (kErrno EIO models a dying disk,
+/// kCrash a power cut at the barrier).
+bool fsync_file(File& f, std::string* err);
+
+/// ftruncate(2) to `len`.  Fault "persist/truncate".
+bool truncate_file(File& f, uint64_t len, std::string* err);
+
+/// rename(2).  Fault "persist/rename" fires before the syscall (crash =
+/// old name survives); fault "persist/rename_after" fires after it
+/// succeeded (crash = new name already durable in the dirent cache).
+bool rename_file(const std::string& from, const std::string& to,
+                 std::string* err);
+
+/// Open `dir` and fsync it — makes a rename/unlink in it durable.
+/// Faults "persist/open" + "persist/fsync".
+bool fsync_dir(const std::string& dir, std::string* err);
+
+/// unlink(2); ENOENT is success.  No fault point — pruning stale
+/// journals is advisory (a survivor is re-pruned after the next
+/// snapshot) and an injected error here would only test the logger.
+bool unlink_file(const std::string& path, std::string* err);
+
+/// mkdir(2) if missing (single level).  False + *err when the path
+/// can't be created or isn't a directory.
+bool ensure_dir(const std::string& path, std::string* err);
+
+bool exists(const std::string& path);
+
+/// Size in bytes, or -1 when absent/unreadable.
+int64_t file_size(const std::string& path);
+
+/// Names (not paths) of regular files directly inside `dir`, sorted.
+std::vector<std::string> list_dir(const std::string& dir);
+
+}  // namespace picola::persist::io

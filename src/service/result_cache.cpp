@@ -84,19 +84,73 @@ void ResultCache::insert(const CanonicalJob& job, CachedResult result) {
     // Refresh, or replace the victim of a fingerprint collision — the
     // latter displaces a live entry for a different job, which is an
     // eviction as far as the accounting is concerned.
-    if (!it->second->job.equivalent(job)) ++s.evictions;
+    bool collision = !it->second->job.equivalent(job);
+    if (collision) ++s.evictions;
     it->second->job = job;
     it->second->result = std::move(result);
     s.lru.splice(s.lru.begin(), s.lru, it->second);
+    // A pure refresh changes recency only — nothing to journal.  A
+    // collision replaced the entry's contents: log it as evict + insert
+    // so replay converges to the same winner.
+    if (collision && listener_) {
+      listener_->on_evict(job.fingerprint);
+      listener_->on_insert(it->second->job, it->second->result);
+    }
     return;
   }
   if (s.lru.size() >= s.capacity) {
-    s.index.erase(s.lru.back().job.fingerprint);
+    uint64_t victim = s.lru.back().job.fingerprint;
+    s.index.erase(victim);
     s.lru.pop_back();
     ++s.evictions;
+    if (listener_) listener_->on_evict(victim);
   }
   s.lru.push_front(Entry{job, std::move(result)});
   s.index[job.fingerprint] = s.lru.begin();
+  if (listener_) listener_->on_insert(s.lru.front().job, s.lru.front().result);
+}
+
+void ResultCache::for_each(
+    const std::function<void(const CanonicalJob&, const CachedResult&)>& fn)
+    const {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const Entry& e : s->lru) fn(e.job, e.result);
+  }
+}
+
+void ResultCache::load_insert(const CanonicalJob& job, CachedResult result,
+                              bool most_recent) {
+  Shard& s = shard_of(job.fingerprint);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(job.fingerprint);
+  if (it != s.index.end()) {
+    it->second->job = job;
+    it->second->result = std::move(result);
+    if (most_recent) s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= s.capacity) {
+    if (!most_recent) return;  // tail insert into a full shard: a no-op
+    s.index.erase(s.lru.back().job.fingerprint);
+    s.lru.pop_back();
+  }
+  if (most_recent) {
+    s.lru.push_front(Entry{job, std::move(result)});
+    s.index[job.fingerprint] = s.lru.begin();
+  } else {
+    s.lru.push_back(Entry{job, std::move(result)});
+    s.index[job.fingerprint] = std::prev(s.lru.end());
+  }
+}
+
+void ResultCache::load_erase(uint64_t fingerprint) {
+  Shard& s = shard_of(fingerprint);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(fingerprint);
+  if (it == s.index.end()) return;
+  s.lru.erase(it->second);
+  s.index.erase(it);
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -10,6 +10,7 @@
 // treated as a miss — the colliding insert replaces the older entry.
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,26 @@ struct CachedResult {
 
 class ResultCache {
  public:
+  /// Observer of cache mutations, the journaling hook for the durable
+  /// store (persist/store.h).  Callbacks run UNDER the owning shard's
+  /// lock, so per-fingerprint event order is exact (an evict of fp never
+  /// races ahead of the insert that created it) — the property journal
+  /// replay depends on.  Implementations must be quick, must not call
+  /// back into the cache, and must take no lock that is ever held while
+  /// calling into the cache (lock order: shard mutex -> listener's).
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    /// A new entry landed (first insert, or a collision replacing the
+    /// previous holder of the fingerprint — preceded by on_evict then).
+    /// NOT called for pure refreshes of an equivalent entry: they change
+    /// recency, not contents, and journaling them would bloat the log.
+    virtual void on_insert(const CanonicalJob& job,
+                           const CachedResult& result) = 0;
+    /// An entry left the cache (LRU eviction or collision displacement).
+    virtual void on_evict(uint64_t fingerprint) = 0;
+  };
+
   /// `capacity` entries in total (clamped to >= 1), split over
   /// `num_shards` shards so the per-shard quotas sum to exactly
   /// `capacity` — capacity() never reports more than was requested.
@@ -72,6 +93,35 @@ class ResultCache {
   };
   Stats stats() const;
 
+  /// Attach a mutation listener (nullptr detaches).  Not synchronised
+  /// against in-flight operations: attach before concurrent use begins
+  /// (after a recovery load) and detach only once mutators are quiesced
+  /// (the service does both around its pool lifecycle).
+  void set_listener(Listener* listener) { listener_ = listener; }
+
+  /// Enumerate every entry shard by shard (index order), MRU -> LRU
+  /// within a shard, holding only that shard's lock at a time — the
+  /// snapshot export path.  `fn` must not call back into the cache.
+  /// Entries inserted behind the iteration are not guaranteed to appear;
+  /// the journal covers them (see persist/store.h).
+  void for_each(const std::function<void(const CanonicalJob&,
+                                         const CachedResult&)>& fn) const;
+
+  /// Recovery-path insert: no LRU promotion games, no fault point, no
+  /// listener callback, no hit/miss accounting.  `most_recent` picks the
+  /// end of the LRU list the entry lands on — false appends at the cold
+  /// tail (snapshot replay, which streams entries MRU-first, rebuilding
+  /// the order for_each exported), true inserts/refreshes at the hot
+  /// head (journal replay: later log entries are more recent).  Respects
+  /// shard capacity by evicting the cold tail.
+  void load_insert(const CanonicalJob& job, CachedResult result,
+                   bool most_recent);
+
+  /// Recovery-path erase (journal evict replay); no listener callback.
+  /// Unknown fingerprints are ignored (the entry may have been dropped
+  /// by capacity pressure during replay already).
+  void load_erase(uint64_t fingerprint);
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -107,6 +157,7 @@ class ResultCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t capacity_;
   obs::Histogram* lock_wait_ns_ = nullptr;
+  Listener* listener_ = nullptr;
 };
 
 }  // namespace picola

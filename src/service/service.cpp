@@ -74,12 +74,48 @@ EncodingService::EncodingService(const ServiceOptions& options)
       sat_solver_calls_(registry_.counter("sat/solver_calls")),
       uptime_seconds_(registry_.gauge("service/uptime_seconds")),
       cache_entries_(registry_.gauge("cache/entries")),
-      start_ns_(obs::now_ns()) {}
+      start_ns_(obs::now_ns()) {
+  if (!options.cache_dir.empty()) {
+    persist::StoreOptions so;
+    so.dir = options.cache_dir;
+    so.snapshot_interval_s = options.snapshot_interval_s;
+    store_ = std::make_unique<persist::CacheStore>(so, &registry_);
+    // Recover before any traffic; throws on corruption (a service must
+    // refuse to start on a cache dir it cannot trust).
+    store_->load(&cache_);
+    // Journal every mutation from here on.
+    cache_.set_listener(store_.get());
+  }
+}
 
 EncodingService::~EncodingService() {
   // Drain and join before any other member is destroyed: restart tasks
   // reference the cache and the service mutex.
   pool_.shutdown();
+  if (store_) {
+    // Workers are gone: detach the journal hook and write the shutdown
+    // snapshot, so a clean restart is fully warm regardless of interval.
+    cache_.set_listener(nullptr);
+    store_->snapshot(cache_);
+  }
+}
+
+void EncodingService::maybe_snapshot() {
+  if (!store_ || !store_->due()) return;
+  bool expected = false;
+  if (!snapshot_inflight_.compare_exchange_strong(expected, true)) return;
+  store_->snapshot(cache_);
+  snapshot_inflight_.store(false);
+}
+
+bool EncodingService::snapshot_now(std::string* error) {
+  if (!store_) return true;
+  bool expected = false;
+  if (!snapshot_inflight_.compare_exchange_strong(expected, true))
+    return true;  // a concurrent snapshot is already running
+  bool ok = store_->snapshot(cache_, error);
+  snapshot_inflight_.store(false);
+  return ok;
 }
 
 std::shared_future<JobResult> EncodingService::submit(Job job,
@@ -252,6 +288,7 @@ void EncodingService::finish_job(const std::shared_ptr<InFlight>& fly) {
       memo.total_cubes = out.total_cubes;
       memo.backend = out.backend;
       cache_.insert(fly->job, std::move(memo));
+      maybe_snapshot();  // periodic durability, on the completing worker
     }
   }
   // Bookkeeping strictly before fulfilling the promise: a client that has
@@ -298,6 +335,7 @@ void EncodingService::refresh_gauges() const {
   uint64_t up = now > start_ns_ ? now - start_ns_ : 0;
   uptime_seconds_.set(static_cast<int64_t>(up / 1'000'000'000ULL));
   cache_entries_.set(static_cast<int64_t>(cache_.size()));
+  if (store_) store_->refresh_gauges();
 }
 
 void EncodingService::wait_all() {

@@ -18,13 +18,16 @@
 // jobs with R restarts each becomes B*R pool tasks, no task ever blocks
 // on another, and there is no nested-wait deadlock by construction.
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "eval/metrics.h"
 #include "obs/metrics.h"
+#include "persist/store.h"
 #include "service/job.h"
 #include "service/result_cache.h"
 #include "service/thread_pool.h"
@@ -40,6 +43,16 @@ struct ServiceOptions {
   /// Bound on the pool's work queue (0 = unbounded); submitters block
   /// when it is full.
   size_t max_queue = 0;
+  /// Durable cache directory (persist/store.h).  Empty = persistence
+  /// off.  When set, construction recovers the cache from the dir
+  /// (throwing std::runtime_error if its contents fail verification),
+  /// every insert/eviction is journaled, and destruction writes a final
+  /// snapshot — a clean restart starts fully warm.
+  std::string cache_dir;
+  /// Seconds between periodic background snapshots: > 0 = at most one
+  /// per interval, 0 = after every change (test/chaos mode), < 0 = only
+  /// the shutdown snapshot.  Ignored when cache_dir is empty.
+  int snapshot_interval_s = 300;
 };
 
 /// The outcome of one job, delivered through a shared_future.
@@ -107,6 +120,19 @@ class EncodingService {
   int num_threads() const { return pool_.num_threads(); }
   const ResultCache& cache() const { return cache_; }
 
+  /// The durable store, or nullptr when persistence is off (/statusz).
+  const persist::CacheStore* store() const { return store_.get(); }
+
+  /// Snapshot the cache now if the store says one is due (see
+  /// StoreOptions::snapshot_interval_s).  Runs inline on the calling
+  /// thread — finish_job invokes it on the completing worker (that IS
+  /// the service pool), the network server from its idle sweep; an
+  /// atomic guard keeps concurrent callers from stacking snapshots.
+  void maybe_snapshot();
+
+  /// Unconditionally snapshot (bench/tests).  No-op without a store.
+  bool snapshot_now(std::string* error = nullptr);
+
  private:
   struct InFlight;
 
@@ -115,10 +141,13 @@ class EncodingService {
                             const std::shared_future<JobResult>& future);
 
   // The registry must outlive (so precede) the pool and the counter
-  // references below.
+  // references below; the store must outlive the cache (which holds it
+  // as listener) and die after the pool (whose workers append to it).
   obs::MetricsRegistry registry_;
+  std::unique_ptr<persist::CacheStore> store_;
   ThreadPool pool_;
   ResultCache cache_;
+  std::atomic<bool> snapshot_inflight_{false};
 
   obs::Counter& jobs_submitted_;
   obs::Counter& jobs_completed_;

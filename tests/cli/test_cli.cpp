@@ -1,6 +1,7 @@
 // In-process tests of the command-line driver.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -221,6 +222,46 @@ TEST_F(CliTest, BatchBackendReportsWinnerInJson) {
       << err_.str();
   EXPECT_NE(out_.str().find("\"backend\":\""), std::string::npos)
       << out_.str();
+}
+
+TEST_F(CliTest, BatchCacheDirWarmRestartHitsCache) {
+  std::string in = temp_path("batch_persist.con");
+  write(in, kCon);
+  std::string list = temp_path("batch_persist.list");
+  write(list, in + "\n");
+  std::string dir = temp_path("batch_persist_cache");
+
+  // Cold run populates the durable cache (shutdown snapshot).
+  EXPECT_EQ(run({"batch", list, "--restarts", "2", "--cache-dir", dir,
+                 "--snapshot-interval", "-1", "--json"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("\"cache_hits\":0"), std::string::npos)
+      << out_.str();
+
+  // Warm run — a fresh service recovers the dir: same job, cache hit.
+  EXPECT_EQ(run({"batch", list, "--restarts", "2", "--cache-dir", dir,
+                 "--snapshot-interval", "-1", "--json"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("\"cache_hits\":1"), std::string::npos)
+      << out_.str();
+
+  for (const std::string& f :
+       {dir + "/snapshot.pcs", dir + "/snapshot.pcs.tmp"})
+    std::remove(f.c_str());
+  // Journals (if any) share the dir; sweep leftovers before rmdir.
+  std::remove((dir + "/journal-1.pcj").c_str());
+  rmdir(dir.c_str());
+}
+
+TEST_F(CliTest, SnapshotIntervalRequiresCacheDir) {
+  std::string in = temp_path("si.con");
+  write(in, kCon);
+  std::string list = temp_path("si.list");
+  write(list, in + "\n");
+  EXPECT_NE(run({"batch", list, "--snapshot-interval", "5"}), 0);
+  EXPECT_NE(err_.str().find("--cache-dir"), std::string::npos) << err_.str();
 }
 
 TEST_F(CliTest, SatExportRoundTripReproducesVerdict) {

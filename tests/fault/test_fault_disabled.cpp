@@ -32,5 +32,20 @@ TEST(FaultDisabled, PlanApiStillWorksForDirectUse) {
             FaultPlan::random(42).schedule_fingerprint());
 }
 
+TEST(FaultDisabled, PersistCatalogStaysPure) {
+  // The persist-layer catalog (picola_chaos --restart) is plan-building
+  // only, so it must keep working — and stay a pure function of the
+  // seed — with the injection sites compiled out.  The io shim's sites
+  // themselves are proven inert by the whole-tree
+  // -DPICOLA_FAULT_DISABLED=ON CI leg, where test_persist drives
+  // persist/store.h through the shim with plans installed and nothing
+  // fires.
+  FaultPlan plan = FaultPlan::random_persist(42);
+  EXPECT_EQ(plan.schedule_fingerprint(),
+            FaultPlan::random_persist(42).schedule_fingerprint());
+  EXPECT_NE(plan.schedule_fingerprint(),
+            FaultPlan::random_persist(43).schedule_fingerprint());
+}
+
 }  // namespace
 }  // namespace picola::fault

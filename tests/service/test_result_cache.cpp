@@ -300,5 +300,134 @@ TEST(ResultCacheMetricsTest, WorksWithoutARegistry) {
   ASSERT_TRUE(cache.lookup(job));
 }
 
+// --- export / recovery API (persist/store.h rides on these) -----------
+
+/// Records every listener event in order.
+struct RecordingListener : ResultCache::Listener {
+  std::vector<std::string> events;
+  void on_insert(const CanonicalJob& job, const CachedResult& result)
+      override {
+    events.push_back("ins:" + std::to_string(job.fingerprint) + ":" +
+                     std::to_string(result.total_cubes));
+  }
+  void on_evict(uint64_t fingerprint) override {
+    events.push_back("evi:" + std::to_string(fingerprint));
+  }
+};
+
+TEST(ResultCacheExportTest, ListenerSeesInsertsAndEvictionsInOrder) {
+  ResultCache cache(2, 1);
+  RecordingListener listener;
+  cache.set_listener(&listener);
+  const CanonicalJob a = canonicalize(make_job({{0, 1}}, 8, 2));
+  const CanonicalJob b = canonicalize(make_job({{2, 3}}, 8, 2));
+  const CanonicalJob c = canonicalize(make_job({{4, 5}}, 8, 2));
+  cache.insert(a, make_result(1));
+  cache.insert(b, make_result(2));
+  cache.insert(a, make_result(1));  // pure refresh: NOT journaled
+  cache.insert(c, make_result(3));  // capacity 2: evicts LRU (b)
+  cache.set_listener(nullptr);
+  cache.insert(a, make_result(9));  // detached: silent
+
+  std::vector<std::string> want = {
+      "ins:" + std::to_string(a.fingerprint) + ":1",
+      "ins:" + std::to_string(b.fingerprint) + ":2",
+      "evi:" + std::to_string(b.fingerprint),
+      "ins:" + std::to_string(c.fingerprint) + ":3",
+  };
+  EXPECT_EQ(listener.events, want);
+}
+
+TEST(ResultCacheExportTest, ForEachExportsMruFirstPerShard) {
+  ResultCache cache(8, 1);  // one shard: global recency order
+  const CanonicalJob a = canonicalize(make_job({{0, 1}}, 8, 2));
+  const CanonicalJob b = canonicalize(make_job({{2, 3}}, 8, 2));
+  const CanonicalJob c = canonicalize(make_job({{4, 5}}, 8, 2));
+  cache.insert(a, make_result(1));
+  cache.insert(b, make_result(2));
+  cache.insert(c, make_result(3));
+  ASSERT_TRUE(cache.lookup(a));  // promotes a to MRU
+
+  std::vector<long> order;
+  cache.for_each([&](const CanonicalJob&, const CachedResult& r) {
+    order.push_back(r.total_cubes);
+  });
+  EXPECT_EQ(order, (std::vector<long>{1, 3, 2}));  // a, c, b
+}
+
+TEST(ResultCacheExportTest, LoadInsertRebuildsExportedOrder) {
+  // Snapshot replay: for_each streams MRU-first; tail-appending each
+  // entry (most_recent = false) must reproduce the original order.
+  ResultCache source(8, 1);
+  for (int i = 0; i < 4; ++i)
+    source.insert(canonicalize(make_job({{i, i + 1}}, 8, 2)),
+                  make_result(i));
+  ResultCache restored(8, 1);
+  source.for_each([&](const CanonicalJob& j, const CachedResult& r) {
+    restored.load_insert(j, r, /*most_recent=*/false);
+  });
+  std::vector<long> want, got;
+  source.for_each([&](const CanonicalJob&, const CachedResult& r) {
+    want.push_back(r.total_cubes);
+  });
+  restored.for_each([&](const CanonicalJob&, const CachedResult& r) {
+    got.push_back(r.total_cubes);
+  });
+  EXPECT_EQ(got, want);
+}
+
+TEST(ResultCacheExportTest, LoadInsertDoesNotPromoteOrCountStats) {
+  ResultCache cache(8, 1);
+  const CanonicalJob job = canonicalize(make_job({{0, 1}}, 8, 2));
+  cache.load_insert(job, make_result(5), /*most_recent=*/true);
+  // No hit/miss/insert accounting on the recovery path.
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.lookup(job);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->total_cubes, 5);
+}
+
+TEST(ResultCacheExportTest, LoadInsertMostRecentOverwritesAndPromotes) {
+  ResultCache cache(8, 1);
+  const CanonicalJob a = canonicalize(make_job({{0, 1}}, 8, 2));
+  const CanonicalJob b = canonicalize(make_job({{2, 3}}, 8, 2));
+  cache.load_insert(a, make_result(1), false);
+  cache.load_insert(b, make_result(2), false);
+  // Journal replay of a later insert for `a`: newer value, hot end.
+  cache.load_insert(a, make_result(7), true);
+  std::vector<long> order;
+  cache.for_each([&](const CanonicalJob&, const CachedResult& r) {
+    order.push_back(r.total_cubes);
+  });
+  EXPECT_EQ(order, (std::vector<long>{7, 2}));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheExportTest, LoadEraseRemovesAndIgnoresUnknown) {
+  ResultCache cache(8, 2);
+  const CanonicalJob job = canonicalize(make_job({{0, 1}}, 8, 2));
+  cache.load_insert(job, make_result(1), true);
+  cache.load_erase(job.fingerprint);
+  EXPECT_EQ(cache.size(), 0u);
+  cache.load_erase(job.fingerprint);  // unknown: silently ignored
+  cache.load_erase(0xDEAD);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheExportTest, LoadInsertRespectsCapacity) {
+  ResultCache cache(2, 1);
+  for (int i = 0; i < 4; ++i)
+    cache.load_insert(canonicalize(make_job({{i, i + 1}}, 8, 2)),
+                      make_result(i), /*most_recent=*/true);
+  EXPECT_EQ(cache.size(), 2u);
+  // The two most recent survive.
+  std::vector<long> order;
+  cache.for_each([&](const CanonicalJob&, const CachedResult& r) {
+    order.push_back(r.total_cubes);
+  });
+  EXPECT_EQ(order, (std::vector<long>{3, 2}));
+}
+
 }  // namespace
 }  // namespace picola

@@ -22,17 +22,42 @@
 // A failing seed is printed with a one-command repro:
 //     picola_chaos --seed <S> --repeat
 //
+// --restart switches to the persistence chaos mode (ISSUE 9): each seed
+// forks this binary as a real server process with a durable cache dir
+// and a persist-layer fault plan (FaultPlan::random_persist — short
+// writes, ENOSPC, fsync failures, and kCrash points that _exit(137)
+// mid-append or mid-snapshot), drives traffic into it, kill -9s
+// whatever is left, then asserts the crash-consistency contract:
+//
+//   6. the surviving directory always loads (a standalone CacheStore
+//      recovery must not throw, whatever instant the process died),
+//   7. a warm restart against the same dir answers exactly the
+//      recovered entries from cache ("cached":1 per reply) and every
+//      reply is bit-identical to the fault-free baseline,
+//   8. after a graceful shutdown of the warm server, a reload finds
+//      every unique workload job durable.
+//
 // Usage:
 //   picola_chaos [--seeds N] [--seed-base B]   sweep N seeds (default 200)
 //   picola_chaos --seed S [--repeat]           one schedule, optionally twice
+//   picola_chaos --restart [--seeds N]         persistence crash/restart sweep
 //   picola_chaos --verbose                     per-schedule plan dumps
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,6 +67,9 @@
 #include "net/client.h"
 #include "net/json.h"
 #include "net/server.h"
+#include "persist/io.h"
+#include "persist/store.h"
+#include "service/result_cache.h"
 
 namespace {
 
@@ -57,6 +85,7 @@ struct Options {
   uint64_t seed_base = 1;
   std::optional<uint64_t> single_seed;
   bool repeat = false;
+  bool restart = false;
   bool verbose = false;
 };
 
@@ -141,7 +170,8 @@ ClientOptions client_options(uint64_t seed) {
 /// made to throw answers `error: encode_failed` — a valid reply, so the
 /// client rightly does not retry it).
 std::optional<Outcome> run_request(Client& c, const std::string& con,
-                                   int64_t id, std::string* why) {
+                                   int64_t id, std::string* why,
+                                   bool* cached = nullptr) {
   std::string error;
   for (int attempt = 0; attempt < 10; ++attempt) {
     auto reply = c.call_with_retry(encode_request(con, id), &error);
@@ -159,6 +189,7 @@ std::optional<Outcome> run_request(Client& c, const std::string& con,
       *why = "reply missing enc fingerprint";
       return std::nullopt;
     }
+    if (cached) *cached = int_field(*reply, "cached", 0) == 1;
     return o;
   }
   *why = "request " + std::to_string(id) +
@@ -305,9 +336,346 @@ ScheduleResult run_schedule(const std::vector<std::string>& workload,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// --restart mode: real-process crash/recovery schedules (ISSUE 9).
+//
+// The faulted server must be a separate *process* — kCrash faults
+// _exit(137) at the injection site, and the whole point is that the
+// page cache (not the process) carries un-fsynced journal bytes across
+// the death.  The harness re-execs itself via a hidden --child-serve
+// mode; the child prints "port <p>" on stdout once it is listening.
+
+std::atomic<Server*> g_child_server{nullptr};
+
+extern "C" void picola_chaos_child_sigterm(int) {
+  Server* s = g_child_server.load(std::memory_order_relaxed);
+  if (s) s->request_shutdown();
+}
+
+/// Child entry: serve on an ephemeral port with the durable cache in
+/// `dir`, snapshotting after every insert (interval 0) so crash points
+/// land mid-snapshot as often as mid-append.  A non-zero fault seed
+/// installs the persist-layer plan before the server (and therefore the
+/// recovery load) comes up.  SIGTERM drains gracefully, which writes
+/// the shutdown snapshot; SIGKILL is the crash under test.
+int run_child_serve(const std::string& dir, uint64_t fault_seed) {
+  ServerOptions o = server_options();
+  o.service.cache_dir = dir;
+  o.service.snapshot_interval_s = 0;
+  if (fault_seed)
+    picola::fault::install(
+        std::make_shared<FaultPlan>(FaultPlan::random_persist(fault_seed)));
+  std::unique_ptr<Server> server;
+  try {
+    server = std::make_unique<Server>(o);
+  } catch (const std::exception& e) {
+    std::printf("fail %s\n", e.what());
+    std::fflush(stdout);
+    return 3;
+  }
+  g_child_server.store(server.get(), std::memory_order_relaxed);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = picola_chaos_child_sigterm;
+  sigaction(SIGTERM, &sa, nullptr);
+  std::printf("port %u\n", static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+  server->run();
+  g_child_server.store(nullptr, std::memory_order_relaxed);
+  return 0;
+}
+
+struct ChildProc {
+  pid_t pid = -1;
+  int out = -1;  ///< read end of the child's stdout pipe
+};
+
+ChildProc spawn_child(const char* exe, const std::string& dir,
+                      uint64_t fault_seed) {
+  int fds[2];
+  if (pipe(fds) != 0) return {};
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    dup2(fds[1], 1);
+    close(fds[0]);
+    close(fds[1]);
+    std::string seed_str = std::to_string(fault_seed);
+    execl(exe, exe, "--child-serve", dir.c_str(), seed_str.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(fds[1]);
+  ChildProc c;
+  c.pid = pid;
+  c.out = fds[0];
+  return c;
+}
+
+/// First line of the child's stdout: "port <p>" on success, "fail ..."
+/// (or EOF, if it crashed before printing) otherwise.
+bool read_port_line(int fd, uint16_t* port) {
+  std::string line;
+  while (line.size() < 256) {
+    char ch;
+    ssize_t n = read(fd, &ch, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    if (ch == '\n') break;
+    line.push_back(ch);
+  }
+  if (line.rfind("port ", 0) != 0) return false;
+  unsigned long p = std::strtoul(line.c_str() + 5, nullptr, 10);
+  *port = static_cast<uint16_t>(p);
+  return p != 0 && p < 65536;
+}
+
+/// Reap `pid`, escalating to SIGKILL if it outlives `timeout_ms`.
+int await_child(pid_t pid, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 10) {
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) return status;
+    usleep(10'000);
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+/// The parent-side recovery probe: a standalone CacheStore load of the
+/// directory a dead server left behind.  load() is write-side-effect
+/// free (the journal opens lazily, on the first append), so this does
+/// not perturb the dir a subsequent warm server will recover from.
+/// Returns false — the core crash-consistency violation — when the load
+/// throws.
+bool verify_load(const std::string& dir, size_t* entries, std::string* why) {
+  try {
+    picola::persist::StoreOptions so;
+    so.dir = dir;
+    so.snapshot_interval_s = -1;
+    picola::persist::CacheStore store(so);
+    picola::ResultCache cache(32, 8);
+    store.load(&cache);
+    *entries = cache.size();
+    return true;
+  } catch (const std::exception& e) {
+    *why = e.what();
+    return false;
+  }
+}
+
+void remove_tree(const std::string& dir) {
+  for (const std::string& name : picola::persist::io::list_dir(dir))
+    picola::persist::io::unlink_file(dir + "/" + name, nullptr);
+  rmdir(dir.c_str());
+}
+
+struct RestartResult {
+  size_t recovered = 0;      ///< entries readable right after the kill
+  size_t warm_hits = 0;      ///< warm replies served from the recovered cache
+  size_t final_entries = 0;  ///< after graceful shutdown + reload
+  std::vector<std::string> violations;
+  double wall_ms = 0;
+};
+
+RestartResult run_restart_schedule(const char* exe,
+                                   const std::vector<std::string>& workload,
+                                   const std::vector<Outcome>& baseline,
+                                   uint64_t seed) {
+  RestartResult res;
+  auto t0 = std::chrono::steady_clock::now();
+  char tmpl[] = "/tmp/picola_chaos.XXXXXX";
+  if (!mkdtemp(tmpl)) {
+    res.violations.push_back("mkdtemp failed");
+    return res;
+  }
+  const std::string dir = tmpl;
+
+  // Phase 1: the faulted server.  Drive the workload without caring
+  // whether requests succeed — a kCrash fault may take the process down
+  // at any injected point; if the plan held no crash, the SIGKILL below
+  // is the mid-flight kill.  Recovery on an empty dir touches no fault
+  // points (the journal opens lazily), so startup itself must work.
+  ChildProc c1 = spawn_child(exe, dir, seed);
+  if (c1.pid < 0) {
+    res.violations.push_back("fork/exec failed");
+    remove_tree(dir);
+    return res;
+  }
+  uint16_t port = 0;
+  bool c1_dead = false;
+  if (!read_port_line(c1.out, &port)) {
+    res.violations.push_back("faulted child failed to start");
+  } else {
+    Client client(client_options(seed));
+    std::string error;
+    for (int i = 0; i < 20 && !client.connected(); ++i)
+      client.connect("127.0.0.1", port, &error);
+    for (size_t i = 0; i < workload.size() && !c1_dead; ++i) {
+      if (waitpid(c1.pid, nullptr, WNOHANG) == c1.pid) {
+        c1_dead = true;  // crash fault fired; already reaped
+        break;
+      }
+      // One transport-retrying attempt per request; outcomes don't
+      // matter here, only the journal/snapshot traffic they generate.
+      (void)client.call_with_retry(
+          encode_request(workload[i], static_cast<int64_t>(i)), &error);
+    }
+  }
+  if (!c1_dead) {
+    kill(c1.pid, SIGKILL);
+    waitpid(c1.pid, nullptr, 0);
+  }
+  close(c1.out);
+
+  // Phase 2: whatever instant the process died, the dir must load.
+  std::string why;
+  if (res.violations.empty() &&
+      !verify_load(dir, &res.recovered, &why))
+    res.violations.push_back("recovered dir failed verification: " + why);
+
+  // Phase 3: warm restart, no faults.  Every reply must be
+  // bit-identical to the fault-free baseline, and the first request for
+  // each unique job must be a cache hit exactly when recovery brought
+  // that entry back — warm hits == recovered entries, no more, no less.
+  if (res.violations.empty()) {
+    ChildProc c2 = spawn_child(exe, dir, 0);
+    uint16_t port2 = 0;
+    if (c2.pid < 0 || !read_port_line(c2.out, &port2)) {
+      res.violations.push_back("warm restart failed to come up");
+      if (c2.pid > 0) {
+        kill(c2.pid, SIGKILL);
+        waitpid(c2.pid, nullptr, 0);
+      }
+    } else {
+      Client client(client_options(seed ^ 0x5eedULL));
+      std::string error;
+      bool up = false;
+      for (int i = 0; i < 48 && !up; ++i)
+        up = client.connect("127.0.0.1", port2, &error);
+      if (!up) res.violations.push_back("warm connect failed: " + error);
+      std::set<std::string> seen;
+      for (size_t i = 0; res.violations.empty() && i < workload.size();
+           ++i) {
+        bool cached = false;
+        auto o = run_request(client, workload[i],
+                             static_cast<int64_t>(i), &why, &cached);
+        if (!o) {
+          res.violations.push_back("warm " + why);
+          break;
+        }
+        if (!(*o == baseline[i])) {
+          res.violations.push_back(
+              "warm reply " + std::to_string(i) +
+              " differs from fault-free baseline");
+          break;
+        }
+        if (seen.insert(workload[i]).second && cached) ++res.warm_hits;
+      }
+      if (res.violations.empty() && res.warm_hits != res.recovered)
+        res.violations.push_back(
+            "warm hit count " + std::to_string(res.warm_hits) +
+            " != recovered entries " + std::to_string(res.recovered));
+
+      // Phase 4: graceful shutdown writes the final snapshot; a reload
+      // must now find every unique workload job durable.
+      kill(c2.pid, SIGTERM);
+      int status = await_child(c2.pid, 20'000);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+        res.violations.push_back("warm server did not shut down cleanly");
+      else if (!verify_load(dir, &res.final_entries, &why))
+        res.violations.push_back("post-shutdown dir failed verification: " +
+                                 why);
+      else if (res.final_entries != seen.size())
+        res.violations.push_back(
+            "post-shutdown reload found " +
+            std::to_string(res.final_entries) + " entries, want " +
+            std::to_string(seen.size()));
+    }
+    if (c2.out >= 0) close(c2.out);
+  }
+
+  remove_tree(dir);
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  if (res.wall_ms > 30'000)
+    res.violations.push_back("restart schedule exceeded 30s wall cap");
+  return res;
+}
+
+/// The --restart sweep; mirrors main()'s classic sweep.
+int run_restart_sweep(const Options& opt,
+                      const std::vector<std::string>& workload,
+                      const std::vector<Outcome>& baseline,
+                      const std::vector<uint64_t>& seeds) {
+  char exe[4096];
+  ssize_t n = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) {
+    std::fprintf(stderr, "cannot resolve /proc/self/exe\n");
+    return 2;
+  }
+  exe[n] = '\0';
+
+  uint64_t total_recovered = 0;
+  uint64_t total_warm = 0;
+  for (uint64_t seed : seeds) {
+    uint64_t fp1 = FaultPlan::random_persist(seed).schedule_fingerprint();
+    uint64_t fp2 = FaultPlan::random_persist(seed).schedule_fingerprint();
+    if (fp1 != fp2) {
+      std::fprintf(stderr,
+                   "FAIL seed %llu: persist schedule not reproducible\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    RestartResult r = run_restart_schedule(exe, workload, baseline, seed);
+    total_recovered += r.recovered;
+    total_warm += r.warm_hits;
+    if (!r.violations.empty()) {
+      std::fprintf(
+          stderr,
+          "FAIL seed %llu: %s\n  repro: picola_chaos --restart --seed %llu\n",
+          static_cast<unsigned long long>(seed), r.violations[0].c_str(),
+          static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    if (opt.verbose || opt.single_seed)
+      std::fprintf(stderr,
+                   "seed %llu ok: recovered %zu, warm hits %zu, final %zu "
+                   "(%.0f ms)\n",
+                   static_cast<unsigned long long>(seed), r.recovered,
+                   r.warm_hits, r.final_entries, r.wall_ms);
+  }
+
+  // A sweep that never recovers anything warm proves nothing — require
+  // the warm-hit rate over the whole sweep to be > 0.
+  if (seeds.size() > 1 && total_warm == 0) {
+    std::fprintf(stderr,
+                 "FAIL: restart sweep never observed a warm cache hit\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "PASS %zu restart schedule(s), %llu entries recovered, "
+               "%llu warm hits, 0 violations\n",
+               seeds.size(),
+               static_cast<unsigned long long>(total_recovered),
+               static_cast<unsigned long long>(total_warm));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden re-exec entry for --restart: serve with a durable cache (and
+  // optionally a persist fault plan) until killed.
+  if (argc == 4 && std::strcmp(argv[1], "--child-serve") == 0)
+    return run_child_serve(argv[2], std::strtoull(argv[3], nullptr, 10));
+
   Options opt;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -322,12 +690,14 @@ int main(int argc, char** argv) {
       opt.single_seed = std::strtoull(argv[i], nullptr, 10);
     else if (a == "--repeat")
       opt.repeat = true;
+    else if (a == "--restart")
+      opt.restart = true;
     else if (a == "--verbose")
       opt.verbose = true;
     else {
       std::fprintf(stderr,
                    "usage: picola_chaos [--seeds N] [--seed-base B] "
-                   "[--seed S] [--repeat] [--verbose]\n");
+                   "[--seed S] [--repeat] [--restart] [--verbose]\n");
       return 2;
     }
   }
@@ -352,6 +722,9 @@ int main(int argc, char** argv) {
     for (uint64_t s = 0; s < opt.seeds; ++s)
       seeds.push_back(opt.seed_base + s);
   }
+
+  if (opt.restart)
+    return run_restart_sweep(opt, workload, base.outcomes, seeds);
 
   uint64_t total_faults = 0;
   int failures = 0;

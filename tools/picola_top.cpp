@@ -4,7 +4,8 @@
 // docs/OBSERVABILITY.md) once per interval and renders the numbers an
 // operator reaches for first: request rate and latency percentiles,
 // pool queue depth / queue-wait, cache hit rate and shard heat, shed
-// and slow-request rates, and the wake-pipe coalescing ratio.
+// and slow-request rates, the wake-pipe coalescing ratio, and — when
+// the server runs with a durable cache — snapshot age and journal size.
 //
 // Rates are deltas between consecutive scrapes; percentiles come from
 // the cumulative histogram buckets, so they are lifetime percentiles
@@ -244,6 +245,21 @@ void render(const Scrape& cur, const Scrape* prev, double interval_s) {
       cur.value("picola_service_backend_picola_total"),
       cur.value("picola_service_backend_sat_total"),
       cur.value("picola_service_backend_anneal_total"));
+
+  // Durable cache, when the server runs with --cache-dir: how stale the
+  // snapshot is and how much journal a crash-restart would replay.
+  if (cur.scalars.count("picola_persist_epoch")) {
+    double age = cur.value("picola_persist_snapshot_age_seconds");
+    std::string age_str =
+        age < 0 ? "never" : std::to_string(static_cast<long>(age)) + "s";
+    std::printf(
+        "persist    epoch %.0f  snapshots %.0f  snapshot-age %s  "
+        "journal %.1f KiB  loaded %.0f\n",
+        cur.value("picola_persist_epoch"),
+        cur.value("picola_persist_snapshots_total"), age_str.c_str(),
+        cur.value("picola_persist_journal_bytes") / 1024.0,
+        cur.value("picola_persist_records_loaded"));
+  }
 }
 
 }  // namespace
