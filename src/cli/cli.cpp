@@ -75,7 +75,10 @@ std::optional<ParsedArgs> parse_args(const std::vector<std::string>& args,
                                       "--retries", "--timeout-ms",
                                       "--backend", "--card", "--distinct",
                                       "--sweep", "--sat-conflicts",
-                                      "--cache-dir", "--snapshot-interval"};
+                                      "--cache-dir", "--snapshot-interval",
+                                      "--peers", "--self",
+                                      "--peer-timeout-ms", "--cluster",
+                                      "--hedge-ms"};
       bool valued = false;
       for (const char* v : kValued) valued |= key == v;
       if (valued) {
@@ -883,6 +886,31 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
   }
   o.use_poll = a.options.count("--poll") != 0;
   o.allow_paths = a.options.count("--no-paths") == 0;
+  if (a.options.count("--peers")) {
+    std::string perr;
+    o.peers = net::parse_member_list(a.options.at("--peers"), &perr);
+    if (o.peers.empty()) {
+      err << "bad --peers: " << perr << "\n";
+      return 2;
+    }
+    if (!a.options.count("--self")) {
+      err << "--peers needs --self host:port (this node's member name)\n";
+      return 2;
+    }
+    o.self = a.options.at("--self");
+    bool member = false;
+    for (const net::ClusterMember& m : o.peers) member |= m.name() == o.self;
+    if (!member) {
+      err << "--self " << o.self << " is not in --peers\n";
+      return 2;
+    }
+    o.peer_forward = a.options.count("--no-peer-forward") == 0;
+    if (a.options.count("--peer-timeout-ms")) {
+      auto v = parse_int_option(a, "--peer-timeout-ms", 1, 60'000, err);
+      if (!v) return 2;
+      o.peer_timeout_ms = *v;
+    }
+  }
 
   ObsSession obs_session(a);
   std::unique_ptr<net::Server> server;
@@ -940,6 +968,167 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
   return 0;
 }
 
+/// `picola client --cluster a:p1,b:p2[,...]` — same stdin protocol as the
+/// single-backend client, but routed through the consistent-hash cluster
+/// router (net/cluster.h, docs/CLUSTER.md): each problem is read and
+/// parsed locally, placed on the ring by its route_key, and sent inline
+/// with failover / hedging / breaker handling.  The trailing `# cluster:`
+/// line reports reroutes, hedges and suppressed duplicates.
+int cmd_client_cluster(const ParsedArgs& a, std::istream& in,
+                       std::ostream& out, std::ostream& err) {
+  if (!a.positional.empty()) {
+    err << "client --cluster takes no positional argument (members come "
+           "from the --cluster list)\n";
+    return 2;
+  }
+  net::ClusterOptions copt;
+  std::string perr;
+  copt.members = net::parse_member_list(a.options.at("--cluster"), &perr);
+  if (copt.members.empty()) {
+    err << "bad --cluster: " << perr << "\n";
+    return 2;
+  }
+  if (a.options.count("--timeout-ms")) {
+    auto v = parse_int_option(a, "--timeout-ms", 1, 86'400'000, err);
+    if (!v) return 2;
+    copt.client.io_timeout_ms = *v;
+    copt.client.connect_timeout_ms = *v;
+  }
+  if (a.options.count("--hedge-ms")) {
+    auto v = parse_int_option(a, "--hedge-ms", 0, 86'400'000, err);
+    if (!v) return 2;
+    copt.hedge_ms = *v;
+  }
+  if (a.options.count("--seed")) {
+    auto v = parse_int_option(a, "--seed", 0, 1'000'000'000, err);
+    if (!v) return 2;
+    copt.seed = static_cast<uint64_t>(*v);
+  }
+  int deadline_ms = 0;
+  if (a.options.count("--deadline-ms")) {
+    auto v = parse_int_option(a, "--deadline-ms", 1, 86'400'000, err);
+    if (!v) return 2;
+    deadline_ms = *v;
+  }
+  std::string default_backend;
+  if (a.options.count("--backend")) {
+    if (!portfolio::parse_backend_kind(a.options.at("--backend"))) {
+      err << "bad --backend value (picola sat anneal portfolio)\n";
+      return 2;
+    }
+    default_backend = a.options.at("--backend");
+  }
+
+  net::ClusterClient cluster(copt);
+  int failures = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+
+    net::JsonValue req = net::JsonValue::make_object();
+    uint64_t key = 0;
+    bool is_cmd = false;
+    std::string path;
+    if (line == "stats" || line == "metrics" || line == "ping") {
+      req.set("cmd", net::JsonValue::make_string(line));
+      is_cmd = true;
+    } else if (line == "shutdown") {
+      err << "shutdown is per-node; aim `picola client host:port` at the "
+             "node you want drained\n";
+      ++failures;
+      continue;
+    } else {
+      std::istringstream ls(line);
+      std::string tok;
+      ls >> path;
+      int restarts = 0;
+      std::string backend = default_backend;
+      bool bad = false;
+      while (ls >> tok) {
+        if (tok == "--restarts" && (ls >> tok)) {
+          auto v = parse_int(tok);
+          if (v && *v >= 1) { restarts = static_cast<int>(*v); continue; }
+        } else if (tok == "--backend" && (ls >> tok)) {
+          if (portfolio::parse_backend_kind(tok)) { backend = tok; continue; }
+        }
+        bad = true;
+        break;
+      }
+      if (bad) {
+        out << "error " << path << ": bad request options\n";
+        ++failures;
+        continue;
+      }
+      // The router must see the constraints to place the job, so cluster
+      // requests always travel inline — the same parse also catches bad
+      // problems before they burn a network round trip.
+      auto text = read_file(path, err);
+      if (!text) { ++failures; continue; }
+      std::string parse_error;
+      auto problem = parse_problem_text(*text, &parse_error);
+      if (!problem) {
+        out << "error " << path << ": " << parse_error << "\n";
+        ++failures;
+        continue;
+      }
+      key = route_key(problem->set);
+      req.set("con", net::JsonValue::make_string(*text));
+      req.set("id", net::JsonValue::make_string(path));
+      if (restarts > 0)
+        req.set("restarts", net::JsonValue::make_int(restarts));
+      if (!backend.empty())
+        req.set("backend", net::JsonValue::make_string(backend));
+      if (deadline_ms > 0)
+        req.set("deadline_ms", net::JsonValue::make_int(deadline_ms));
+    }
+
+    std::string error;
+    auto resp = cluster.call(req, key, &error);
+    if (!resp) {
+      err << error << "\n";
+      return 1;
+    }
+    if (is_cmd) {
+      out << resp->dump() << "\n";
+      out.flush();
+      continue;
+    }
+    if (const net::JsonValue* e = resp->find("error")) {
+      const net::JsonValue* detail = resp->find("detail");
+      out << "error " << path << ": "
+          << (detail && detail->is_string() ? detail->as_string()
+                                            : e->as_string())
+          << "\n";
+      ++failures;
+    } else {
+      auto num = [&resp](const char* k) -> int64_t {
+        const net::JsonValue* v = resp->find(k);
+        return v && v->is_number() ? v->as_int() : 0;
+      };
+      const net::JsonValue* enc = resp->find("enc");
+      const net::JsonValue* be = resp->find("backend");
+      out << "ok " << path << " n=" << num("n") << " bits=" << num("bits")
+          << " cubes=" << num("cubes") << " satisfied=" << num("satisfied")
+          << "/" << num("constraints") << " enc="
+          << (enc && enc->is_string() ? enc->as_string() : "?")
+          << " backend="
+          << (be && be->is_string() ? be->as_string() : "picola")
+          << " cached=" << num("cached") << "\n";
+    }
+    out.flush();
+  }
+  net::ClusterClient::Stats cs = cluster.stats();
+  out << "# cluster: requests=" << cs.requests << " attempts=" << cs.attempts
+      << " reroutes=" << cs.reroutes << " hedges=" << cs.hedges
+      << " hedge_wins=" << cs.hedge_wins << " dup_suppressed="
+      << cs.duplicates_suppressed << " breaker_skips=" << cs.breaker_skips
+      << " drains_observed=" << cs.drains_observed << " rejoins="
+      << cs.rejoins << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 /// `picola client host:port` — interactive/scripted front-end to the TCP
 /// server.  Stdin lines mirror the stdin `serve` protocol: a path (plus
 /// optional `--restarts R`), or `stats` / `metrics` / `ping` /
@@ -947,6 +1136,7 @@ int cmd_serve_tcp(const ParsedArgs& a, const ServiceArgs& sa,
 /// with stdin serve's `ok <path> ...` lines.
 int cmd_client(const ParsedArgs& a, std::istream& in, std::ostream& out,
                std::ostream& err) {
+  if (a.options.count("--cluster")) return cmd_client_cluster(a, in, out, err);
   if (a.positional.size() != 1) {
     err << "client needs one host:port argument\n";
     return 2;

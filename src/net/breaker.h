@@ -1,0 +1,154 @@
+#pragma once
+// Thread-safe circuit breaker, extracted from net/client.h so the
+// single-connection client (client.cpp) and the cluster router
+// (net/cluster.h) share one state machine.
+//
+// States:
+//   closed    -> every call allowed; `threshold` consecutive failures
+//                trip the breaker.
+//   open      -> calls fail fast for `open_ms` (acquire() returns
+//                allow=false with the remaining window as a retry hint).
+//   half-open -> the window has passed: exactly ONE caller is handed the
+//                probe (Decision::probe == true); every other caller is
+//                rejected until that probe resolves.  A successful probe
+//                closes the breaker, a failed probe re-opens the window.
+//
+// The single-probe guard is the point of this class: the pre-cluster
+// client kept breaker state in two plain fields, which was fine for the
+// documented one-thread-per-Client contract but allowed N concurrent
+// "probes" to hammer a barely-recovered server the moment several
+// threads shared the state (exactly what the cluster router does with
+// its per-backend breakers).  acquire()/on_success()/on_failure() are
+// fully synchronised; a probe handed out is accounted until its owner
+// reports back.
+//
+// Semantics note carried over from PR 5: an `overloaded` reply is a
+// *successful* call for breaker purposes (the server is alive and
+// shedding); only transport failures should be reported as failures.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace picola::net {
+
+struct BreakerOptions {
+  int threshold = 8;   ///< consecutive transport failures to open
+  int open_ms = 1000;  ///< fail-fast window before the half-open probe
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Verdict for one prospective call.
+  struct Decision {
+    bool allow = true;  ///< false: fail fast, do not touch the socket
+    bool probe = false; ///< this call is THE half-open probe; the caller
+                        ///< MUST report it via on_success/on_failure
+    int64_t retry_in_ms = 0;  ///< when rejected: suggested wait
+  };
+
+  struct Stats {
+    uint64_t opens = 0;             ///< closed/half-open -> open transitions
+    uint64_t probes = 0;            ///< half-open probes handed out
+    uint64_t probe_rejections = 0;  ///< acquires rejected because a probe
+                                    ///< was already in flight
+    uint64_t fail_fasts = 0;        ///< acquires rejected by an open window
+  };
+
+  explicit CircuitBreaker(BreakerOptions opt = {}) : opt_(opt) {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Ask permission for one call.  When Decision::probe is true the
+  /// caller owns the half-open probe and must call on_success(true) or
+  /// on_failure(true) exactly once, or the breaker wedges half-open.
+  Decision acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_until_ != Clock::time_point{}) {
+      auto now = Clock::now();
+      if (now < open_until_) {
+        stats_.fail_fasts++;
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            open_until_ - now);
+        return Decision{false, false, std::max<int64_t>(1, left.count())};
+      }
+      // Window expired: half-open.  Hand out at most one probe.
+      if (probe_inflight_) {
+        stats_.probe_rejections++;
+        return Decision{false, false, 1};
+      }
+      probe_inflight_ = true;
+      stats_.probes++;
+      return Decision{true, true, 0};
+    }
+    return Decision{true, false, 0};
+  }
+
+  /// Report the call's outcome.  `was_probe` must echo Decision::probe.
+  void on_success(bool was_probe) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (was_probe) probe_inflight_ = false;
+    consecutive_failures_ = 0;
+    open_until_ = {};
+  }
+
+  /// Returns true when this failure tripped the breaker open (a closed
+  /// -> open transition, or a failed probe re-opening the window).
+  bool on_failure(bool was_probe) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (was_probe) {
+      // A failed probe re-opens the window immediately, whatever the
+      // failure count says: the server proved it is still unwell.
+      probe_inflight_ = false;
+      open_until_ = Clock::now() + std::chrono::milliseconds(opt_.open_ms);
+      stats_.opens++;
+      return true;
+    }
+    consecutive_failures_++;
+    if (consecutive_failures_ >= opt_.threshold &&
+        open_until_ == Clock::time_point{}) {
+      open_until_ = Clock::now() + std::chrono::milliseconds(opt_.open_ms);
+      stats_.opens++;
+      return true;
+    }
+    return false;
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_until_ == Clock::time_point{}) return State::kClosed;
+    return Clock::now() < open_until_ ? State::kOpen : State::kHalfOpen;
+  }
+
+  /// Milliseconds left in the open window (0 when closed or half-open).
+  int64_t remaining_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_until_ == Clock::time_point{}) return 0;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        open_until_ - Clock::now());
+    return std::max<int64_t>(0, left.count());
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  const BreakerOptions& options() const { return opt_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  BreakerOptions opt_;
+  mutable std::mutex mu_;
+  int consecutive_failures_ = 0;
+  bool probe_inflight_ = false;
+  Clock::time_point open_until_{};
+  Stats stats_;
+};
+
+}  // namespace picola::net

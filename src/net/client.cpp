@@ -69,7 +69,9 @@ int remaining_ms(Clock::time_point deadline) {
 }  // namespace
 
 Client::Client(ClientOptions opt)
-    : opt_(opt), rng_(splitmix64(opt.jitter_seed ^ 0x636C69656E74ULL)) {}
+    : opt_(opt),
+      rng_(splitmix64(opt.jitter_seed ^ 0x636C69656E74ULL)),
+      breaker_(BreakerOptions{opt.breaker_threshold, opt.breaker_open_ms}) {}
 
 Client::~Client() { close(); }
 
@@ -310,29 +312,6 @@ int Client::backoff_delay_ms(int attempt) {
   return static_cast<int>(rng_ % static_cast<uint64_t>(cap + 1));
 }
 
-int64_t Client::breaker_remaining_ms() const {
-  if (breaker_open_until_ == Clock::time_point{}) return 0;
-  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-      breaker_open_until_ - Clock::now());
-  return std::max<int64_t>(0, left.count());
-}
-
-void Client::record_failure() {
-  consecutive_failures_++;
-  if (consecutive_failures_ >= opt_.breaker_threshold &&
-      breaker_remaining_ms() == 0) {
-    // Opens from closed, and re-opens when a half-open probe fails.
-    breaker_open_until_ =
-        Clock::now() + std::chrono::milliseconds(opt_.breaker_open_ms);
-    stats_.breaker_opens++;
-  }
-}
-
-void Client::record_success() {
-  consecutive_failures_ = 0;
-  breaker_open_until_ = {};
-}
-
 std::optional<JsonValue> Client::call_with_retry(const JsonValue& request,
                                                  std::string* error) {
   std::string last_error = "no attempt made";
@@ -340,21 +319,23 @@ std::optional<JsonValue> Client::call_with_retry(const JsonValue& request,
     stats_.attempts++;
     int server_hint_ms = 0;  // floor on the next delay (overload / breaker)
 
-    int64_t open_left = breaker_remaining_ms();
-    if (open_left > 0) {
+    CircuitBreaker::Decision gate = breaker_.acquire();
+    if (!gate.allow) {
       // Fail fast: don't touch the socket until the open window passes,
       // then the next attempt is the half-open probe.
       last_error = "circuit breaker open: " + last_error;
-      server_hint_ms = static_cast<int>(open_left);
+      server_hint_ms = static_cast<int>(gate.retry_in_ms);
       stats_.breaker_waits++;
     } else {
       if (!connected() && have_addr_) connect(host_, port_, &last_error);
       if (!connected()) {
         if (!have_addr_) {
+          // No probe can be in flight: an unconnected, address-less
+          // client has never reported an outcome.
           set_error(error, "not connected (call connect() first)");
           return std::nullopt;
         }
-        record_failure();
+        if (breaker_.on_failure(gate.probe)) stats_.breaker_opens++;
       } else {
         auto reply = call(request, &last_error);
         if (reply) {
@@ -363,18 +344,18 @@ std::optional<JsonValue> Client::call_with_retry(const JsonValue& request,
             // The server is alive and asked us to back off: honor its
             // hint, and don't count this against the circuit breaker.
             stats_.overloaded++;
-            record_success();
+            breaker_.on_success(gate.probe);
             const JsonValue* ra = reply->find("retry_after_ms");
             if (ra && ra->is_number())
               server_hint_ms = static_cast<int>(ra->as_int());
             last_error = "server overloaded";
           } else {
-            record_success();
+            breaker_.on_success(gate.probe);
             return reply;  // any other reply — including server errors —
                            // is the answer, not a transport failure
           }
         } else {
-          record_failure();
+          if (breaker_.on_failure(gate.probe)) stats_.breaker_opens++;
         }
       }
     }

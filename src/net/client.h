@@ -13,17 +13,20 @@
 // failure, exponential backoff with full jitter (seeded, so a chaos run
 // is reproducible), the server's retry_after_ms honored as a floor on
 // the delay after an `overloaded` reply, a per-request retry budget,
-// and a small circuit breaker that fails fast while the server looks
-// dead and probes again after breaker_open_ms (half-open).  Semantics
-// and defaults: docs/RESILIENCE.md.
+// and a circuit breaker (net/breaker.h — shared with the cluster
+// router) that fails fast while the server looks dead and hands out
+// exactly one half-open probe after breaker_open_ms.  Semantics and
+// defaults: docs/RESILIENCE.md.
 //
-// Single-threaded by design — one Client per thread.
+// Single-threaded by design — one Client per thread.  Multi-backend,
+// thread-safe routing with failover and hedging lives in net/cluster.h.
 
 #include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "net/breaker.h"
 #include "net/frame.h"
 #include "net/json.h"
 
@@ -100,14 +103,14 @@ class Client {
   /// 0 before any traced call or with trace_requests off.
   uint64_t last_trace_id() const { return last_trace_id_; }
 
+  /// The breaker guarding this connection (tests / dashboards).
+  const CircuitBreaker& breaker() const { return breaker_; }
+
  private:
   std::optional<JsonValue> call_impl(const JsonValue& request,
                                      std::string* error);
   bool wait_io(short events, std::chrono::steady_clock::time_point deadline,
                std::string* error, const char* what);
-  void record_failure();
-  void record_success();
-  int64_t breaker_remaining_ms() const;
 
   ClientOptions opt_;
   int fd_ = -1;
@@ -117,8 +120,7 @@ class Client {
   bool have_addr_ = false;
   uint64_t rng_;
   uint64_t last_trace_id_ = 0;
-  int consecutive_failures_ = 0;
-  std::chrono::steady_clock::time_point breaker_open_until_{};
+  CircuitBreaker breaker_;
   Stats stats_;
 };
 

@@ -10,8 +10,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -22,12 +24,15 @@
 #include "base/problem_io.h"
 #include "encoders/restart.h"
 #include "eval/metrics.h"
+#include "fault/fault.h"
+#include "net/client.h"
 #include "net/frame.h"
 #include "net/json.h"
 #include "net/sys.h"
 #include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/tracer.h"
+#include "persist/codec.h"
 #include "service/job.h"
 
 namespace picola::net {
@@ -48,6 +53,38 @@ std::string hex64(uint64_t v) {
 void set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Peek records (persist/codec.h binary) travel inside JSON strings as
+/// lowercase hex — the frame protocol is UTF-8 JSON, raw bytes are not.
+std::string hex_encode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+bool hex_decode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi, lo;
+    auto val = [](char ch, int* d) {
+      if (ch >= '0' && ch <= '9') *d = ch - '0';
+      else if (ch >= 'a' && ch <= 'f') *d = ch - 'a' + 10;
+      else if (ch >= 'A' && ch <= 'F') *d = ch - 'A' + 10;
+      else return false;
+      return true;
+    };
+    if (!val(hex[i], &hi) || !val(hex[i + 1], &lo)) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
 }
 
 /// 1-16 hex digits -> uint64 (wire trace_id / parent_span fields).
@@ -128,6 +165,14 @@ struct Server::Impl {
     bool answered = false;  ///< deadline already produced the response
   };
 
+  /// One off-owner job handed to the peer-probe thread (peek the ring
+  /// owner's cache, then submit).
+  struct ProbeTask {
+    uint64_t serial = 0;
+    Job job;
+    int owner = -1;
+  };
+
   explicit Impl(const ServerOptions& options)
       : opt_(sanitized(options)),
         service_(opt_.service),
@@ -150,6 +195,11 @@ struct Server::Impl {
         completions_(registry_.counter("net/completions")),
         admin_requests_(registry_.counter("net/admin_requests")),
         slow_requests_(registry_.counter("net/slow_requests")),
+        peek_attempts_(registry_.counter("cluster/peek_attempts")),
+        forwarded_hits_(registry_.counter("cluster/forwarded_hits")),
+        peek_misses_(registry_.counter("cluster/peek_misses")),
+        peek_failures_(registry_.counter("cluster/peek_failures")),
+        peeks_served_(registry_.counter("cluster/peeks_served")),
         active_(registry_.gauge("net/connections_active")),
         inflight_(registry_.gauge("net/inflight")),
         uptime_seconds_(registry_.gauge("net/uptime_seconds")),
@@ -162,9 +212,23 @@ struct Server::Impl {
     poller_.add(wake_rd_, /*read=*/true, /*write=*/false);
     if (admin_listen_fd_ >= 0)
       poller_.add(admin_listen_fd_, /*read=*/true, /*write=*/false);
+    if (!opt_.peers.empty() && !opt_.self.empty()) {
+      std::vector<std::string> names;
+      names.reserve(opt_.peers.size());
+      for (size_t i = 0; i < opt_.peers.size(); ++i) {
+        names.push_back(opt_.peers[i].name());
+        if (names.back() == opt_.self) self_index_ = static_cast<int>(i);
+      }
+      if (self_index_ >= 0 && opt_.peers.size() > 1 && opt_.peer_forward) {
+        peer_ring_ = std::make_unique<HashRing>(names);
+        peer_clients_.resize(opt_.peers.size());
+        probe_thread_ = std::thread([this] { probe_loop(); });
+      }
+    }
   }
 
   ~Impl() {
+    stop_probe_thread();
     if (listen_fd_ >= 0) ::close(listen_fd_);
     if (admin_listen_fd_ >= 0) ::close(admin_listen_fd_);
     if (wake_rd_ >= 0) ::close(wake_rd_);
@@ -562,6 +626,13 @@ struct Server::Impl {
            ",\"recovery\":\"" +
            persist::recovery_outcome_name(ls.outcome) + "\"},";
     }
+    if (peer_ring_) {
+      j += "\"cluster\":{\"self\":" + JsonValue::make_string(opt_.self).dump() +
+           ",\"members\":" + std::to_string(opt_.peers.size()) +
+           ",\"peek_attempts\":" + std::to_string(peek_attempts_.value()) +
+           ",\"forwarded_hits\":" + std::to_string(forwarded_hits_.value()) +
+           ",\"peeks_served\":" + std::to_string(peeks_served_.value()) + "},";
+    }
     j += "\"service\":" + service_stats_json(service_.stats()) + "}";
     return j;
   }
@@ -630,13 +701,14 @@ struct Server::Impl {
         send_error(conn, id, "bad_request", "cmd must be a string");
         return;
       }
-      handle_cmd(conn, id, cmd->as_string());
+      handle_cmd(conn, id, cmd->as_string(), req);
       return;
     }
     handle_encode(conn, std::move(id), req);
   }
 
-  void handle_cmd(Conn* conn, const JsonValue& id, const std::string& cmd) {
+  void handle_cmd(Conn* conn, const JsonValue& id, const std::string& cmd,
+                  const JsonValue& req) {
     if (cmd == "ping") {
       JsonValue r = ok_response(id);
       r.set("pong", JsonValue::make_bool(true));
@@ -663,6 +735,30 @@ struct Server::Impl {
               ",\"process\":" + obs::MetricsRegistry::global().report_json() +
               "}";
       send_json(conn, body);
+      responses_ok_.add(1);
+      return;
+    }
+    if (cmd == "peek") {
+      // Cluster cache peek (docs/CLUSTER.md): a peer asks whether this
+      // node has `fp` memoised.  Served during drain too — a draining
+      // node's cache is exactly what a restarting peer wants to read.
+      const JsonValue* fp = req.find("fp");
+      uint64_t fingerprint = 0;
+      if (!fp || !fp->is_string() ||
+          !parse_hex64(fp->as_string(), &fingerprint)) {
+        send_error(conn, id, "bad_request",
+                   "peek needs an \"fp\" field of 1-16 hex digits");
+        return;
+      }
+      peeks_served_.add(1);
+      JsonValue r = ok_response(id);
+      if (auto record = service_.peek_record(fingerprint)) {
+        r.set("hit", JsonValue::make_bool(true));
+        r.set("record", JsonValue::make_string(hex_encode(*record)));
+      } else {
+        r.set("hit", JsonValue::make_bool(false));
+      }
+      send_json(conn, r.dump());
       responses_ok_.add(1);
       return;
     }
@@ -803,6 +899,21 @@ struct Server::Impl {
     admitted_.add(1);
     inflight_.set(static_cast<int64_t>(requests_.size()));
 
+    // Cluster path: a job whose ring owner is another member detours
+    // through the probe thread, which peeks the owner's cache before
+    // submitting (docs/CLUSTER.md).  The loop never blocks on a peer.
+    if (peer_ring_) {
+      const int owner = peer_ring_->owner(route_key(job.set));
+      if (owner != self_index_) {
+        {
+          std::lock_guard<std::mutex> lock(probe_mu_);
+          probe_q_.push_back(ProbeTask{serial, std::move(job), owner});
+        }
+        probe_cv_.notify_one();
+        return;
+      }
+    }
+
     // The callback runs on whichever thread finishes the job (inline on a
     // cache hit); it only enqueues and wakes the loop.
     try {
@@ -837,6 +948,120 @@ struct Server::Impl {
     }
   }
 
+  // ---- peer cache-hit forwarding (docs/CLUSTER.md) ----------------------
+
+  /// Dedicated probe thread: owns the per-peer Clients, peeks the ring
+  /// owner's cache on off-owner jobs, adopts hits, then submits — the
+  /// job completes through the same done_ queue either way.  Bounded
+  /// blocking only (peer_timeout_ms per peek).
+  void probe_loop() {
+    for (;;) {
+      ProbeTask task;
+      {
+        std::unique_lock<std::mutex> lock(probe_mu_);
+        probe_cv_.wait(lock,
+                       [this] { return probe_stop_ || !probe_q_.empty(); });
+        if (probe_q_.empty()) return;  // stopped and fully drained
+        task = std::move(probe_q_.front());
+        probe_q_.pop_front();
+      }
+      run_probe(std::move(task));
+    }
+  }
+
+  void run_probe(ProbeTask task) {
+    const uint64_t serial = task.serial;
+    try {
+      CanonicalJob canon = canonicalize(task.job);
+      if (!service_.is_cached(canon))
+        maybe_adopt_from_peer(canon, task.owner);
+    } catch (const std::exception&) {
+      // Canonicalisation failed; submit() below will fail the same way
+      // and the request gets its one error reply through finish_request.
+    }
+    auto complete = [this, serial](std::shared_future<JobResult> fut) {
+      {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done_.emplace_back(serial, std::move(fut));
+      }
+      wake();
+    };
+    try {
+      service_.submit(std::move(task.job), complete);
+    } catch (const std::exception&) {
+      // Unlike the loop-thread submit path this cannot answer inline —
+      // conns_/requests_ belong to the loop — so the exception rides a
+      // ready future through the normal completion queue instead.
+      std::promise<JobResult> p;
+      p.set_exception(std::current_exception());
+      complete(p.get_future().share());
+    }
+  }
+
+  void maybe_adopt_from_peer(const CanonicalJob& canon, int owner) {
+    peek_attempts_.add(1);
+    if (PICOLA_FAULT_POINT("cluster/peek").kind == fault::Kind::kFail) {
+      peek_failures_.add(1);
+      return;
+    }
+    const ClusterMember& m = opt_.peers[static_cast<size_t>(owner)];
+    auto& slot = peer_clients_[static_cast<size_t>(owner)];
+    if (!slot) {
+      ClientOptions co;
+      co.connect_timeout_ms = opt_.peer_timeout_ms;
+      co.io_timeout_ms = opt_.peer_timeout_ms;
+      slot = std::make_unique<Client>(co);
+    }
+    std::string error;
+    if (!slot->connected() && !slot->connect(m.host, m.port, &error)) {
+      peek_failures_.add(1);
+      return;
+    }
+    JsonValue req = JsonValue::make_object();
+    req.set("cmd", JsonValue::make_string("peek"));
+    req.set("fp", JsonValue::make_string(hex64(canon.fingerprint)));
+    auto reply = slot->call(req, &error);
+    if (!reply) {
+      slot->close();  // transport state is unknown; reconnect next time
+      peek_failures_.add(1);
+      return;
+    }
+    const JsonValue* hit = reply->find("hit");
+    if (!hit || !hit->is_bool()) {
+      peek_failures_.add(1);
+      return;
+    }
+    if (!hit->as_bool()) {
+      peek_misses_.add(1);
+      return;
+    }
+    const JsonValue* record = reply->find("record");
+    std::string bytes;
+    CanonicalJob peer_job;
+    CachedResult peer_result;
+    // The record is re-canonicalised by decode_record and deep-compared
+    // against what WE would have computed — a peer can hand us a stale
+    // or colliding record and the worst case is a normal encode.
+    if (!record || !record->is_string() ||
+        !hex_decode(record->as_string(), &bytes) ||
+        !persist::decode_record(bytes, &peer_job, &peer_result, &error) ||
+        !peer_job.equivalent(canon)) {
+      peek_failures_.add(1);
+      return;
+    }
+    service_.adopt(peer_job, std::move(peer_result));
+    forwarded_hits_.add(1);
+  }
+
+  void stop_probe_thread() {
+    {
+      std::lock_guard<std::mutex> lock(probe_mu_);
+      probe_stop_ = true;
+    }
+    probe_cv_.notify_all();
+    if (probe_thread_.joinable()) probe_thread_.join();
+  }
+
   // ---- completions, deadlines, idle, drain -----------------------------
 
   void drain_completions() {
@@ -856,6 +1081,11 @@ struct Server::Impl {
     Request req = std::move(it->second);
     requests_.erase(it);
     inflight_.set(static_cast<int64_t>(requests_.size()));
+    // Drain ordering (docs/CLUSTER.md): the final admitted request's
+    // result must be durable BEFORE its reply goes out — a client that
+    // saw the answer may immediately restart this node and expect the
+    // warm load to contain it.
+    maybe_drain_snapshot();
     const uint64_t wall_ns = obs::now_ns() - req.start_ns;
     obs::ScopedTraceId trace_scope(req.trace_id);
     request_ns_.record(wall_ns);
@@ -995,6 +1225,21 @@ struct Server::Impl {
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
+    maybe_drain_snapshot();  // zero-inflight drain: snapshot right away
+  }
+
+  /// Once per drain, as soon as the last admitted request has been
+  /// removed from the books (and before its reply is sent): flush the
+  /// persist cache so a rolling restart warm-loads everything this node
+  /// ever answered.  service_.drain_snapshot() waits out a racing
+  /// periodic snapshot and bumps persist/drain_snapshots.
+  void maybe_drain_snapshot() {
+    if (!draining_ || drain_snapshotted_ || !requests_.empty()) return;
+    drain_snapshotted_ = true;
+    std::string error;
+    if (!service_.drain_snapshot(&error) && !error.empty())
+      std::fprintf(stderr, "picola serve: drain snapshot failed: %s\n",
+                   error.c_str());
   }
 
   void check_drain_done(uint64_t now) {
@@ -1191,6 +1436,11 @@ struct Server::Impl {
   obs::Counter& completions_;    ///< job completions delivered to the loop
   obs::Counter& admin_requests_;
   obs::Counter& slow_requests_;
+  obs::Counter& peek_attempts_;    ///< cluster/* — peer cache forwarding
+  obs::Counter& forwarded_hits_;
+  obs::Counter& peek_misses_;
+  obs::Counter& peek_failures_;
+  obs::Counter& peeks_served_;
   obs::Gauge& active_;
   obs::Gauge& inflight_;
   obs::Gauge& uptime_seconds_;
@@ -1213,7 +1463,18 @@ struct Server::Impl {
   uint64_t request_serial_ = 0;
   bool draining_ = false;
   bool finished_ = false;
+  bool drain_snapshotted_ = false;
   uint64_t drain_started_ns_ = 0;
+
+  // Peer cache-hit forwarding (null/empty when not clustered).
+  std::unique_ptr<HashRing> peer_ring_;
+  int self_index_ = -1;
+  std::vector<std::unique_ptr<Client>> peer_clients_;  ///< probe thread only
+  std::mutex probe_mu_;
+  std::condition_variable probe_cv_;
+  std::deque<ProbeTask> probe_q_;
+  bool probe_stop_ = false;
+  std::thread probe_thread_;
 
   // Cross-thread state.
   std::atomic<bool> shutdown_requested_{false};

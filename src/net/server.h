@@ -36,9 +36,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "net/cluster.h"
 #include "net/poller.h"
 
 namespace picola::net {
@@ -82,6 +84,21 @@ struct ServerOptions {
   /// Sink for slow-request lines; stderr when empty.  The callback runs
   /// on the event-loop thread and must not block.
   std::function<void(const std::string&)> slow_log;
+  /// Cluster membership (docs/CLUSTER.md), this node included.  When set
+  /// together with `self`, an encoding request whose route_key owner is
+  /// another member and which misses the local cache first `peek`s the
+  /// owner's cache (off the loop, on a dedicated probe thread) and
+  /// adopts a hit instead of re-encoding.  The `peek` command itself is
+  /// always served, peers configured or not.  Empty = single node.
+  std::vector<ClusterMember> peers;
+  /// This node's member name ("host:port") — must equal peers[i].name()
+  /// for exactly one i, or the cluster path stays off.
+  std::string self;
+  /// Master switch for the peek-before-encode forwarding above.
+  bool peer_forward = true;
+  /// Connect + I/O bound for one peer peek; a slow peer must cost less
+  /// than the encode it might save.
+  int peer_timeout_ms = 500;
   /// The embedded EncodingService (threads, cache).  max_queue is forced
   /// to 0: admission control bounds work *before* the pool, and a
   /// bounded pool queue would block the event loop in post().

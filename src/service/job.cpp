@@ -121,4 +121,26 @@ uint64_t encoding_fingerprint(const Encoding& enc) {
   return h.finish();
 }
 
+uint64_t route_key(const ConstraintSet& set) {
+  // Same normalisation as canonicalize(): re-add through add() (sorts
+  // members, merges duplicates, drops trivial groups), then order the
+  // groups, so any permutation of one problem routes identically.
+  ConstraintSet canon;
+  canon.num_symbols = set.num_symbols;
+  for (const FaceConstraint& f : set.constraints)
+    canon.add(f.members, f.weight);
+  std::sort(canon.constraints.begin(), canon.constraints.end(),
+            [](const FaceConstraint& a, const FaceConstraint& b) {
+              return a.members < b.members;
+            });
+  Hasher h;
+  h.mix(static_cast<uint64_t>(canon.num_symbols));
+  for (const FaceConstraint& f : canon.constraints) {
+    h.mix(static_cast<uint64_t>(f.members.size()));
+    for (int m : f.members) h.mix(static_cast<uint64_t>(m));
+    h.mix_double(f.weight);
+  }
+  return h.finish();
+}
+
 }  // namespace picola

@@ -59,4 +59,14 @@ CanonicalJob canonicalize(const Job& job);
 /// CLI front-ends to compare results compactly.
 uint64_t encoding_fingerprint(const Encoding& enc);
 
+/// Cluster routing key: a stable hash of the canonical constraint set
+/// ALONE — no options, restarts or backend knobs.  Placement on the
+/// consistent-hash ring (net/hash_ring.h) must agree between clients
+/// and servers even when their per-node option defaults differ, so the
+/// key hashes only the problem content; the full CanonicalJob
+/// fingerprint stays the cache key.  Same content, same node — which is
+/// also what keeps the cluster's cache locality intact when callers
+/// vary knobs on one problem.
+uint64_t route_key(const ConstraintSet& set);
+
 }  // namespace picola

@@ -70,6 +70,15 @@ std::optional<CachedResult> ResultCache::lookup(const CanonicalJob& job) {
   return it->second->result;
 }
 
+std::optional<std::pair<CanonicalJob, CachedResult>>
+ResultCache::find_by_fingerprint(uint64_t fingerprint) {
+  Shard& s = shard_of(fingerprint);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.index.find(fingerprint);
+  if (it == s.index.end()) return std::nullopt;
+  return std::make_pair(it->second->job, it->second->result);
+}
+
 void ResultCache::insert(const CanonicalJob& job, CachedResult result) {
   Shard& s = shard_of(job.fingerprint);
   std::unique_lock<std::mutex> lock = lock_shard(s);

@@ -73,6 +73,16 @@ class ResultCache {
   /// refreshes the entry's LRU position.
   std::optional<CachedResult> lookup(const CanonicalJob& job);
 
+  /// Side-channel read by fingerprint alone, for peer cache-hit
+  /// forwarding (docs/CLUSTER.md): the requesting node only knows the
+  /// 64-bit key, so the full entry — canonical job AND result — is
+  /// returned and the REQUESTER does the collision-detecting deep
+  /// comparison against its own canonical job.  Deliberately does not
+  /// touch recency or hit/miss accounting: a peek is a replication
+  /// read, not local use.
+  std::optional<std::pair<CanonicalJob, CachedResult>> find_by_fingerprint(
+      uint64_t fingerprint);
+
   /// Memoise `result`; evicts the shard's least-recently-used entry when
   /// the shard is full.  Re-inserting an existing key refreshes it; a
   /// fingerprint collision replaces the older entry and counts as an

@@ -8,6 +8,7 @@
 #include "encoders/restart.h"
 #include "eval/constraint_eval.h"
 #include "fault/fault.h"
+#include "persist/codec.h"
 #include "obs/obs.h"
 #include "obs/tracer.h"
 
@@ -116,6 +117,37 @@ bool EncodingService::snapshot_now(std::string* error) {
   bool ok = store_->snapshot(cache_, error);
   snapshot_inflight_.store(false);
   return ok;
+}
+
+bool EncodingService::drain_snapshot(std::string* error) {
+  if (!store_) return true;
+  // A racing periodic snapshot may have started before the final
+  // insert landed, so "one is already running" is NOT good enough here
+  // — wait it out, then write one that provably covers everything.
+  bool expected = false;
+  while (!snapshot_inflight_.compare_exchange_strong(expected, true)) {
+    expected = false;
+    std::this_thread::yield();
+  }
+  bool ok = store_->snapshot(cache_, error);
+  snapshot_inflight_.store(false);
+  registry_.counter("persist/drain_snapshots").add(1);
+  return ok;
+}
+
+bool EncodingService::is_cached(const CanonicalJob& job) {
+  auto entry = cache_.find_by_fingerprint(job.fingerprint);
+  return entry && entry->first.equivalent(job);
+}
+
+std::optional<std::string> EncodingService::peek_record(uint64_t fingerprint) {
+  auto entry = cache_.find_by_fingerprint(fingerprint);
+  if (!entry) return std::nullopt;
+  return persist::encode_record(entry->first, entry->second);
+}
+
+void EncodingService::adopt(const CanonicalJob& job, CachedResult result) {
+  cache_.insert(job, std::move(result));
 }
 
 std::shared_future<JobResult> EncodingService::submit(Job job,

@@ -133,6 +133,29 @@ class EncodingService {
   /// Unconditionally snapshot (bench/tests).  No-op without a store.
   bool snapshot_now(std::string* error = nullptr);
 
+  /// Graceful-drain snapshot (net/server.cpp, docs/CLUSTER.md): taken
+  /// *before* the final admitted request is answered, so a rolling
+  /// restart never replays a journal it could have compacted.  Unlike
+  /// snapshot_now() this WAITS for any racing periodic snapshot (which
+  /// may predate the final insert) and then snapshots again, and it
+  /// bumps the persist/drain_snapshots counter.  No-op without a store.
+  bool drain_snapshot(std::string* error = nullptr);
+
+  /// True when an equal job is already memoised.  Side-channel read for
+  /// the peer-forwarding pre-check: no recency refresh, no hit/miss
+  /// accounting — submit() keeps its own books.
+  bool is_cached(const CanonicalJob& job);
+
+  /// The cache entry for `fingerprint` serialised as a persist/codec.h
+  /// record, or nullopt — the payload of a `peek` reply (the requester
+  /// decodes, re-canonicalises, and deep-compares before trusting it).
+  std::optional<std::string> peek_record(uint64_t fingerprint);
+
+  /// Adopt a result fetched from a peer's cache as if computed locally:
+  /// journaled like any insert, so it survives a restart and future
+  /// submits hit.
+  void adopt(const CanonicalJob& job, CachedResult result);
+
  private:
   struct InFlight;
 

